@@ -1,0 +1,228 @@
+(** [w2c] — the W2-to-VLIW compiler driver.
+
+    {v
+      w2c compile prog.w2          compile and print the VLIW code
+      w2c schedule prog.w2         per-loop scheduling report
+      w2c run prog.w2              compile, simulate, report cycles/MFLOPS
+      w2c ir prog.w2               dump the scheduling IR
+    v}
+
+    Common options: [--machine warp|toy|serial|warpNx],
+    [--no-pipeline], [--mve max-q|lcm|off], [--search linear|binary],
+    [--if-exclusive], [--threshold N], [--verify] (cross-check against
+    the sequential interpreter). *)
+
+open Cmdliner
+module C = Sp_core.Compile
+module Machine = Sp_machine.Machine
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let machine_of_string s =
+  match s with
+  | "warp" -> Ok Machine.warp
+  | "toy" -> Ok Machine.toy
+  | "serial" -> Ok Machine.serial
+  | _ -> (
+    try Scanf.sscanf s "warp%dx" (fun w -> Ok (Machine.warp_scaled ~width:w))
+    with _ -> Error (`Msg (Printf.sprintf "unknown machine %S" s)))
+
+let machine_conv =
+  Arg.conv
+    ( machine_of_string,
+      fun ppf (m : Machine.t) -> Fmt.string ppf m.Machine.name )
+
+let machine_arg =
+  let doc = "Target machine: warp, toy, serial, or warpNx (scaled)." in
+  Arg.(value & opt machine_conv Machine.warp & info [ "machine"; "m" ] ~doc)
+
+let mve_conv =
+  Arg.conv
+    ( (function
+      | "max-q" -> Ok Sp_core.Mve.Max_q
+      | "lcm" -> Ok Sp_core.Mve.Lcm
+      | "off" -> Ok Sp_core.Mve.Off
+      | s -> Error (`Msg (Printf.sprintf "unknown mve mode %S" s))),
+      fun ppf m ->
+        Fmt.string ppf
+          (match m with
+          | Sp_core.Mve.Max_q -> "max-q"
+          | Sp_core.Mve.Lcm -> "lcm"
+          | Sp_core.Mve.Off -> "off") )
+
+let search_conv =
+  Arg.conv
+    ( (function
+      | "linear" -> Ok Sp_core.Modsched.Linear
+      | "binary" -> Ok Sp_core.Modsched.Binary
+      | s -> Error (`Msg (Printf.sprintf "unknown search %S" s))),
+      fun ppf s ->
+        Fmt.string ppf
+          (match s with
+          | Sp_core.Modsched.Linear -> "linear"
+          | Sp_core.Modsched.Binary -> "binary") )
+
+let config_term =
+  let no_pipeline =
+    Arg.(value & flag & info [ "no-pipeline" ]
+           ~doc:"Local compaction only (the Figure 4-2 baseline).")
+  in
+  let mve =
+    Arg.(value & opt mve_conv Sp_core.Mve.Max_q & info [ "mve" ]
+           ~doc:"Modulo variable expansion mode: max-q, lcm, off.")
+  in
+  let search =
+    Arg.(value & opt search_conv Sp_core.Modsched.Linear & info [ "search" ]
+           ~doc:"Initiation interval search: linear (paper) or binary.")
+  in
+  let if_exclusive =
+    Arg.(value & flag & info [ "if-exclusive" ]
+           ~doc:"Reduce conditionals to all-resources-consumed nodes.")
+  in
+  let threshold =
+    Arg.(value & opt int C.default.C.threshold & info [ "threshold" ]
+           ~doc:"Maximum compacted body length considered for pipelining.")
+  in
+  let mk no_pipeline mve_mode search if_exclusive threshold =
+    {
+      C.pipeline = not no_pipeline;
+      mve_mode;
+      search;
+      threshold;
+      if_exclusive;
+      pipeline_outer = true;
+      profit_margin = C.default.C.profit_margin;
+    }
+  in
+  Term.(const mk $ no_pipeline $ mve $ search $ if_exclusive $ threshold)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.w2")
+
+let unroll_arg =
+  Arg.(value & opt int 1 & info [ "unroll" ]
+         ~doc:"Source-unroll constant-bound loops N times before \
+               compilation (the Section 5.1 baseline transformation).")
+
+let load ?(unroll = 1) path =
+  if unroll <= 1 then Sp_lang.Lower.compile_source (read_file path)
+  else Sp_lang.Unroll.compile_source ~k:unroll (read_file path)
+
+let or_fail f =
+  try f () with
+  | Sp_lang.Lexer.Error (p, m) ->
+    Fmt.epr "lexical error at %a: %s@." Sp_lang.Token.pp_pos p m;
+    exit 1
+  | Sp_lang.Parser.Error (p, m) ->
+    Fmt.epr "syntax error at %a: %s@." Sp_lang.Token.pp_pos p m;
+    exit 1
+  | Sp_lang.Typecheck.Error (p, m) ->
+    Fmt.epr "type error at %a: %s@." Sp_lang.Token.pp_pos p m;
+    exit 1
+  | Sp_lang.Lower.Error (p, m) ->
+    Fmt.epr "lowering error at %a: %s@." Sp_lang.Token.pp_pos p m;
+    exit 1
+
+let cmd_ir =
+  let run file =
+    or_fail (fun () ->
+        let p = load file in
+        Fmt.pr "%a@." Sp_ir.Program.pp p)
+  in
+  Cmd.v (Cmd.info "ir" ~doc:"Dump the scheduling IR")
+    Term.(const run $ file_arg)
+
+let cmd_dot =
+  let run m file =
+    or_fail (fun () ->
+        let p = load file in
+        List.iteri
+          (fun i (iv, g) ->
+            Fmt.pr "// innermost loop %d (counter %a)@.%s@." i
+              Sp_ir.Vreg.pp iv
+              (Sp_core.Dot.to_string ~name:(Printf.sprintf "loop%d" i) g))
+          (C.innermost_ddgs m p))
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit Graphviz dependence graphs of the \
+                          innermost loops")
+    Term.(const run $ machine_arg $ file_arg)
+
+let cmd_compile =
+  let run m config unroll file =
+    or_fail (fun () ->
+        let p = load ~unroll file in
+        let r = C.program ~config m p in
+        Fmt.pr "; %s: %d instructions for machine %s@." p.Sp_ir.Program.name
+          r.C.code_size m.Machine.name;
+        Fmt.pr "%a" Sp_vliw.Prog.pp r.C.code;
+        match Sp_vliw.Check.check_prog m r.C.code with
+        | [] -> ()
+        | vs ->
+          List.iter
+            (fun v -> Fmt.epr "warning: %a@." Sp_vliw.Check.pp_violation v)
+            vs)
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile and print the VLIW code")
+    Term.(const run $ machine_arg $ config_term $ unroll_arg $ file_arg)
+
+let cmd_schedule =
+  let run m config file =
+    or_fail (fun () ->
+        let p = load file in
+        let r = C.program ~config m p in
+        Fmt.pr "%s on %s: %d instructions@." p.Sp_ir.Program.name
+          m.Machine.name r.C.code_size;
+        List.iter (fun lr -> Fmt.pr "  %a@." C.pp_loop_report lr) r.C.loops)
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Print the per-loop scheduling report")
+    Term.(const run $ machine_arg $ config_term $ file_arg)
+
+let cmd_run =
+  let verify =
+    Arg.(value & flag & info [ "verify" ]
+           ~doc:"Cross-check the final state against the sequential \
+                 interpreter.")
+  in
+  let run m config verify unroll file =
+    or_fail (fun () ->
+        let p = load ~unroll file in
+        let r = C.program ~config m p in
+        let init st = Sp_kernels.Kernel.init_all_arrays st p in
+        let sim = Sp_vliw.Sim.run ~init m p r.C.code in
+        Fmt.pr "%s on %s: %d cycles, %d flops, %.2f MFLOPS (cell), %d words@."
+          p.Sp_ir.Program.name m.Machine.name sim.Sp_vliw.Sim.cycles
+          sim.Sp_vliw.Sim.flops
+          (Sp_vliw.Sim.mflops m sim)
+          r.C.code_size;
+        List.iter (fun lr -> Fmt.pr "  %a@." C.pp_loop_report lr) r.C.loops;
+        Fmt.pr "  %a" Sp_vliw.Stats.pp (Sp_vliw.Stats.compute m r.C.code);
+        if verify then begin
+          let o = Sp_ir.Interp.run ~init p in
+          if
+            Sp_ir.Machine_state.observably_equal o.Sp_ir.Interp.state
+              sim.Sp_vliw.Sim.state
+          then Fmt.pr "verify: schedule preserves sequential semantics@."
+          else begin
+            Fmt.epr "verify: FINAL STATE MISMATCH@.";
+            exit 2
+          end
+        end)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile, simulate and report performance")
+    Term.(const run $ machine_arg $ config_term $ verify $ unroll_arg
+          $ file_arg)
+
+let () =
+  let doc = "software-pipelining compiler for a Warp-like VLIW cell" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "w2c" ~version:"1.0" ~doc)
+          [ cmd_ir; cmd_compile; cmd_schedule; cmd_run; cmd_dot ]))

@@ -1,0 +1,1 @@
+devtools/find_hang.ml: Fmt Format Gen List Sp_core Sp_machine Unix

@@ -1,0 +1,1 @@
+devtools/find_hang.mli:

@@ -1,0 +1,1 @@
+devtools/gen.ml: Builder Fmt Interp List Machine_state Program QCheck2 Region Sp_core Sp_ir Sp_machine Sp_vliw

@@ -1,0 +1,52 @@
+(** Exhaustive equivalence sweep — a developer utility.
+
+    Enumerates the random-program generator's parameter grid
+    deterministically (rather than sampling, as the qcheck suites do)
+    and checks the central property — pipelined code computes exactly
+    what the sequential interpreter computes — under both the default
+    and the lcm-unrolling configurations, reporting failures and
+    anything suspiciously slow.
+
+    Run with: [dune exec devtools/find_hang.exe] *)
+
+let trips = [ 0; 1; 2; 3; 5; 17; 40; 61 ]
+let bools = [ false; true ]
+let seeds = [ 1; 777; 4242; 5512 ]
+
+let () =
+  let m = Sp_machine.Machine.warp in
+  let configs =
+    [ ("default", Sp_core.Compile.default);
+      ("lcm", { Sp_core.Compile.default with mve_mode = Sp_core.Mve.Lcm }) ]
+  in
+  let bad = ref 0 and n = ref 0 in
+  List.iter (fun trip ->
+    List.iter (fun n_stmts ->
+      List.iter (fun use_if ->
+        List.iter (fun use_accum ->
+          List.iter (fun use_chan ->
+            List.iter (fun carried_store ->
+              List.iter (fun seed ->
+                let sp = { Gen.seed; trip; n_stmts; use_if; use_accum;
+                           use_chan; carried_store } in
+                List.iter (fun (name, cfg) ->
+                  incr n;
+                  let t0 = Unix.gettimeofday () in
+                  (match Gen.check_equivalence ~config:cfg m sp with
+                   | Ok () -> ()
+                   | Error e ->
+                     incr bad;
+                     Fmt.pr "FAIL [%s] %a: %s@." name Gen.pp_spec sp e;
+                     Format.pp_print_flush Format.std_formatter ());
+                  let dt = Unix.gettimeofday () -. t0 in
+                  if dt > 2.0 then begin
+                    Fmt.pr "SLOW %.1fs [%s] %a@." dt name Gen.pp_spec sp;
+                    Format.pp_print_flush Format.std_formatter ()
+                  end)
+                  configs)
+                seeds)
+              bools) bools) bools) bools)
+      [ 1; 3; 5 ])
+    trips;
+  Fmt.pr "checked %d spec/config combinations, %d failures@." !n !bad;
+  if !bad > 0 then exit 1

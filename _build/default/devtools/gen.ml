@@ -1,0 +1,135 @@
+(** Random-program generation for property-based testing.
+
+    The central property of the whole repository is: {e for any legal
+    program, the software-pipelined VLIW code computes exactly what the
+    sequential interpreter computes}. This module generates random but
+    deterministic loop programs through the IR builder — mixes of
+    affine array reads/writes with random offsets, scalar temporaries,
+    accumulator recurrences, conditionals and channel traffic — used by
+    the qcheck suites in {!Test_compile} and {!Test_modsched}. *)
+
+open Sp_ir
+
+type spec = {
+  seed : int;
+  trip : int;
+  n_stmts : int;
+  use_if : bool;
+  use_accum : bool;
+  use_chan : bool;
+  carried_store : bool; (* store at x[i] read back at x[i+d] *)
+}
+
+let pp_spec ppf s =
+  Fmt.pf ppf "{seed=%d trip=%d stmts=%d if=%b acc=%b chan=%b carried=%b}"
+    s.seed s.trip s.n_stmts s.use_if s.use_accum s.use_chan s.carried_store
+
+let spec_gen =
+  let open QCheck2.Gen in
+  let* seed = int_bound 10_000 in
+  let* trip = oneofl [ 0; 1; 2; 3; 5; 17; 40; 61 ] in
+  let* n_stmts = int_range 1 5 in
+  let* use_if = bool in
+  let* use_accum = bool in
+  let* use_chan = bool in
+  let* carried_store = bool in
+  return { seed; trip; n_stmts; use_if; use_accum; use_chan; carried_store }
+
+(* a deterministic pseudo-random stream from the spec seed *)
+type rng = { mutable s : int }
+
+let next rng n =
+  rng.s <- ((rng.s * 1103515245) + 12345) land 0x3FFFFFFF;
+  rng.s mod n
+
+(** Build a single-loop program from a spec. The loop body references
+    arrays at small offsets from the induction variable (kept in
+    bounds by array padding), mixes multiplies/adds/compares, and
+    optionally contains an accumulator, a conditional and channel
+    traffic. *)
+let build (sp : spec) : Program.t * (Machine_state.t -> unit) * float list list =
+  let rng = { s = sp.seed + 1 } in
+  let b = Builder.create "gen" in
+  let pad = 8 in
+  let size = sp.trip + (2 * pad) in
+  let xs = Builder.farray b "xs" (max 1 size) in
+  let ys = Builder.farray b "ys" (max 1 size) in
+  let c1 = Builder.fconst b 1.25 in
+  let c2 = Builder.fconst b 0.5 in
+  let acc = if sp.use_accum then Some (Builder.fmov b c1) else None in
+  Builder.for_ b (Region.Const sp.trip) (fun i ->
+      (* a pool of available values to combine *)
+      let pool = ref [ c1; c2 ] in
+      let pick () = List.nth !pool (next rng (List.length !pool)) in
+      let push v = pool := v :: !pool in
+      (* loads *)
+      push (Builder.load_iv b xs i (next rng pad));
+      push (Builder.load_iv b ys i (next rng pad));
+      if sp.use_chan then push (Builder.recv b 0);
+      for _ = 1 to sp.n_stmts do
+        let v =
+          match next rng 4 with
+          | 0 -> Builder.fadd b (pick ()) (pick ())
+          | 1 -> Builder.fmul b (pick ()) (pick ())
+          | 2 -> Builder.fsub b (pick ()) (pick ())
+          | _ -> Builder.fmax b (pick ()) (pick ())
+        in
+        push v
+      done;
+      (if sp.use_if then begin
+         let cond = Builder.fcmp b Sp_machine.Opkind.Gt (pick ()) c1 in
+         let out = Builder.fresh_f b in
+         let a = pick () and b2 = pick () in
+         Builder.if_ b cond
+           ~then_:(fun () ->
+             let t = Builder.fmul b a c2 in
+             ignore (Builder.emit b ~dst:out ~srcs:[ t ] Sp_machine.Opkind.Fmov))
+           ~else_:(fun () ->
+             let t = Builder.fadd b b2 c2 in
+             ignore (Builder.emit b ~dst:out ~srcs:[ t ] Sp_machine.Opkind.Fmov));
+         push out
+       end);
+      (match acc with
+      | Some a ->
+        let t = Builder.fmul b (pick ()) c2 in
+        ignore (Builder.emit b ~dst:a ~srcs:[ a; t ] Sp_machine.Opkind.Fadd)
+      | None -> ());
+      if sp.use_chan then Builder.send b 0 (pick ());
+      (* stores: one always; optionally one creating a carried memory
+         dependence (write at i+pad read back at i+pad-d next rounds) *)
+      Builder.store_iv b ys i (next rng pad) (pick ());
+      if sp.carried_store then Builder.store_iv b xs i pad (pick ()));
+  (match acc with
+  | Some a -> Builder.store b ~off:0 xs a (* keep the accumulator live-out *)
+  | None -> ());
+  let p = Builder.finish b in
+  let init st =
+    Machine_state.init_farray st xs (fun i ->
+        1.0 +. (0.01 *. float_of_int ((i * 7) mod 83)));
+    Machine_state.init_farray st ys (fun i ->
+        2.0 +. (0.02 *. float_of_int ((i * 5) mod 71)))
+  in
+  let inputs =
+    if sp.use_chan then
+      [ List.init (max 1 sp.trip) (fun i -> 0.5 +. (0.125 *. float_of_int (i mod 17))) ]
+    else []
+  in
+  (p, init, inputs)
+
+(** The central property: compile under [config], simulate, compare
+    with the interpreter; also require a clean resource check. Returns
+    [Ok ()] or a description of what broke. *)
+let check_equivalence ?(config = Sp_core.Compile.default) (m : Sp_machine.Machine.t)
+    (sp : spec) : (unit, string) result =
+  let p, init, inputs = build sp in
+  let r = Sp_core.Compile.program ~config m p in
+  let oracle = Interp.run ~init ~inputs p in
+  match Sp_vliw.Check.check_prog m r.Sp_core.Compile.code with
+  | v :: _ -> Error (Fmt.str "resource violation: %a" Sp_vliw.Check.pp_violation v)
+  | [] ->
+    let sim = Sp_vliw.Sim.run ~init ~inputs m p r.Sp_core.Compile.code in
+    if
+      Machine_state.observably_equal oracle.Interp.state
+        sim.Sp_vliw.Sim.state
+    then Ok ()
+    else Error "final state differs from the sequential interpreter"

@@ -1,0 +1,1 @@
+examples/convolution.ml: Fmt List Printf Sp_core Sp_kernels Sp_machine

@@ -1,0 +1,1 @@
+examples/livermore_demo.ml: Fmt List Sp_core Sp_kernels Sp_machine

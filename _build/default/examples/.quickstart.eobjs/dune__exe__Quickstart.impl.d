@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Fmt Interp List Machine_state Program Region Sp_core Sp_ir Sp_machine Sp_vliw

@@ -1,0 +1,1 @@
+examples/systolic.ml: Fmt Interp List Machine_state Printf Program Sp_core Sp_ir Sp_lang Sp_machine Sp_vliw

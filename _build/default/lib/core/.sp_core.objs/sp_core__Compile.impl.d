@@ -1,0 +1,1 @@
+lib/core/compile.ml: Array Ddg Emit Fmt Hashtbl List Listsched Machine Memseg Mii Modsched Mve Op Option Printf Program Region Scc Sp_ir Sp_machine Sp_vliw Sunit Sys Vreg

@@ -1,0 +1,1 @@
+lib/core/ddg.ml: Array Fmt Hashtbl List Memseg Op Option Sp_ir Sp_machine Subscript Sunit Vreg

@@ -1,0 +1,1 @@
+lib/core/dot.ml: Array Ddg Fmt List String Sunit

@@ -1,0 +1,1 @@
+lib/core/emit.ml: Array List Listsched Machine Modsched Mve Op Sp_ir Sp_machine Sp_vliw Sunit Vreg

@@ -1,0 +1,1 @@
+lib/core/listsched.ml: Array Ddg List Machine Mrt Sp_machine Sp_util Sunit

@@ -1,0 +1,1 @@
+lib/core/listsched.mli: Ddg Sp_machine

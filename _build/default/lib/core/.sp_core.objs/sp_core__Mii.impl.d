@@ -1,0 +1,1 @@
+lib/core/mii.ml: Array List Machine Sp_machine Sp_util Sunit

@@ -1,0 +1,1 @@
+lib/core/mii.mli: Sp_machine Sunit

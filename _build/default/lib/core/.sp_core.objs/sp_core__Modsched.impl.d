@@ -1,0 +1,1 @@
+lib/core/modsched.ml: Array Ddg Hashtbl List Machine Mrt Scc Sp_machine Sp_util Spath Sunit

@@ -1,0 +1,1 @@
+lib/core/modsched.mli: Ddg Machine Scc Sp_machine Spath Sunit

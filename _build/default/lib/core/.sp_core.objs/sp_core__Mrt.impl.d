@@ -1,0 +1,1 @@
+lib/core/mrt.ml: Array Hashtbl List Machine Option Sp_machine

@@ -1,0 +1,1 @@
+lib/core/mrt.mli: Sp_machine

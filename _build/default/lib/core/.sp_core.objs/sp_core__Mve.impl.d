@@ -1,0 +1,1 @@
+lib/core/mve.ml: Array Ddg Hashtbl List Machine Modsched Option Printf Sp_ir Sp_machine Sp_util Sunit Sys Vreg

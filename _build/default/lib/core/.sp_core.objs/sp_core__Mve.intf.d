@@ -1,0 +1,1 @@
+lib/core/mve.mli: Ddg Modsched Sp_ir Sp_machine Sunit Vreg

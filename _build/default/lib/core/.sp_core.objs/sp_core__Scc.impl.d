@@ -1,0 +1,1 @@
+lib/core/scc.ml: Array List Sp_util

@@ -1,0 +1,1 @@
+lib/core/spath.ml: Array List

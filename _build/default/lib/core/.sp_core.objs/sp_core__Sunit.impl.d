@@ -1,0 +1,1 @@
+lib/core/sunit.ml: Array Fmt Hashtbl List Memseg Op Option Sp_ir Sp_machine Sp_vliw Subscript Vreg

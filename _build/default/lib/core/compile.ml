@@ -1,0 +1,780 @@
+(** The compiler: hierarchical reduction driving software pipelining.
+
+    Programs are scheduled bottom-up (paper Section 3): innermost
+    constructs first, each scheduled construct reduced to a single
+    {!Sunit.t} that the enclosing construct schedules like an ordinary
+    operation. Conditionals are reduced to the union of their branches'
+    constraints; loops are software pipelined and reduced to nodes
+    exposing their prolog/epilog for overlap with surrounding code,
+    with the steady state's resources marked consumed (Section 3.2).
+
+    Per-loop decisions mirror the paper's compiler:
+    - pipelining is skipped when the locally compacted body is longer
+      than a threshold (Section 4.2: the 331-instruction EXP loop of
+      LFK 22 "was beyond the threshold that it used to decide if
+      pipelining was feasible");
+    - pipelining is abandoned when no initiation interval below the
+      locally compacted restart interval is schedulable (LFK 16 and 20:
+      "the calculated lower bound on the initiation interval were
+      within 99% of the length of the unpipelined loop");
+    - when modulo variable expansion overflows the register files, the
+      loop reverts to the serial schedule (Section 2.3);
+    - a compile-time trip count too small to reach the steady state
+      selects the unpipelined version outright (Section 2.4). *)
+
+open Sp_ir
+open Sp_machine
+
+type config = {
+  pipeline : bool;          (** false = local compaction only (baseline) *)
+  mve_mode : Mve.mode;
+  search : Modsched.search;
+  threshold : int;          (** max compacted body length for pipelining *)
+  if_exclusive : bool;
+      (** reduce conditionals to all-resources-consumed nodes
+          (Section 3.1 fallback policy) instead of the branch union *)
+  pipeline_outer : bool;    (** attempt pipelining of non-innermost loops *)
+  profit_margin : float;
+      (** decline pipelining when the interval lower bound is already
+          within this fraction of the serial restart length (paper
+          Section 4.2 on LFK 16/20: "the calculated lower bound on the
+          initiation interval were within 99%% of the length of the
+          unpipelined loop"); 1.0 accepts any nominal gain *)
+}
+
+let default =
+  {
+    pipeline = true;
+    mve_mode = Mve.Max_q;
+    search = Modsched.Linear;
+    threshold = 300;
+    if_exclusive = false;
+    pipeline_outer = true;
+    profit_margin = 0.95;
+  }
+
+(** The Figure 4-2 baseline: individual basic blocks compacted, no
+    pipelining, and no motion of operations into or around conditionals
+    (a reduced conditional consumes every resource, so nothing
+    co-schedules with it — the paper's "only compacting individual
+    basic blocks"). *)
+let local_only = { default with pipeline = false; if_exclusive = true }
+
+(* ------------------------------------------------------------------ *)
+
+type status =
+  | Pipelined
+  | Disabled            (** config requested local compaction only *)
+  | Over_threshold
+  | Not_profitable      (** no interval below the serial restart length *)
+  | Register_overflow
+  | Trip_too_small
+
+let status_to_string = function
+  | Pipelined -> "pipelined"
+  | Disabled -> "disabled"
+  | Over_threshold -> "over-threshold"
+  | Not_profitable -> "not-profitable"
+  | Register_overflow -> "register-overflow"
+  | Trip_too_small -> "trip-too-small"
+
+type loop_report = {
+  l_id : int;
+  l_depth : int;             (** 0 = innermost *)
+  n_units : int;
+  has_if : bool;
+  has_scc : bool;            (** a recurrence beyond the induction update *)
+  res_mii : int;
+  rec_mii : int;
+  mii : int;
+  seq_len : int;             (** restart interval of the compacted body *)
+  ii : int option;           (** achieved initiation interval *)
+  sc : int;                  (** stage count (0 when not pipelined) *)
+  unroll : int;
+  mve_fregs : int;
+  mve_iregs : int;
+  status : status;
+}
+
+(** Lower bound on pipelining efficiency, the paper's Table 4-2 metric:
+    achieved interval vs. the computed lower bound. 1.0 when optimal. *)
+let efficiency r =
+  match r.ii with
+  | Some ii when ii > 0 -> float_of_int r.mii /. float_of_int ii
+  | _ -> 1.0
+
+let pp_loop_report ppf r =
+  Fmt.pf ppf
+    "loop%d(depth %d): %d units%s%s mii=%d (res %d, rec %d) seq=%d %s%s"
+    r.l_id r.l_depth r.n_units
+    (if r.has_if then " +if" else "")
+    (if r.has_scc then " +rec" else "")
+    r.mii r.res_mii r.rec_mii r.seq_len
+    (match r.ii with
+    | Some ii -> Printf.sprintf "ii=%d sc=%d u=%d" ii r.sc r.unroll
+    | None -> "not pipelined")
+    (Printf.sprintf " [%s]" (status_to_string r.status))
+
+type result = {
+  code : Sp_vliw.Prog.t;
+  loops : loop_report list;
+  code_size : int;
+}
+
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  m : Machine.t;
+  cfg : config;
+  vregs : Vreg.Supply.supply;
+  ops : Op.Supply.supply;
+  global_uses : (int, int) Hashtbl.t;
+  mutable reports : loop_report list;
+  mutable next_loop : int;
+  seq_rid : int;
+  all_resources : (int * int) list;
+      (** one entry per resource unit, at offset 0 *)
+}
+
+let count_uses tbl (r : Region.t) =
+  let bump (v : Vreg.t) =
+    Hashtbl.replace tbl v.Vreg.id
+      (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v.Vreg.id))
+  in
+  let rec go = function
+    | Region.Ops ops -> List.iter (fun op -> List.iter bump (Op.reads op)) ops
+    | Region.Seq rs -> List.iter go rs
+    | Region.If { cond; then_; else_ } ->
+      bump cond;
+      go then_;
+      go else_
+    | Region.For { n; body; _ } ->
+      (match n with Region.Reg v -> bump v | Region.Const _ -> ());
+      go body
+  in
+  go r
+
+let make_ctx (m : Machine.t) cfg (p : Program.t) =
+  let global_uses = Hashtbl.create 256 in
+  count_uses global_uses p.Program.body;
+  let seq_rid = (Machine.find_resource m "seq").Machine.rid in
+  (* every datapath resource unit (at offset 0), excluding the
+     sequencer — control constructs claim the sequencer separately for
+     their whole length, and must not double-book it *)
+  let all_resources =
+    List.concat
+      (List.init (Machine.num_resources m) (fun rid ->
+           if rid = seq_rid then []
+           else
+             List.init (Machine.resource m rid).Machine.count (fun _ ->
+                 (0, rid))))
+  in
+  {
+    m;
+    cfg;
+    vregs = p.Program.vregs;
+    ops = p.Program.ops;
+    global_uses;
+    reports = [];
+    next_loop = 0;
+    seq_rid;
+    all_resources;
+  }
+
+let renumber units =
+  Array.of_list (List.mapi (fun i (u : Sunit.t) -> { u with Sunit.sid = i }) units)
+
+(* ------------------------------------------------------------------ *)
+(* Reduction of conditionals                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Schedule a straight-line unit list as a basic block and produce its
+    fragment, reservation profile and length. *)
+let compact_units ctx units ~pad_to =
+  let arr = renumber units in
+  let g = Ddg.build ~mve:false arr in
+  let p = Listsched.compact ctx.m g in
+  let r = Listsched.restart_interval g p in
+  let len = max p.Listsched.len pad_to in
+  let frag, resv = Emit.seq_frag arr p ~r_len:len in
+  (arr, p, frag, resv, len, r)
+
+let reduce_if ctx ~cond ~(then_units : Sunit.t list) ~(else_units : Sunit.t list)
+    : Sunit.t =
+  let t_arr, t_pl, t_frag, t_resv, t_len, _ =
+    compact_units ctx then_units ~pad_to:1
+  in
+  let e_arr, e_pl, e_frag, e_resv, e_len, _ =
+    compact_units ctx else_units ~pad_to:1
+  in
+  let lb = max t_len e_len in
+  let len = 1 + lb in
+  (* A branch that contains a loop expands at emission beyond its
+     static length; every static operand/effect time inside it then
+     under-approximates the dynamic one. Live-ins must stay valid until
+     the construct's end, defs land only after it, and memory effects
+     are pinned to both ends. *)
+  let expanding =
+    List.exists Sunit.expands then_units || List.exists Sunit.expands else_units
+  in
+  (* register uses/defs of a scheduled branch, shifted past the test slot *)
+  let side (arr : Sunit.t array) (pl : Listsched.placement) =
+    let uses = ref [] and defs = ref [] and mems = ref [] in
+    Array.iteri
+      (fun i (u : Sunit.t) ->
+        let base = 1 + pl.Listsched.times.(i) in
+        List.iter
+          (fun (r, t) ->
+            uses := (r, base + t) :: !uses;
+            (* pinned past the end plus the maximum write latency: an
+               overwriting operation from another iteration must ISSUE
+               after the construct's last slot — its write lands a
+               dynamic latency after issue, and only issue order
+               survives the emission-time expansion *)
+            if expanding then uses := (r, len + 7) :: !uses)
+          u.Sunit.uses;
+        List.iter
+          (fun (r, t) ->
+            let t' =
+              if expanding then len + max 0 (t - (u.Sunit.len - 1))
+              else base + t
+            in
+            defs := (r, t') :: !defs)
+          u.Sunit.defs;
+        List.iter
+          (fun (e : Sunit.mem_eff) ->
+            mems := { e with Sunit.at = base + e.Sunit.at } :: !mems;
+            if expanding then
+              mems := { e with Sunit.at = len - 1 } :: !mems)
+          (Ddg.effects u))
+      arr;
+    (!uses, !defs, !mems)
+  in
+  let t_uses, t_defs, t_mems = side t_arr t_pl in
+  let e_uses, e_defs, e_mems = side e_arr e_pl in
+  (* a register defined on one side only must stay valid across the
+     other path: record it as used at entry as well *)
+  let one_sided =
+    let ids l = List.map (fun ((r : Vreg.t), _) -> r.Vreg.id) l in
+    let t_ids = ids t_defs and e_ids = ids e_defs in
+    List.filter (fun (r, _) -> not (List.mem r.Vreg.id e_ids)) t_defs
+    @ List.filter (fun (r, _) -> not (List.mem r.Vreg.id t_ids)) e_defs
+  in
+  let uses =
+    ((cond, 0) :: t_uses)
+    @ e_uses
+    @ List.map (fun (r, _) -> (r, 0)) one_sided
+  in
+  let defs = Sunit.merge_times max t_defs e_defs in
+  let shift l = List.map (fun (o, r) -> (o + 1, r)) l in
+  let resv =
+    if ctx.cfg.if_exclusive then
+      List.concat
+        (List.init len (fun o ->
+             (o, ctx.seq_rid)
+             :: List.map (fun (_, r) -> (o, r)) ctx.all_resources))
+    else
+      (* the construct claims the sequencer for its whole length; any
+         sequencer claims inside the branches (nested constructs) are
+         subsumed, and must not double-book the single unit *)
+      List.filter
+        (fun (_, r) -> r <> ctx.seq_rid)
+        (Sunit.union_resv (shift t_resv) (shift e_resv))
+      @ List.init len (fun o -> (o, ctx.seq_rid))
+  in
+  {
+    Sunit.sid = 0;
+    len;
+    uses;
+    defs;
+    mems = t_mems @ e_mems;
+    resv;
+    payload = Sunit.P_if { cond; then_ = t_frag; else_ = e_frag };
+    no_wrap = true;
+    barrier = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reduction of loops                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let iconst_kinds = [ Sp_machine.Opkind.Iconst; Sp_machine.Opkind.Fconst ]
+
+let is_hoistable (u : Sunit.t) =
+  match u.Sunit.payload with
+  | Sunit.P_op op ->
+    List.mem op.Op.kind iconst_kinds && op.Op.srcs = [] && op.Op.addr = None
+  | _ -> false
+
+(** Conservative memory summary of a loop body for the enclosing level:
+    reads at entry, writes at entry and exit, unknown subscripts. *)
+let summarize_mems (units : Sunit.t array) ~len =
+  let segs = Hashtbl.create 8 in
+  let by_sid = Hashtbl.create 8 in
+  Array.iter
+    (fun u ->
+      List.iter
+        (fun (e : Sunit.mem_eff) ->
+          let sid = e.Sunit.seg.Memseg.sid in
+          if not (Hashtbl.mem by_sid sid) then
+            Hashtbl.replace by_sid sid e.Sunit.seg;
+          let r, w =
+            Option.value ~default:(false, false) (Hashtbl.find_opt segs sid)
+          in
+          Hashtbl.replace segs sid
+            (r || not e.Sunit.write, w || e.Sunit.write))
+        (Ddg.effects u))
+    units;
+  Hashtbl.fold
+    (fun sid (r, w) acc ->
+      let seg = Hashtbl.find by_sid sid in
+      let base =
+        if r then
+          [ { Sunit.seg; write = false; sub = None; at = 0; summary = true };
+            { Sunit.seg; write = false; sub = None; at = max 0 (len - 1);
+              summary = true } ]
+        else []
+      in
+      let wr =
+        if w then
+          [ { Sunit.seg; write = true; sub = None; at = 0; summary = true };
+            { Sunit.seg; write = true; sub = None; at = max 0 (len - 1);
+              summary = true } ]
+        else []
+      in
+      base @ wr @ acc)
+    segs []
+
+let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
+    (body_units : Sunit.t list) : Sunit.t list =
+  let l_id = ctx.next_loop in
+  ctx.next_loop <- l_id + 1;
+  let dbg = Sys.getenv_opt "SP_DEBUG" <> None in
+  if dbg then Printf.eprintf "[loop%d] enter, %d units\n%!" l_id (List.length body_units);
+  (* hoist loop-invariant constants to the enclosing level — but only
+     when the destination has no other definition in the body (an inner
+     loop's counter is initialized by a constant yet redefined by its
+     update, and must be re-initialized every iteration) *)
+  let def_counts = Hashtbl.create 32 in
+  List.iter
+    (fun (u : Sunit.t) ->
+      List.iter
+        (fun ((r : Vreg.t), _) ->
+          Hashtbl.replace def_counts r.Vreg.id
+            (1 + Option.value ~default:0 (Hashtbl.find_opt def_counts r.Vreg.id)))
+        u.Sunit.defs)
+    body_units;
+  let hoisted, body_units =
+    List.partition
+      (fun (u : Sunit.t) ->
+        is_hoistable u
+        && List.for_all
+             (fun ((r : Vreg.t), _) ->
+               Hashtbl.find_opt def_counts r.Vreg.id = Some 1)
+             u.Sunit.defs)
+      body_units
+  in
+  (* synthesize the induction update: iv := iv + 1 *)
+  let one = Vreg.Supply.fresh ctx.vregs ~name:"one" Vreg.I in
+  let one_op =
+    Op.Supply.mk ctx.ops ~dst:one ~imm:(Op.Iimm 1) Sp_machine.Opkind.Iconst
+  in
+  let upd_op =
+    Op.Supply.mk ctx.ops ~dst:iv ~srcs:[ iv; one ] Sp_machine.Opkind.Aadd
+  in
+  let body_units = body_units @ [ Sunit.of_op ctx.m ~sid:0 upd_op ] in
+  let units = renumber body_units in
+  let iv_upd_idx = Array.length units - 1 in
+  (* live-out test: used more often in the whole program than inside *)
+  let local_uses = Hashtbl.create 64 in
+  Array.iter
+    (fun (u : Sunit.t) ->
+      List.iter
+        (fun ((r : Vreg.t), _) ->
+          Hashtbl.replace local_uses r.Vreg.id
+            (1 + Option.value ~default:0 (Hashtbl.find_opt local_uses r.Vreg.id)))
+        u.Sunit.uses)
+    units;
+  let live_out (r : Vreg.t) =
+    let g = Option.value ~default:0 (Hashtbl.find_opt ctx.global_uses r.Vreg.id) in
+    let l = Option.value ~default:0 (Hashtbl.find_opt local_uses r.Vreg.id) in
+    g > l
+  in
+  (* full dependence graph: serial restart interval and fallback body *)
+  if dbg then Printf.eprintf "[loop%d] building full ddg\n%!" l_id;
+  let g_full = Ddg.build ~mve:false units in
+  if dbg then Printf.eprintf "[loop%d] compacting (%d edges)\n%!" l_id (List.length g_full.Ddg.edges);
+  let pl = Listsched.compact ctx.m g_full in
+  let seq_len = Listsched.restart_interval g_full pl in
+  if dbg then Printf.eprintf "[loop%d] seq_len=%d\n%!" l_id seq_len;
+  let seq_body, _ = Emit.seq_frag units pl ~r_len:seq_len in
+  (* pipelining graph: carried deps on expandable variables removed *)
+  let g_mve =
+    Ddg.build ~mve:(ctx.cfg.mve_mode <> Mve.Off) ~live_out units
+  in
+  if dbg then Printf.eprintf "[loop%d] analyzing\n%!" l_id;
+  let analysis = Modsched.analyze ~s_max:seq_len g_mve in
+  let scc = analysis.Modsched.a_scc in
+  if dbg then Printf.eprintf "[loop%d] analysis done\n%!" l_id;
+  let mii = Mii.compute ctx.m units ~rec_mii:analysis.Modsched.a_rec_mii in
+  (* a reduced control construct must fit strictly inside one s-window
+     (see Modsched.wrap_ok), so its length + 1 is a genuine lower bound
+     on the initiation interval for this machine *)
+  let ctl_bound =
+    Array.fold_left
+      (fun acc (u : Sunit.t) ->
+        if u.Sunit.no_wrap then max acc (u.Sunit.len + 1) else acc)
+      1 units
+  in
+  let mii = { mii with Mii.mii = max mii.Mii.mii ctl_bound } in
+  let has_if =
+    Array.exists
+      (fun (u : Sunit.t) ->
+        match u.Sunit.payload with Sunit.P_if _ -> true | _ -> false)
+      units
+  in
+  let has_inner_loop =
+    Array.exists
+      (fun (u : Sunit.t) ->
+        match u.Sunit.payload with Sunit.P_loop _ -> true | _ -> false)
+      units
+  in
+  let has_scc =
+    (* a genuine recurrence: a dependence cycle involving something
+       other than the counter bookkeeping (the address-unit copy and
+       update every loop carries) *)
+    let bookkeeping v =
+      match units.(v).Sunit.payload with
+      | Sunit.P_op op -> (
+        match op.Op.kind with
+        | Sp_machine.Opkind.Aadd | Sp_machine.Opkind.Amov -> true
+        | _ -> false)
+      | _ -> false
+    in
+    ignore iv_upd_idx;
+    Array.exists2
+      (fun nontrivial members ->
+        nontrivial && List.exists (fun v -> not (bookkeeping v)) members)
+      scc.Scc.nontrivial scc.Scc.comps
+  in
+  (* ---- pipelining decision ---------------------------------------- *)
+  let attempt =
+    if not ctx.cfg.pipeline then Error Disabled
+    else if has_inner_loop && not ctx.cfg.pipeline_outer then Error Disabled
+    else if seq_len > ctx.cfg.threshold then Error Over_threshold
+    else if
+      float_of_int mii.Mii.mii
+      >= ctx.cfg.profit_margin *. float_of_int seq_len
+    then Error Not_profitable
+    else
+      match
+        (if dbg then Printf.eprintf "[loop%d] searching ii in [%d,%d]\n%!" l_id mii.Mii.mii (seq_len-1);
+         Modsched.schedule ~search:ctx.cfg.search ~analysis ctx.m g_mve
+           ~mii:mii.Mii.mii ~max_ii:(seq_len - 1))
+      with
+      | None -> Error Not_profitable
+      | Some sched -> (
+        if dbg then Printf.eprintf "[loop%d] scheduled ii=%d sc=%d span=%d\n%!" l_id sched.Modsched.s sched.Modsched.sc sched.Modsched.span;
+        let mve =
+          Mve.compute ~mode:ctx.cfg.mve_mode ctx.m g_mve sched
+            ~supply:ctx.vregs
+        in
+        if dbg then Printf.eprintf "[loop%d] mve u=%d\n%!" l_id mve.Mve.unroll;
+        if has_inner_loop && mve.Mve.unroll > 1 then
+          (* pipelining around an inner loop only overlaps the outer
+             bookkeeping with the inner prolog/epilog; replicating the
+             whole inner loop per kernel copy is never worth the code
+             size (Section 2.4's concern) *)
+          Error Not_profitable
+        else if not mve.Mve.fits then Error Register_overflow
+        else
+          match n with
+          | Region.Const k
+            when k - (sched.Modsched.sc - 1) < mve.Mve.unroll ->
+            Error Trip_too_small
+          | _ -> Ok (sched, mve))
+  in
+  (* ---- payload construction --------------------------------------- *)
+  let seq_count =
+    match n with
+    | Region.Const k -> Emit.Known k
+    | Region.Reg v -> Emit.Runtime v
+  in
+  let mk_unit ~prolog ~epilog ~prolog_resv ~epilog_resv ~(mid : Sunit.mid_emit)
+      : Sunit.t =
+    let plen = Array.length prolog and elen = Array.length epilog in
+    let len = plen + 1 + elen in
+    let uses =
+      let h = Hashtbl.create 32 in
+      Array.iter
+        (fun (u : Sunit.t) ->
+          List.iter
+            (fun ((r : Vreg.t), _) ->
+              if not (Vreg.Set.mem r g_mve.Ddg.mve_candidates) then
+                Hashtbl.replace h r.Vreg.id r)
+            u.Sunit.uses)
+        units;
+      (match n with Region.Reg v -> Hashtbl.replace h v.Vreg.id v | _ -> ());
+      (* live-ins are needed from the start and must survive until the
+         dynamic end of the loop (plus the maximum write latency, so
+         overwriters from other iterations issue after the node) *)
+      Hashtbl.fold
+        (fun _ r acc -> (r, 0) :: (r, len + 7) :: acc)
+        h []
+    in
+    let defs =
+      (* a value defined in the body may land in the register file up to
+         its write latency after the loop's final instruction; the
+         reduced node's def times must carry that overhang so code after
+         the loop does not read a stale value *)
+      let h = Hashtbl.create 32 in
+      Array.iter
+        (fun (u : Sunit.t) ->
+          List.iter
+            (fun ((r : Vreg.t), t) ->
+              let over = max 0 (t - u.Sunit.len + 1) in
+              match Hashtbl.find_opt h r.Vreg.id with
+              | Some (_, o) when o >= over -> ()
+              | _ -> Hashtbl.replace h r.Vreg.id (r, over))
+            u.Sunit.defs)
+        units;
+      Hashtbl.fold (fun _ (r, over) acc -> (r, len + over) :: acc) h []
+    in
+    let mems = summarize_mems units ~len in
+    let resv =
+      (* nested constructs' sequencer claims are subsumed by this
+         node's blanket claim *)
+      List.filter
+        (fun (_, r) -> r <> ctx.seq_rid)
+        (prolog_resv
+        @ List.map (fun (o, r) -> (o + plen + 1, r)) epilog_resv)
+      @ List.map (fun (_, r) -> (plen, r)) ctx.all_resources
+      @ List.init len (fun o -> (o, ctx.seq_rid))
+    in
+    {
+      Sunit.sid = 0;
+      len;
+      uses;
+      defs;
+      mems;
+      resv;
+      payload =
+        Sunit.P_loop
+          { prolog = (if plen = 0 then [||] else prolog);
+            epilog = (if elen = 0 then [||] else epilog);
+            mid };
+      no_wrap = true;
+      barrier = false;
+    }
+  in
+  let report ~ii ~sc ~unroll ~mf ~mi status =
+    ctx.reports <-
+      {
+        l_id;
+        l_depth = depth;
+        n_units = Array.length units;
+        has_if;
+        has_scc;
+        res_mii = mii.Mii.res_mii;
+        rec_mii = mii.Mii.rec_mii;
+        mii = mii.Mii.mii;
+        seq_len;
+        ii;
+        sc;
+        unroll;
+        mve_fregs = mf;
+        mve_iregs = mi;
+        status;
+      }
+      :: ctx.reports
+  in
+  let loop_unit =
+    match attempt with
+    | Error status ->
+      report ~ii:None ~sc:0 ~unroll:1 ~mf:0 ~mi:0 status;
+      let mid =
+        {
+          Sunit.emit_mid =
+            (fun ~rename ~depth asm ->
+              Emit.emit_counted_loop asm ~rename ~depth ~count:seq_count
+                seq_body);
+        }
+      in
+      mk_unit ~prolog:[||] ~epilog:[||] ~prolog_resv:[] ~epilog_resv:[] ~mid
+    | Ok (sched, mve) ->
+      report
+        ~ii:(Some sched.Modsched.s)
+        ~sc:sched.Modsched.sc ~unroll:mve.Mve.unroll ~mf:mve.Mve.fregs
+        ~mi:mve.Mve.iregs Pipelined;
+      let pf = Emit.pipe_frags units sched mve in
+      if dbg then Printf.eprintf "[loop%d] frags built\n%!" l_id;
+      let sc = pf.Emit.sc and u = pf.Emit.unroll in
+      (match n with
+      | Region.Const k ->
+        let r = (k - (sc - 1)) mod u in
+        let nn = k - r in
+        let passes = (nn - (sc - 1)) / u in
+        if r = 0 then
+          (* clean split: expose prolog and epilog for overlap *)
+          let mid =
+            {
+              Sunit.emit_mid =
+                (fun ~rename ~depth asm ->
+                  Emit.emit_kernel asm ~rename ~depth ~passes:(Emit.Known passes)
+                    pf.Emit.f_kernel);
+            }
+          in
+          mk_unit ~prolog:pf.Emit.f_prolog ~epilog:pf.Emit.f_epilog
+            ~prolog_resv:pf.Emit.prolog_resv ~epilog_resv:pf.Emit.epilog_resv
+            ~mid
+        else
+          (* remainder iterations run serially after the drained pipeline *)
+          let mid =
+            {
+              Sunit.emit_mid =
+                (fun ~rename ~depth asm ->
+                  Emit.emit_slots asm ~rename ~depth pf.Emit.f_prolog
+                    ~extras:Emit.no_extras;
+                  Emit.emit_kernel asm ~rename ~depth ~passes:(Emit.Known passes)
+                    pf.Emit.f_kernel;
+                  Emit.emit_slots asm ~rename ~depth pf.Emit.f_epilog
+                    ~extras:Emit.no_extras;
+                  Emit.emit_counted_loop asm ~rename ~depth ~count:(Emit.Known r)
+                    seq_body);
+            }
+          in
+          mk_unit ~prolog:[||] ~epilog:[||] ~prolog_resv:[] ~epilog_resv:[]
+            ~mid
+      | Region.Reg nreg ->
+        (* run-time two-version scheme (Section 2.4) *)
+        let mk k ?dst ?srcs ?imm () = Op.Supply.mk ctx.ops ?dst ?srcs ?imm k in
+        let fresh nm = Vreg.Supply.fresh ctx.vregs ~name:nm Vreg.I in
+        let c_sc1 = fresh "sc1" and c_u = fresh "u" in
+        let t1 = fresh "t1" and cflag = fresh "small" in
+        let rrem = fresh "rem" and qpass = fresh "passes" in
+        let setup1 =
+          [
+            mk Sp_machine.Opkind.Iconst ~dst:c_sc1 ~imm:(Op.Iimm (sc - 1)) ();
+            mk Sp_machine.Opkind.Iconst ~dst:c_u ~imm:(Op.Iimm u) ();
+            mk Sp_machine.Opkind.Isub ~dst:t1 ~srcs:[ nreg; c_sc1 ] ();
+            mk (Sp_machine.Opkind.Icmp Sp_machine.Opkind.Lt) ~dst:cflag
+              ~srcs:[ t1; c_u ] ();
+          ]
+        in
+        let setup2 =
+          [
+            mk Sp_machine.Opkind.Imod ~dst:rrem ~srcs:[ t1; c_u ] ();
+            mk Sp_machine.Opkind.Idiv ~dst:qpass ~srcs:[ t1; c_u ] ();
+          ]
+        in
+        let mid =
+          {
+            Sunit.emit_mid =
+              (fun ~rename ~depth asm ->
+                let module A = Sp_vliw.Prog.Asm in
+                let l_seq = A.fresh_label asm in
+                let l_done = A.fresh_label asm in
+                Emit.emit_op_chain asm ctx.m ~rename setup1;
+                (* the flag lands one cycle after the compare issues:
+                   the branch must sit in a later instruction *)
+                A.inst asm
+                  ~ctl:
+                    (Sp_vliw.Inst.CJump
+                       { cond = rename cflag; if_zero = false; target = l_seq })
+                  [];
+                Emit.emit_op_chain asm ctx.m ~rename setup2;
+                (* peel (n - (sc-1)) mod u iterations serially first *)
+                Emit.emit_counted_loop asm ~rename ~depth
+                  ~count:(Emit.Runtime rrem) seq_body;
+                (* the pass counter is loaded before the prolog: the
+                   prolog->kernel seam is part of the modulo timeline
+                   and must not gain an extra instruction *)
+                Emit.preset_counter asm ~rename ~depth
+                  ~passes:(Emit.Runtime qpass);
+                Emit.emit_slots asm ~rename ~depth pf.Emit.f_prolog
+                  ~extras:Emit.no_extras;
+                Emit.emit_kernel ~preset:true asm ~rename ~depth
+                  ~passes:(Emit.Runtime qpass) pf.Emit.f_kernel;
+                Emit.emit_slots asm ~rename ~depth pf.Emit.f_epilog
+                  ~extras:Emit.no_extras;
+                A.attach_ctl asm (Sp_vliw.Inst.Jump l_done);
+                A.place asm l_seq;
+                Emit.emit_counted_loop asm ~rename ~depth
+                  ~count:(Emit.Runtime nreg) seq_body;
+                A.place asm l_done);
+          }
+        in
+        mk_unit ~prolog:[||] ~epilog:[||] ~prolog_resv:[] ~epilog_resv:[]
+          ~mid)
+  in
+  (* the induction variable starts at zero; initialization happens at
+     the enclosing level, before the loop node *)
+  let init_op =
+    Op.Supply.mk ctx.ops ~dst:iv ~imm:(Op.Iimm 0) Sp_machine.Opkind.Iconst
+  in
+  List.map (Sunit.of_op ctx.m ~sid:0) [ one_op; init_op ]
+  @ hoisted
+  @ [ loop_unit ]
+
+(* ------------------------------------------------------------------ *)
+(* Region recursion                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec units_of_region ctx ~depth (r : Region.t) : Sunit.t list =
+  match r with
+  | Region.Ops ops -> List.map (Sunit.of_op ctx.m ~sid:0) ops
+  | Region.Seq rs -> List.concat_map (units_of_region ctx ~depth) rs
+  | Region.If { cond; then_; else_ } ->
+    [
+      reduce_if ctx ~cond
+        ~then_units:(units_of_region ctx ~depth then_)
+        ~else_units:(units_of_region ctx ~depth else_);
+    ]
+  | Region.For { iv; n; body } ->
+    let inner = units_of_region ctx ~depth:(depth + 1) body in
+    reduce_loop ctx ~iv ~n ~depth inner
+
+(** Debug/visualization aid: the dependence graph of each innermost
+    loop body (without the synthesized induction update — the loops as
+    the front end wrote them). Pair each with its induction register. *)
+let innermost_ddgs ?(config = default) (m : Machine.t) (p : Program.t) :
+    (Vreg.t * Ddg.t) list =
+  let ctx = make_ctx m config p in
+  let out = ref [] in
+  let rec go = function
+    | Region.Ops _ -> ()
+    | Region.Seq rs -> List.iter go rs
+    | Region.If { then_; else_; _ } ->
+      go then_;
+      go else_
+    | Region.For { iv; body; _ } ->
+      if Region.contains_loop body then go body
+      else begin
+        let units = renumber (units_of_region ctx ~depth:0 body) in
+        out := (iv, Ddg.build units) :: !out
+      end
+  in
+  go p.Program.body;
+  List.rev !out
+
+let program ?(config = default) (m : Machine.t) (p : Program.t) : result =
+  let dbg = Sys.getenv_opt "SP_DEBUG" <> None in
+  let ctx = make_ctx m config p in
+  let units = units_of_region ctx ~depth:0 p.Program.body in
+  if dbg then Printf.eprintf "[top] %d units\n%!" (List.length units);
+  let arr = renumber units in
+  let g = Ddg.build ~mve:false arr in
+  let pl = Listsched.compact ctx.m g in
+  let frag, _ = Emit.seq_frag arr pl ~r_len:pl.Listsched.len in
+  let asm = Sp_vliw.Prog.Asm.create () in
+  if dbg then Printf.eprintf "[top] emitting\n%!";
+  Emit.emit_slots asm ~rename:Emit.identity_rename ~depth:0 frag
+    ~extras:Emit.no_extras;
+  if dbg then Printf.eprintf "[top] emitted\n%!";
+  Sp_vliw.Prog.Asm.inst asm ~ctl:Sp_vliw.Inst.Halt [];
+  let code = Sp_vliw.Prog.Asm.finish asm in
+  {
+    code;
+    loops = List.rev ctx.reports;
+    code_size = Sp_vliw.Prog.size code;
+  }

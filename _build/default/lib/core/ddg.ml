@@ -1,0 +1,264 @@
+(** Data-dependence graph over scheduling units.
+
+    Edges follow the paper's Section 2.1 model: each edge carries a
+    {e delay} [d] and a {e minimum iteration difference} [omega] (the
+    paper's [p]), meaning that for schedule [sigma] and initiation
+    interval [s]:
+
+    {v  sigma(dst) - sigma(src)  >=  d - s * omega  v}
+
+    Delays can be zero or negative (anti-dependences on a machine whose
+    reads happen at issue and writes [latency] cycles later).
+
+    Register dependences, memory dependences through the subscript
+    analysis, channel ordering (receives and sends on one channel are
+    kept in program order by treating the queue as an always-aliasing
+    pseudo-segment), and barrier ordering are all generated here.
+
+    The builder also identifies the {e modulo variable expansion}
+    candidates (Section 2.3): registers that are "redefined at the
+    beginning of every iteration", i.e. whose first access in the body
+    is a definition and which are not live outside the loop. For those,
+    the carried anti- and output-dependences are omitted ("we pretend
+    that every iteration of the loop has a dedicated register location
+    … and remove all inter-iteration precedence constraints between
+    operations on these variables"), and {!Mve} later assigns them
+    rotating register copies. *)
+
+open Sp_ir
+
+type edge = { src : int; dst : int; delay : int; omega : int }
+
+type t = {
+  units : Sunit.t array;
+  edges : edge list;
+  succs : edge list array;
+  preds : edge list array;
+  mve_candidates : Vreg.Set.t;
+}
+
+let pp_edge ppf e =
+  Fmt.pf ppf "u%d -> u%d (d=%d, w=%d)" e.src e.dst e.delay e.omega
+
+let pp ppf g =
+  Array.iter (fun u -> Fmt.pf ppf "%a@." Sunit.pp u) g.units;
+  List.iter (fun e -> Fmt.pf ppf "%a@." pp_edge e) g.edges
+
+(** Completion time of a unit relative to its issue: when its last
+    instruction slot, last register write and last memory effect are all
+    done. Used for barrier ordering and block lengths. *)
+let completion (u : Sunit.t) =
+  let m = ref u.len in
+  List.iter (fun (_, t) -> if t > !m then m := t) u.defs;
+  List.iter (fun (e : Sunit.mem_eff) -> if e.at + 1 > !m then m := e.at + 1) u.mems;
+  !m
+
+(* Pseudo-segments representing the communication queues, so channel
+   operations stay ordered like always-aliasing memory accesses. *)
+let chan_seg ~out ch : Memseg.t =
+  {
+    Memseg.sid = -1 - ch - (if out then 100 else 0);
+    sname = (if out then "chout" else "chin") ^ string_of_int ch;
+    size = 0;
+    elt = Memseg.Float_elt;
+    independent = false;
+  }
+
+(** Memory effects of a unit including channel pseudo-effects. *)
+let effects (u : Sunit.t) : Sunit.mem_eff list =
+  let chan_effs =
+    match u.payload with
+    | Sunit.P_op op -> (
+      match op.Op.kind with
+      | Sp_machine.Opkind.Recv ch ->
+        [ { Sunit.seg = chan_seg ~out:false ch; write = true; sub = None;
+            at = 0; summary = false } ]
+      | Sp_machine.Opkind.Send ch ->
+        [ { Sunit.seg = chan_seg ~out:true ch; write = true; sub = None;
+            at = 0; summary = false } ]
+      | _ -> [])
+    | _ -> []
+  in
+  u.mems @ chan_effs
+
+type access = { a_unit : int; a_def : bool; a_time : int; a_pos : int }
+(* [a_pos]: global program-order position used for tie-breaking; uses of
+   a unit sort before its defs. *)
+
+let build ?(mve = true) ?(live_out = fun (_ : Vreg.t) -> false)
+    (units : Sunit.t array) : t =
+  let n = Array.length units in
+  (* --- collect per-register access streams ------------------------- *)
+  let reg_accesses : (int, access list) Hashtbl.t = Hashtbl.create 64 in
+  let regs : (int, Vreg.t) Hashtbl.t = Hashtbl.create 64 in
+  let push (r : Vreg.t) acc =
+    Hashtbl.replace regs r.Vreg.id r;
+    let l = Option.value ~default:[] (Hashtbl.find_opt reg_accesses r.Vreg.id) in
+    Hashtbl.replace reg_accesses r.Vreg.id (acc :: l)
+  in
+  Array.iteri
+    (fun i (u : Sunit.t) ->
+      List.iter
+        (fun (r, t) -> push r { a_unit = i; a_def = false; a_time = t; a_pos = 2 * i })
+        u.uses;
+      List.iter
+        (fun (r, t) -> push r { a_unit = i; a_def = true; a_time = t; a_pos = (2 * i) + 1 })
+        u.defs)
+    units;
+  (* --- MVE candidates ---------------------------------------------- *)
+  let candidates = ref Vreg.Set.empty in
+  if mve then
+    Hashtbl.iter
+      (fun rid accs ->
+        let accs =
+          List.sort (fun a b -> compare a.a_pos b.a_pos) (List.rev accs)
+        in
+        let r = Hashtbl.find regs rid in
+        match accs with
+        | { a_def = true; _ } :: _ when not (live_out r) ->
+          candidates := Vreg.Set.add r !candidates
+        | _ -> ())
+      reg_accesses;
+  let is_candidate (r : Vreg.t) = Vreg.Set.mem r !candidates in
+  (* --- edge accumulation, strongest-per-(src,dst,omega) ------------ *)
+  let acc : (int * int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  let edge src dst delay omega =
+    if src = dst && omega = 0 then ()
+    else
+      let key = (src, dst, omega) in
+      match Hashtbl.find_opt acc key with
+      | Some d when d >= delay -> ()
+      | _ -> Hashtbl.replace acc key delay
+  in
+  (* --- register dependences ---------------------------------------- *)
+  Hashtbl.iter
+    (fun rid accs ->
+      let accs =
+        List.sort (fun a b -> compare a.a_pos b.a_pos) (List.rev accs)
+      in
+      let r = Hashtbl.find regs rid in
+      let defs = List.filter (fun a -> a.a_def) accs in
+      (match defs with
+      | [] -> () (* live-in only: no ordering needed *)
+      | firstdef :: _ ->
+        let lastdef = List.nth defs (List.length defs - 1) in
+        (* same-iteration edges *)
+        let rec same_iter = function
+          | [] -> ()
+          | a :: rest ->
+            (if a.a_def then
+               (* flow to uses up to next def; output to next def *)
+               let rec scan = function
+                 | [] -> ()
+                 | b :: more ->
+                   if b.a_def then
+                     edge a.a_unit b.a_unit (a.a_time - b.a_time + 1) 0
+                   else begin
+                     edge a.a_unit b.a_unit (a.a_time - b.a_time) 0;
+                     scan more
+                   end
+               in
+               scan rest
+             else
+               (* anti to the next def *)
+               match List.find_opt (fun b -> b.a_def) rest with
+               | Some d -> edge a.a_unit d.a_unit (a.a_time - d.a_time + 1) 0
+               | None -> ());
+            same_iter rest
+        in
+        same_iter accs;
+        (* carried edges (omega = 1) *)
+        if not (is_candidate r) then begin
+          (* flow: last def feeds uses that precede the first def *)
+          List.iter
+            (fun a ->
+              if (not a.a_def) && a.a_pos < firstdef.a_pos then
+                edge lastdef.a_unit a.a_unit (lastdef.a_time - a.a_time) 1)
+            accs;
+          (* anti: uses at-or-after the last def must finish before the
+             next iteration's first def *)
+          List.iter
+            (fun a ->
+              if (not a.a_def) && a.a_pos > lastdef.a_pos then
+                edge a.a_unit firstdef.a_unit
+                  (a.a_time - firstdef.a_time + 1)
+                  1)
+            accs;
+          (* output: last def before next iteration's first def *)
+          edge lastdef.a_unit firstdef.a_unit
+            (lastdef.a_time - firstdef.a_time + 1)
+            1
+        end))
+    reg_accesses;
+  (* --- memory and channel dependences ------------------------------- *)
+  let effs =
+    Array.mapi
+      (fun i u -> List.map (fun e -> (i, e)) (effects u))
+      units
+    |> Array.to_list |> List.concat
+  in
+  let mem_delay (a : Sunit.mem_eff) (b : Sunit.mem_eff) =
+    (* store->load and store->store need one full cycle; load->store may
+       share a cycle (stores commit at end of cycle) *)
+    if a.write then a.at - b.at + 1 else a.at - b.at
+  in
+  List.iter
+    (fun (i, (a : Sunit.mem_eff)) ->
+      List.iter
+        (fun (j, (b : Sunit.mem_eff)) ->
+          if
+            a.seg.Memseg.sid = b.seg.Memseg.sid
+            && (a.write || b.write)
+            && not (i = j && a == b && not a.write)
+          then
+            let dist =
+              match (a.sub, b.sub) with
+              | Some sa, Some sb -> Subscript.distance ~from:sa ~to_:sb
+              | _ -> Subscript.Unknown
+            in
+            match dist with
+            | Subscript.Never -> ()
+            | Subscript.Exactly p ->
+              if p > 0 then edge i j (mem_delay a b) p
+              else if p = 0 && i < j then edge i j (mem_delay a b) 0
+              else if p = 0 && i = j && a != b then
+                (* two accesses in one unit at fixed relative times *)
+                ()
+            | Subscript.Unknown ->
+              if
+                a.seg.Memseg.independent
+                && not (a.summary || b.summary)
+              then ()
+              else if i < j then edge i j (mem_delay a b) 0
+              else if i > j then edge i j (mem_delay a b) 1
+              else (* i = j: conservative self dependence across iterations *)
+                edge i j (mem_delay a b) 1)
+        effs)
+    effs;
+  (* --- barriers ------------------------------------------------------ *)
+  Array.iteri
+    (fun i (u : Sunit.t) ->
+      if u.barrier then
+        for j = 0 to n - 1 do
+          if j < i then edge j i (completion units.(j)) 0
+          else if j > i then edge i j (completion u) 0
+        done)
+    units;
+  (* --- assemble ------------------------------------------------------ *)
+  let edges =
+    Hashtbl.fold
+      (fun (src, dst, omega) delay l -> { src; dst; delay; omega } :: l)
+      acc []
+  in
+  let succs = Array.make n [] and preds = Array.make n [] in
+  List.iter
+    (fun e ->
+      succs.(e.src) <- e :: succs.(e.src);
+      preds.(e.dst) <- e :: preds.(e.dst))
+    edges;
+  { units; edges; succs; preds; mve_candidates = !candidates }
+
+(** Restriction to intra-iteration edges, as used by basic-block
+    compaction and by the topological ordering inside strongly
+    connected components. *)
+let intra_edges g = List.filter (fun e -> e.omega = 0) g.edges

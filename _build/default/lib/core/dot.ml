@@ -1,0 +1,35 @@
+(** Graphviz export of dependence graphs, for debugging schedules and
+    for documentation. Intra-iteration edges are solid; loop-carried
+    edges are dashed and labelled with their iteration distance. *)
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let pp ?(name = "ddg") ppf (g : Ddg.t) =
+  Fmt.pf ppf "digraph %s {@." name;
+  Fmt.pf ppf "  rankdir=TB; node [shape=box, fontsize=10];@.";
+  Array.iteri
+    (fun i (u : Sunit.t) ->
+      Fmt.pf ppf "  n%d [label=\"%s\"];@." i
+        (escape (Fmt.str "%a" Sunit.pp u)))
+    g.Ddg.units;
+  List.iter
+    (fun (e : Ddg.edge) ->
+      if e.Ddg.omega = 0 then
+        Fmt.pf ppf "  n%d -> n%d [label=\"%d\"];@." e.Ddg.src e.Ddg.dst
+          e.Ddg.delay
+      else
+        Fmt.pf ppf
+          "  n%d -> n%d [label=\"%d,w%d\", style=dashed, color=gray40];@."
+          e.Ddg.src e.Ddg.dst e.Ddg.delay e.Ddg.omega)
+    g.Ddg.edges;
+  Fmt.pf ppf "}@."
+
+let to_string ?name g = Fmt.str "%a" (pp ?name) g

@@ -1,0 +1,273 @@
+(** Code emission.
+
+    Turns scheduled fragments into VLIW instructions:
+
+    - straight-line slots become instruction words;
+    - a reduced conditional expands into a diamond — one shared
+      instruction holding the test plus everything co-scheduled at its
+      first slot, then the two branch bodies, {e each also containing a
+      copy of every operation the parent scheduled in parallel with the
+      construct} (paper Section 3.1), padded to a common length so the
+      surrounding schedule's timing holds on both paths;
+    - a reduced loop expands into (peel +) prolog + unrolled kernel +
+      epilog, with the two-version scheme of Section 2.4 when the trip
+      count is a run-time value.
+
+    The pipelined loop layout follows the schedule exactly: operation
+    [x] of iteration [i] issues at time [sigma(x) + i*s]; the prolog
+    covers times [0, (SC-1)*s), each kernel copy one [s]-window of the
+    steady state ([u] copies, [u] = the modulo-variable-expansion
+    unrolling degree), and the epilog drains the last [SC-1]
+    iterations. *)
+
+open Sp_ir
+open Sp_machine
+module Asm = Sp_vliw.Prog.Asm
+module Inst = Sp_vliw.Inst
+
+let payload_len = function
+  | Sunit.P_op _ -> 1
+  | Sunit.P_if { then_; else_; _ } ->
+    1 + max (Array.length then_) (Array.length else_)
+  | Sunit.P_loop { prolog; epilog; _ } ->
+    Array.length prolog + 1 + Array.length epilog
+
+(* ------------------------------------------------------------------ *)
+(* Fragment emission                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let no_extras : Op.t list array = [||]
+
+let rec emit_slots asm ~rename ~depth (frag : Sunit.frag)
+    ~(extras : Op.t list array) =
+  let n = Array.length frag in
+  let ex k = if k < Array.length extras then extras.(k) else [] in
+  (* parent-level operations occupying relative slot [j] of the
+     construct that starts at slot [!k] *)
+  let k = ref 0 in
+  while !k < n do
+    let slot = frag.(!k) in
+    match slot.Sunit.sctl with
+    | None ->
+      Asm.inst asm
+        (List.rev_map (Op.map_regs rename) slot.Sunit.sops
+        @ List.map (Op.map_regs rename) (ex !k));
+      incr k
+    | Some p ->
+      let len = payload_len p in
+      let window j =
+        let kk = !k + j in
+        if kk >= n then ex kk
+        else begin
+          (match frag.(kk).Sunit.sctl with
+          | Some _ when j > 0 ->
+            invalid_arg "Emit: overlapping control constructs"
+          | _ -> ());
+          List.rev frag.(kk).Sunit.sops @ ex kk
+        end
+      in
+      (match p with
+      | Sunit.P_op _ ->
+        invalid_arg "Emit: simple operation stored as control payload"
+      | Sunit.P_if { cond; then_; else_ } ->
+        emit_diamond asm ~rename ~depth ~cond ~then_ ~else_ ~window ~len
+      | Sunit.P_loop { prolog; epilog; mid } ->
+        let plen = Array.length prolog and elen = Array.length epilog in
+        emit_slots asm ~rename ~depth prolog
+          ~extras:(Array.init plen window);
+        (match window plen with
+        | [] -> ()
+        | _ ->
+          invalid_arg "Emit: operations scheduled into a loop's steady state");
+        mid.Sunit.emit_mid ~rename ~depth asm;
+        emit_slots asm ~rename ~depth epilog
+          ~extras:(Array.init elen (fun j -> window (plen + 1 + j))));
+      k := !k + len
+  done
+
+and emit_diamond asm ~rename ~depth ~cond ~then_ ~else_ ~window ~len =
+  let lb = len - 1 in
+  let pad f =
+    Array.init lb (fun j ->
+        if j < Array.length f then f.(j) else Sunit.empty_slot ())
+  in
+  let l_else = Asm.fresh_label asm in
+  let l_end = Asm.fresh_label asm in
+  Asm.inst asm
+    ~ctl:(Inst.CJump { cond = rename cond; if_zero = true; target = l_else })
+    (List.map (Op.map_regs rename) (window 0));
+  let branch_extras = Array.init lb (fun j -> window (j + 1)) in
+  emit_slots asm ~rename ~depth (pad then_) ~extras:branch_extras;
+  Asm.attach_ctl asm (Inst.Jump l_end);
+  Asm.place asm l_else;
+  emit_slots asm ~rename ~depth (pad else_) ~extras:branch_extras;
+  Asm.place asm l_end
+
+(* ------------------------------------------------------------------ *)
+(* Fragment construction from schedules                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Place one (renamed) unit instance at slot [t] of [frag], extending
+    the reservation accumulator. *)
+let place frag resv_acc (u : Sunit.t) ~rename ~t =
+  let payload = Sunit.subst_payload rename u.Sunit.payload in
+  (match payload with
+  | Sunit.P_op op -> frag.(t).Sunit.sops <- op :: frag.(t).Sunit.sops
+  | p ->
+    (match frag.(t).Sunit.sctl with
+    | Some _ -> invalid_arg "Emit.place: two constructs in one slot"
+    | None -> frag.(t).Sunit.sctl <- Some p));
+  List.iter (fun (o, r) -> resv_acc := (t + o, r) :: !resv_acc) u.Sunit.resv
+
+let identity_rename (r : Vreg.t) = r
+
+(** The sequentially executed body: every unit at its compacted time,
+    padded to the restart interval [r_len]. *)
+let seq_frag (units : Sunit.t array) (p : Listsched.placement) ~r_len :
+    Sunit.frag * (int * int) list =
+  let frag = Sunit.empty_frag (max 1 r_len) in
+  let resv = ref [] in
+  Array.iteri
+    (fun i u -> place frag resv u ~rename:identity_rename ~t:p.Listsched.times.(i))
+    units;
+  (frag, !resv)
+
+type pipe_frags = {
+  f_prolog : Sunit.frag;
+  f_kernel : Sunit.frag;
+  f_epilog : Sunit.frag;
+  prolog_resv : (int * int) list;
+  epilog_resv : (int * int) list;
+  sc : int;       (** stage count *)
+  unroll : int;
+}
+
+(** Expand a modulo schedule into prolog / unrolled-kernel / epilog
+    fragments with modulo-variable-expansion renaming per iteration. *)
+let pipe_frags (units : Sunit.t array) (sched : Modsched.schedule)
+    (mve : Mve.t) : pipe_frags =
+  let s = sched.Modsched.s in
+  let sc = sched.Modsched.sc in
+  let u = mve.Mve.unroll in
+  let p_len = (sc - 1) * s in
+  let e_len = max 0 (sched.Modsched.span - s) in
+  let f_prolog = Sunit.empty_frag (max 1 p_len) in
+  let f_kernel = Sunit.empty_frag (u * s) in
+  let f_epilog = Sunit.empty_frag (max 1 e_len) in
+  let p_resv = ref [] and k_resv = ref [] and e_resv = ref [] in
+  Array.iteri
+    (fun x (unit_ : Sunit.t) ->
+      let sigma = sched.Modsched.times.(x) in
+      (* prolog: iterations whose instance falls before the steady state *)
+      let i = ref 0 in
+      while sigma + (!i * s) < p_len do
+        place f_prolog p_resv unit_
+          ~rename:(Mve.rename mve ~iter:!i)
+          ~t:(sigma + (!i * s));
+        incr i
+      done;
+      (* kernel: u instances, one per s-window *)
+      let k0 = ((sigma - p_len) mod s + s) mod s in
+      let i0 = (p_len + k0 - sigma) / s in
+      for j = 0 to u - 1 do
+        place f_kernel k_resv unit_
+          ~rename:(Mve.rename mve ~iter:(i0 + j))
+          ~t:(k0 + (j * s))
+      done;
+      (* epilog: the last sc-1 iterations drain; iteration numbering is
+         congruent to (sc-1) mod u by construction of the peel count *)
+      let b = ref 0 in
+      while sigma - ((!b + 1) * s) >= 0 do
+        let t = sigma - ((!b + 1) * s) in
+        let iter = ((sc - 1 - 1 - !b) mod u + u) mod u in
+        place f_epilog e_resv unit_ ~rename:(Mve.rename mve ~iter) ~t;
+        incr b
+      done)
+    units;
+  {
+    f_prolog;
+    f_kernel;
+    f_epilog;
+    prolog_resv = !p_resv;
+    epilog_resv = !e_resv;
+    sc;
+    unroll = u;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Loop middle emitters                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Emit a chain of scalar setup operations, one per instruction, each
+    followed by enough empty words for its result to be readable. *)
+let emit_op_chain asm (m : Machine.t) ~rename ops =
+  List.iter
+    (fun (op : Op.t) ->
+      Asm.inst asm [ Op.map_regs rename op ];
+      for _ = 2 to Machine.latency m op.Op.kind do
+        Asm.inst asm []
+      done)
+    ops
+
+type count = Known of int | Runtime of Vreg.t
+
+(** Emit a counted loop over [body] (a fragment), using hardware
+    counter [depth]. [Known 0] emits nothing. *)
+let emit_counted_loop asm ~rename ~depth ~count (body : Sunit.frag) =
+  let body_once () =
+    emit_slots asm ~rename ~depth:(depth + 1) body ~extras:no_extras
+  in
+  match count with
+  | Known 0 -> ()
+  | Known k ->
+    Asm.attach_ctl asm (Inst.CtrSet { ctr = depth; value = k });
+    let l_top = Asm.fresh_label asm in
+    Asm.place asm l_top;
+    body_once ();
+    Asm.attach_ctl asm (Inst.CtrLoop { ctr = depth; target = l_top })
+  | Runtime v ->
+    (* CtrSetR reads a register at issue: it must not piggyback on an
+       earlier instruction, where the value may not have landed yet *)
+    Asm.inst asm ~ctl:(Inst.CtrSetR { ctr = depth; reg = rename v }) [];
+    let l_skip = Asm.fresh_label asm in
+    let l_top = Asm.fresh_label asm in
+    Asm.attach_ctl asm
+      (Inst.CtrJumpLt { ctr = depth; bound = 1; target = l_skip });
+    Asm.place asm l_top;
+    body_once ();
+    Asm.attach_ctl asm (Inst.CtrLoop { ctr = depth; target = l_top });
+    Asm.place asm l_skip
+
+(** Emit kernel passes: counter-driven repetition of the unrolled
+    steady state.
+
+    The word between the prolog's last instruction and the kernel's
+    first is part of the modulo timeline — inserting anything there
+    shifts every in-flight prolog value by a cycle. An immediate
+    counter set piggybacks on the previous word ([attach_ctl]); a
+    register-read counter set cannot (the register may land later), so
+    run-time pass counts must be preset {e before} the prolog with
+    {!preset_counter}, and the kernel emitted with [preset = true]. *)
+let preset_counter asm ~rename ~depth ~passes =
+  match passes with
+  | Known k -> Asm.attach_ctl asm (Inst.CtrSet { ctr = depth; value = k })
+  | Runtime v ->
+    Asm.inst asm ~ctl:(Inst.CtrSetR { ctr = depth; reg = rename v }) []
+
+let emit_kernel ?(preset = false) asm ~rename ~depth ~passes
+    (kernel : Sunit.frag) =
+  match passes with
+  | Known k when k <= 0 -> ()
+  | _ ->
+    if not preset then begin
+      match passes with
+      | Known k -> Asm.attach_ctl asm (Inst.CtrSet { ctr = depth; value = k })
+      | Runtime _ ->
+        invalid_arg
+          "Emit.emit_kernel: run-time pass counts must be preset before \
+           the prolog"
+    end;
+    let l_top = Asm.fresh_label asm in
+    Asm.place asm l_top;
+    emit_slots asm ~rename ~depth:(depth + 1) kernel ~extras:no_extras;
+    Asm.attach_ctl asm (Inst.CtrLoop { ctr = depth; target = l_top })

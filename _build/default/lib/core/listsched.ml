@@ -1,0 +1,102 @@
+(** List scheduling of acyclic code (basic-block compaction).
+
+    The classical algorithm the paper builds on (Fisher 1979): nodes are
+    scheduled in a topological ordering of the intra-iteration edges,
+    highest critical-path height first, each placed in the earliest slot
+    that satisfies the precedence constraints with the partial schedule
+    and the resource limits.
+
+    Used for: the branches of conditionals (hierarchical reduction),
+    straight-line code between loops, the unpipelined fallback bodies,
+    and the "local compaction only" baseline of Figure 4-2. *)
+
+open Sp_machine
+
+type placement = {
+  times : int array;  (** issue time per unit *)
+  len : int;          (** schedule length in instructions *)
+}
+
+(** Critical-path heights over intra-iteration edges. *)
+let heights (g : Ddg.t) =
+  let n = Array.length g.Ddg.units in
+  let h = Array.make n 0 in
+  (* intra-iteration edges always point forward in program (sid) order,
+     so a reverse sweep is a reverse-topological traversal *)
+  for i = n - 1 downto 0 do
+    let base = Ddg.completion g.Ddg.units.(i) in
+    let best =
+      List.fold_left
+        (fun acc (e : Ddg.edge) ->
+          if e.omega = 0 then max acc (e.delay + h.(e.dst)) else acc)
+        base g.Ddg.succs.(i)
+    in
+    h.(i) <- best
+  done;
+  h
+
+let compact (m : Machine.t) (g : Ddg.t) : placement =
+  let units = g.Ddg.units in
+  let n = Array.length units in
+  let h = heights g in
+  let times = Array.make n (-1) in
+  let npreds = Array.make n 0 in
+  List.iter
+    (fun (e : Ddg.edge) ->
+      if e.omega = 0 then npreds.(e.dst) <- npreds.(e.dst) + 1)
+    g.Ddg.edges;
+  let table = Mrt.Linear.create m in
+  let scheduled = ref 0 in
+  while !scheduled < n do
+    (* pick the ready unit with the greatest height *)
+    let best = ref (-1) in
+    for i = 0 to n - 1 do
+      if times.(i) < 0 && npreds.(i) = 0 then
+        if !best < 0 || h.(i) > h.(!best) then best := i
+    done;
+    let i = !best in
+    if i < 0 then invalid_arg "Listsched.compact: cyclic intra-iteration graph";
+    let est =
+      List.fold_left
+        (fun acc (e : Ddg.edge) ->
+          if e.omega = 0 then max acc (times.(e.src) + e.delay) else acc)
+        0 g.Ddg.preds.(i)
+    in
+    let resv = units.(i).Sunit.resv in
+    let t = ref est in
+    while not (Mrt.Linear.fits table ~at:!t resv) do
+      incr t;
+      if !t > est + 1_000_000 then
+        invalid_arg
+          "Listsched.compact: reservation exceeds machine capacity"
+    done;
+    Mrt.Linear.add table ~at:!t resv;
+    times.(i) <- !t;
+    List.iter
+      (fun (e : Ddg.edge) ->
+        if e.omega = 0 then npreds.(e.dst) <- npreds.(e.dst) - 1)
+      g.Ddg.succs.(i);
+    incr scheduled
+  done;
+  let len =
+    Array.fold_left max 1
+      (Array.mapi (fun i (u : Sunit.t) -> times.(i) + u.Sunit.len) units)
+  in
+  { times; len }
+
+(** Restart interval of a sequentially executed loop body: the body
+    schedule may only be re-entered every [R] cycles, where [R] covers
+    both the schedule length and every loop-carried dependence
+    stretched across [omega] restarts. This "length of a locally
+    compacted iteration" is the paper's upper bound for the initiation
+    interval search, and the denominator of the Figure 4-2 speedups. *)
+let restart_interval (g : Ddg.t) (p : placement) =
+  List.fold_left
+    (fun acc (e : Ddg.edge) ->
+      if e.omega > 0 then
+        max acc
+          (Sp_util.Intmath.ceil_div
+             (p.times.(e.src) + e.delay - p.times.(e.dst))
+             e.omega)
+      else acc)
+    p.len g.Ddg.edges

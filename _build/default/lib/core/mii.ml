@@ -1,0 +1,36 @@
+(** Lower bounds on the initiation interval (paper Section 2.2.1).
+
+    - {e Resource bound}: "the maximum ratio between the total number of
+      times each resource is used and the number of available units per
+      instruction".
+    - {e Precedence (recurrence) bound}: over every dependence cycle [c]
+      with iteration difference [p(c) > 0], [ceil(d(c) / p(c))] —
+      computed by {!Modsched.analyze} / {!Spath.rec_mii_bound}.
+*)
+
+open Sp_machine
+
+type t = {
+  res_mii : int;
+  rec_mii : int;
+  mii : int;            (** max of the two, and at least 1 *)
+}
+
+let resource_bound (m : Machine.t) (units : Sunit.t array) =
+  let nres = Machine.num_resources m in
+  let total = Array.make nres 0 in
+  Array.iter
+    (fun (u : Sunit.t) ->
+      List.iter (fun (_, rid) -> total.(rid) <- total.(rid) + 1) u.Sunit.resv)
+    units;
+  let bound = ref 0 in
+  for rid = 0 to nres - 1 do
+    let avail = (Machine.resource m rid).Machine.count in
+    if total.(rid) > 0 then
+      bound := max !bound (Sp_util.Intmath.ceil_div total.(rid) avail)
+  done;
+  !bound
+
+let compute (m : Machine.t) (units : Sunit.t array) ~rec_mii =
+  let res_mii = resource_bound m units in
+  { res_mii; rec_mii; mii = max 1 (max res_mii rec_mii) }

@@ -1,0 +1,15 @@
+(** Lower bounds on the initiation interval (paper Section 2.2.1). *)
+
+type t = {
+  res_mii : int;  (** resource-constrained bound *)
+  rec_mii : int;  (** recurrence-constrained bound *)
+  mii : int;      (** max of the two, at least 1 *)
+}
+
+val resource_bound : Sp_machine.Machine.t -> Sunit.t array -> int
+(** "The maximum ratio between the total number of times each resource
+    is used and the number of available units per instruction." *)
+
+val compute : Sp_machine.Machine.t -> Sunit.t array -> rec_mii:int -> t
+(** Combine the resource bound of the units with a recurrence bound
+    from {!Modsched.analyze}. *)

@@ -1,0 +1,54 @@
+(** The software pipelining scheduler (paper Sections 2.2.1–2.2.2):
+    per-component scheduling inside precedence-constrained ranges,
+    condensation, list scheduling against the modulo reservation table,
+    and the iterative search over initiation intervals. *)
+
+open Sp_machine
+
+type schedule = {
+  s : int;             (** initiation interval *)
+  times : int array;   (** issue time per unit, all non-negative *)
+  span : int;          (** max over units of time + length *)
+  sc : int;            (** stage count, [ceil(span / s)] *)
+}
+
+(** Analysis shared by the interval search: components, the recurrence
+    bound, and per-component symbolic longest-path closures valid over
+    the searched range. *)
+type analysis = {
+  a_scc : Scc.t;
+  a_spaths : Spath.t option array;
+  a_rec_mii : int;
+}
+
+val analyze : s_max:int -> Ddg.t -> analysis
+
+val wrap_ok : s:int -> Sunit.t -> at:int -> bool
+(** May a unit requiring [no_wrap] sit at time [at] under interval
+    [s]? (Its occupancy must fall within one s-window.) *)
+
+val try_schedule :
+  Machine.t ->
+  Ddg.t ->
+  scc:Scc.t ->
+  spaths:Spath.t option array ->
+  s:int ->
+  int array option
+(** One attempt at a fixed interval; [None] when some node cannot be
+    placed (the driver then tries the next interval). *)
+
+type search =
+  | Linear  (** the paper's choice: schedulability is not monotonic *)
+  | Binary  (** ablation: assumes monotonicity *)
+
+val schedule :
+  ?search:search ->
+  ?analysis:analysis ->
+  Machine.t ->
+  Ddg.t ->
+  mii:int ->
+  max_ii:int ->
+  schedule option
+(** Search [max mii rec_bound .. max_ii] for the smallest schedulable
+    interval. [analysis] must come from {!analyze} with
+    [s_max >= max_ii]; it is recomputed when omitted. *)

@@ -1,0 +1,103 @@
+(** Resource reservation tables.
+
+    {!Modulo} is the modulo resource reservation table of the paper's
+    Section 2.1: "the resource usage of time t is mapped to that of
+    time [t mod s]". {!Linear} is the unbounded table used when
+    compacting straight-line code (no wrap-around). Both support
+    tentative placement (check without committing). *)
+
+open Sp_machine
+
+module Modulo = struct
+  type t = {
+    s : int;
+    counts : int array array; (* [s][num_resources] *)
+    limits : int array;
+  }
+
+  let create (m : Machine.t) ~s =
+    if s <= 0 then invalid_arg "Mrt.Modulo.create: s <= 0";
+    {
+      s;
+      counts = Array.make_matrix s (Machine.num_resources m) 0;
+      limits = Array.map (fun r -> r.Machine.count) m.resources;
+    }
+
+  (* A reservation may use one resource several times at offsets
+     congruent mod s (e.g. a reduced construct), so demand is summed
+     per (slot, resource) before comparing against the limit. *)
+  let fits t ~at resv =
+    let h = Hashtbl.create 8 in
+    List.iter
+      (fun (off, rid) ->
+        let slot = ((at + off) mod t.s + t.s) mod t.s in
+        let k = (slot, rid) in
+        Hashtbl.replace h k (1 + Option.value ~default:0 (Hashtbl.find_opt h k)))
+      resv;
+    Hashtbl.fold
+      (fun (slot, rid) need ok ->
+        ok && t.counts.(slot).(rid) + need <= t.limits.(rid))
+      h true
+
+  let add t ~at resv =
+    List.iter
+      (fun (off, rid) ->
+        let slot = ((at + off) mod t.s + t.s) mod t.s in
+        t.counts.(slot).(rid) <- t.counts.(slot).(rid) + 1)
+      resv
+
+  let remove t ~at resv =
+    List.iter
+      (fun (off, rid) ->
+        let slot = ((at + off) mod t.s + t.s) mod t.s in
+        t.counts.(slot).(rid) <- t.counts.(slot).(rid) - 1)
+      resv
+
+end
+
+module Linear = struct
+  type t = {
+    mutable counts : int array array; (* grows on demand *)
+    limits : int array;
+    nres : int;
+  }
+
+  let create (m : Machine.t) =
+    {
+      counts = Array.make_matrix 16 (Machine.num_resources m) 0;
+      limits = Array.map (fun r -> r.Machine.count) m.resources;
+      nres = Machine.num_resources m;
+    }
+
+  let ensure t len =
+    let cur = Array.length t.counts in
+    if len > cur then begin
+      let n = max len (2 * cur) in
+      let counts = Array.make_matrix n t.nres 0 in
+      Array.blit t.counts 0 counts 0 cur;
+      t.counts <- counts
+    end
+
+  let fits t ~at resv =
+    let h = Hashtbl.create 8 in
+    List.iter
+      (fun (off, rid) ->
+        let k = (at + off, rid) in
+        Hashtbl.replace h k (1 + Option.value ~default:0 (Hashtbl.find_opt h k)))
+      resv;
+    Hashtbl.fold
+      (fun (slot, rid) need ok ->
+        ok
+        && slot >= 0
+        &&
+        (ensure t (slot + 1);
+         t.counts.(slot).(rid) + need <= t.limits.(rid)))
+      h true
+
+  let add t ~at resv =
+    List.iter
+      (fun (off, rid) ->
+        ensure t (at + off + 1);
+        t.counts.(at + off).(rid) <- t.counts.(at + off).(rid) + 1)
+      resv
+end

@@ -1,0 +1,26 @@
+(** Resource reservation tables: the modulo table of the paper's
+    Section 2.1 ("the resource usage of time t is mapped to that of
+    time t mod s") and the unbounded table used when compacting
+    straight-line code. *)
+
+module Modulo : sig
+  type t
+
+  val create : Sp_machine.Machine.t -> s:int -> t
+
+  val fits : t -> at:int -> (int * int) list -> bool
+  (** May a reservation (a multiset of [(offset, resource)] pairs) be
+      placed with its origin at time [at]? Demand from offsets that are
+      congruent modulo [s] is summed before checking the limit. *)
+
+  val add : t -> at:int -> (int * int) list -> unit
+  val remove : t -> at:int -> (int * int) list -> unit
+end
+
+module Linear : sig
+  type t
+
+  val create : Sp_machine.Machine.t -> t
+  val fits : t -> at:int -> (int * int) list -> bool
+  val add : t -> at:int -> (int * int) list -> unit
+end

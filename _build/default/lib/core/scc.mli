@@ -1,0 +1,19 @@
+(** Strongly connected components (Tarjan 1972) — the preprocessing step
+    of the paper's Section 2.2.2: cyclic dependence graphs are scheduled
+    component by component, then condensed into an acyclic graph. *)
+
+type t = {
+  comp_of : int array;      (** node -> component index *)
+  comps : int list array;   (** component -> member nodes, in input order *)
+  nontrivial : bool array;  (** more than one node, or a self edge *)
+}
+
+val num_components : t -> int
+
+val compute : n:int -> succs:(int -> int list) -> t
+(** [compute ~n ~succs] where [succs i] lists the successors of node
+    [i] (0-based). Component indices come out in reverse topological
+    order of the condensed graph. *)
+
+val topo_components : t -> int list
+(** Component indices in topological order (sources first). *)

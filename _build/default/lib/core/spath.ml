@@ -1,0 +1,137 @@
+(** All-points longest paths with a symbolic initiation interval.
+
+    The paper (Section 2.2.2) computes the closure of the precedence
+    constraints in each strongly connected component {e once}, "using a
+    symbolic value to stand for the initiation interval", so that the
+    iterative search over candidate intervals pays no recomputation.
+
+    A path with accumulated delay [d] and accumulated iteration
+    difference [w] constrains [sigma(dst) - sigma(src) >= d - s*w]. We
+    represent the closure as, per node pair, the Pareto frontier of
+    [(d, w)] pairs. The initiation interval only ever ranges over
+    [1 .. s_max] (the upper bound is the length of the locally
+    compacted iteration, which always schedules), so the exact
+    dominance order is: [a] dominates [b] iff [a.d - s*a.w >= b.d -
+    s*b.w] at both endpoints [s = 1] and [s = s_max] — both sides are
+    linear in [s], so dominance at the endpoints is dominance
+    throughout. This keeps each frontier at the lower convex hull of
+    the path set (a handful of pairs) where the naive
+    for-all-[s >= 0] order can blow up combinatorially on graphs with
+    many parallel incomparable paths.
+
+    The recurrence-constrained lower bound on the initiation interval
+    (paper Section 2.2.1) is the maximum over closed paths of
+    [ceil(d(c) / p(c))], read off the diagonal of the closure. *)
+
+type pair = { d : int; w : int }
+
+type t = {
+  n : int;
+  s_min : int;
+  s_max : int;
+  paths : pair list array array; (* paths.(i).(j): Pareto frontier i->j *)
+}
+
+let dominates ~s_min ~s_max a b =
+  a.d - (s_min * a.w) >= b.d - (s_min * b.w)
+  && a.d - (s_max * a.w) >= b.d - (s_max * b.w)
+
+(** Insert [p] into frontier [l], dropping dominated elements. *)
+let insert ~s_min ~s_max p l =
+  if List.exists (fun q -> dominates ~s_min ~s_max q p) l then l
+  else p :: List.filter (fun q -> not (dominates ~s_min ~s_max p q)) l
+
+let merge ~s_min ~s_max a b =
+  List.fold_left (fun acc p -> insert ~s_min ~s_max p acc) a b
+
+let combine a b =
+  List.concat_map
+    (fun p -> List.map (fun q -> { d = p.d + q.d; w = p.w + q.w }) b)
+    a
+
+(** [compute ~n ~edges ~s_min ~s_max] over node-local indices; edges
+    are [(src, dst, delay, omega)]. Queries are valid for initiation
+    intervals in [s_min .. s_max]. Callers pass [s_min >=] the
+    component's recurrence bound, where every dependence cycle has
+    non-positive weight — then going around a cycle only ever produces
+    dominated pairs and the frontiers stay at hull size. *)
+let compute ~n ~edges ~s_min ~s_max =
+  let s_min = max 1 s_min in
+  let s_max = max s_min s_max in
+  let paths = Array.make_matrix n n [] in
+  List.iter
+    (fun (src, dst, delay, omega) ->
+      paths.(src).(dst) <-
+        insert ~s_min ~s_max { d = delay; w = omega } paths.(src).(dst))
+    edges;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if paths.(i).(k) <> [] then
+        for j = 0 to n - 1 do
+          if paths.(k).(j) <> [] then
+            paths.(i).(j) <-
+              merge ~s_min ~s_max paths.(i).(j)
+                (combine paths.(i).(k) paths.(k).(j))
+        done
+    done
+  done;
+  { n; s_min; s_max; paths }
+
+(** Maximum over the frontier of [d - s*w]: the binding precedence
+    constraint from [i] to [j] at initiation interval [s]. [None] when
+    no path exists. Requires [s_min <= s <= s_max]. *)
+let query t ~s i j =
+  if s < t.s_min || s > t.s_max then
+    invalid_arg "Spath.query: s out of range";
+  match t.paths.(i).(j) with
+  | [] -> None
+  | l -> Some (List.fold_left (fun m p -> max m (p.d - (s * p.w))) min_int l)
+
+(* ------------------------------------------------------------------ *)
+(* Recurrence bound, computed independently of the closure              *)
+(* ------------------------------------------------------------------ *)
+
+(** Does the graph contain a cycle of positive weight under
+    [weight e = d(e) - s * omega(e)]? Bellman–Ford longest-path
+    relaxation from an all-zero potential: any relaxation still
+    possible after [n] sweeps exposes a positive cycle. *)
+let has_positive_cycle ~n ~edges ~s =
+  let dist = Array.make n 0 in
+  let changed = ref true in
+  let sweeps = ref 0 in
+  while !changed && !sweeps <= n do
+    changed := false;
+    incr sweeps;
+    List.iter
+      (fun (u, v, d, w) ->
+        let nd = dist.(u) + d - (s * w) in
+        if nd > dist.(v) then begin
+          dist.(v) <- nd;
+          changed := true
+        end)
+      edges
+  done;
+  !changed
+
+(** The recurrence-constrained lower bound on the initiation interval
+    (paper Section 2.2.1): the smallest [s] at which no dependence
+    cycle has positive weight — equivalently
+    [max over cycles ceil(d(c)/p(c))]. Cycle weight is decreasing in
+    [s], so binary search applies. Returns [s_max + 2] when even
+    [s_max + 1] leaves a positive cycle (a bound beyond the serial
+    restart length — not pipelinable in range — or an illegal
+    zero-omega positive cycle). *)
+let rec_mii_bound ~n ~edges ~s_max =
+  if not (has_positive_cycle ~n ~edges ~s:1) then 1
+  else if has_positive_cycle ~n ~edges ~s:(s_max + 1) then s_max + 2
+  else begin
+    (* invariant: positive cycle exists at lo - 1, none at hi *)
+    let rec bs lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if has_positive_cycle ~n ~edges ~s:mid then bs (mid + 1) hi
+        else bs lo mid
+    in
+    bs 2 (s_max + 1)
+  end

@@ -1,0 +1,43 @@
+(** All-points longest paths with a symbolic initiation interval
+    (paper Section 2.2.2), and the recurrence-constrained lower bound
+    on the interval (Section 2.2.1).
+
+    A path accumulating delay [d] and iteration difference [w]
+    constrains [sigma(dst) - sigma(src) >= d - s*w] for initiation
+    interval [s]. The closure is computed {e once}, with [s] symbolic:
+    per node pair, the Pareto frontier of [(d, w)] pairs under
+    dominance over the interval range actually searched. *)
+
+type pair = { d : int; w : int }
+
+type t = {
+  n : int;
+  s_min : int;
+  s_max : int;
+  paths : pair list array array;
+}
+
+val compute :
+  n:int -> edges:(int * int * int * int) list -> s_min:int -> s_max:int -> t
+(** [compute ~n ~edges ~s_min ~s_max] over node-local indices; an edge
+    is [(src, dst, delay, omega)]. Queries are valid for intervals in
+    [s_min .. s_max]; callers pass [s_min >=] the recurrence bound,
+    where every cycle has non-positive weight and the frontiers stay at
+    hull size. *)
+
+val query : t -> s:int -> int -> int -> int option
+(** Binding precedence constraint from one node to another at interval
+    [s]: the maximum of [d - s*w] over the frontier; [None] if no path.
+    Raises [Invalid_argument] outside [s_min .. s_max]. *)
+
+val has_positive_cycle :
+  n:int -> edges:(int * int * int * int) list -> s:int -> bool
+(** Bellman–Ford longest-path relaxation: is there a cycle of positive
+    weight under [d - s*omega]? *)
+
+val rec_mii_bound :
+  n:int -> edges:(int * int * int * int) list -> s_max:int -> int
+(** The recurrence lower bound: the smallest [s] at which no dependence
+    cycle is positive — [max over cycles ceil(d(c)/p(c))] — found by
+    binary search (cycle weight is decreasing in [s]). Returns
+    [s_max + 2] when even [s_max + 1] leaves a positive cycle. *)

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: List Memseg Op Program Region Sp_machine Subscript Vreg

@@ -1,0 +1,1 @@
+lib/ir/expand.ml: Builder Float List Sp_machine

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: List Machine_state Op Program Region Semantics

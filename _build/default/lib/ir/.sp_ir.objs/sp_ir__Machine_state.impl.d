@@ -1,0 +1,1 @@
+lib/ir/machine_state.ml: Array Buffer Float Hashtbl List Memseg Printf Program Semantics Vreg

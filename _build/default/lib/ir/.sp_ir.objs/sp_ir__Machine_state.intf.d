@@ -1,0 +1,1 @@
+lib/ir/machine_state.mli: Memseg Program Semantics Vreg

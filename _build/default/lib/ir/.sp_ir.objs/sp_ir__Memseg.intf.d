@@ -1,0 +1,1 @@
+lib/ir/memseg.mli: Format

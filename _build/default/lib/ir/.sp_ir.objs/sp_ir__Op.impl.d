@@ -1,0 +1,1 @@
+lib/ir/op.ml: Fmt List Memseg Option Sp_machine String Subscript Vreg

@@ -1,0 +1,1 @@
+lib/ir/op.mli: Format Memseg Sp_machine Subscript Vreg

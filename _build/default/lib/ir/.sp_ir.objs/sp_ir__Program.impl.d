@@ -1,0 +1,1 @@
+lib/ir/program.ml: Fmt List Memseg Op Printf Region String Vreg

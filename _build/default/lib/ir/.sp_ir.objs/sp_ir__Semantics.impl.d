@@ -1,0 +1,1 @@
+lib/ir/semantics.ml: Float Fmt List Memseg Op Sp_machine Vreg

@@ -1,0 +1,1 @@
+lib/ir/semantics.mli: Format Memseg Op Vreg

@@ -1,0 +1,1 @@
+lib/ir/subscript.ml: Fmt Int List Printf String Vreg

@@ -1,0 +1,1 @@
+lib/ir/subscript.mli: Format Vreg

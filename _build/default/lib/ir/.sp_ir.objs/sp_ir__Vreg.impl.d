@@ -1,0 +1,1 @@
+lib/ir/vreg.ml: Fmt Map Printf Set String

@@ -1,0 +1,1 @@
+lib/ir/vreg.mli: Format Map Set

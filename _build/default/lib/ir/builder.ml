@@ -1,0 +1,234 @@
+(** Imperative construction of IR programs.
+
+    The builder keeps a stack of open regions; operations are appended
+    to the innermost one. Loops and conditionals are built with
+    higher-order functions:
+
+    {[
+      let b = Builder.create "saxpy" in
+      let x = Builder.farray b "x" 128 in
+      let y = Builder.farray b "y" 128 in
+      let a = Builder.fconst b 3.0 in
+      Builder.for_ b (Const 128) (fun i ->
+          let xi = Builder.load_iv b x i 0 in
+          let yi = Builder.load_iv b y i 0 in
+          let t = Builder.fmul b a xi in
+          let s = Builder.fadd b t yi in
+          Builder.store_iv b y i 0 s);
+      let prog = Builder.finish b
+    ]} *)
+
+module Opkind = Sp_machine.Opkind
+
+type item = I_op of Op.t | I_region of Region.t
+
+type frame = { mutable items : item list (* reversed *) }
+
+type t = {
+  name : string;
+  vregs : Vreg.Supply.supply;
+  ops : Op.Supply.supply;
+  segsupply : Memseg.Supply.supply;
+  mutable segs : Memseg.t list; (* reversed *)
+  mutable stack : frame list;   (* innermost first *)
+}
+
+let create name =
+  {
+    name;
+    vregs = Vreg.Supply.create ();
+    ops = Op.Supply.create ();
+    segsupply = Memseg.Supply.create ();
+    segs = [];
+    stack = [ { items = [] } ];
+  }
+
+let top b =
+  match b.stack with
+  | f :: _ -> f
+  | [] -> invalid_arg "Builder: empty region stack"
+
+let push_item b it =
+  let f = top b in
+  f.items <- it :: f.items
+
+let close_frame (f : frame) : Region.t =
+  (* collapse runs of consecutive ops into single Ops regions *)
+  let items = List.rev f.items in
+  let flush run acc =
+    match run with [] -> acc | _ -> Region.Ops (List.rev run) :: acc
+  in
+  let rec go items run acc =
+    match items with
+    | [] -> List.rev (flush run acc)
+    | I_op op :: rest -> go rest (op :: run) acc
+    | I_region r :: rest -> go rest [] (r :: flush run acc)
+  in
+  match go items [] [] with
+  | [ r ] -> r
+  | rs -> Region.Seq rs
+
+(* ---- registers and segments -------------------------------------- *)
+
+let fresh_f ?(name = "") b = Vreg.Supply.fresh b.vregs ~name Vreg.F
+let fresh_i ?(name = "") b = Vreg.Supply.fresh b.vregs ~name Vreg.I
+
+let seg b ?(independent = false) ?(elt = Memseg.Float_elt) ~name ~size () =
+  let s = Memseg.Supply.fresh b.segsupply ~independent ~elt ~name ~size () in
+  b.segs <- s :: b.segs;
+  s
+
+let farray ?independent b name size =
+  seg b ?independent ~elt:Memseg.Float_elt ~name ~size ()
+
+let iarray ?independent b name size =
+  seg b ?independent ~elt:Memseg.Int_elt ~name ~size ()
+
+(* ---- raw op emission ---------------------------------------------- *)
+
+let emit b ?dst ?(srcs = []) ?imm ?addr kind =
+  let op = Op.Supply.mk b.ops ?dst ~srcs ?imm ?addr kind in
+  push_item b (I_op op);
+  op
+
+let emit_d b ?(srcs = []) ?imm ?addr ~cls kind =
+  let dst = Vreg.Supply.fresh b.vregs ~name:"" cls in
+  ignore (emit b ~dst ~srcs ?imm ?addr kind);
+  dst
+
+(* ---- constants, moves, arithmetic --------------------------------- *)
+
+let fconst b x = emit_d b ~cls:Vreg.F ~imm:(Op.Fimm x) Opkind.Fconst
+let iconst b n = emit_d b ~cls:Vreg.I ~imm:(Op.Iimm n) Opkind.Iconst
+let fmov b x = emit_d b ~cls:Vreg.F ~srcs:[ x ] Opkind.Fmov
+let imov b x = emit_d b ~cls:Vreg.I ~srcs:[ x ] Opkind.Imov
+
+let fbin b kind x y = emit_d b ~cls:Vreg.F ~srcs:[ x; y ] kind
+let ibin b kind x y = emit_d b ~cls:Vreg.I ~srcs:[ x; y ] kind
+
+let fadd b x y = fbin b Opkind.Fadd x y
+let fsub b x y = fbin b Opkind.Fsub x y
+let fmul b x y = fbin b Opkind.Fmul x y
+let fmin b x y = fbin b Opkind.Fmin x y
+let fmax b x y = fbin b Opkind.Fmax x y
+let fneg b x = emit_d b ~cls:Vreg.F ~srcs:[ x ] Opkind.Fneg
+let fabs b x = emit_d b ~cls:Vreg.F ~srcs:[ x ] Opkind.Fabs
+let frecs b x = emit_d b ~cls:Vreg.F ~srcs:[ x ] Opkind.Frecs
+let frsqs b x = emit_d b ~cls:Vreg.F ~srcs:[ x ] Opkind.Frsqs
+
+let iadd b x y = ibin b Opkind.Iadd x y
+let isub b x y = ibin b Opkind.Isub x y
+let imul b x y = ibin b Opkind.Imul x y
+
+let iaddk b x k =
+  let kreg = iconst b k in
+  iadd b x kreg
+
+let fcmp b rel x y = emit_d b ~cls:Vreg.I ~srcs:[ x; y ] (Opkind.Fcmp rel)
+let icmp b rel x y = emit_d b ~cls:Vreg.I ~srcs:[ x; y ] (Opkind.Icmp rel)
+
+let fsel b c x y = emit_d b ~cls:Vreg.F ~srcs:[ c; x; y ] Opkind.Fsel
+let isel b c x y = emit_d b ~cls:Vreg.I ~srcs:[ c; x; y ] Opkind.Isel
+let itof b x = emit_d b ~cls:Vreg.F ~srcs:[ x ] Opkind.Itof
+let ftoi b x = emit_d b ~cls:Vreg.I ~srcs:[ x ] Opkind.Ftoi
+
+(* ---- memory -------------------------------------------------------- *)
+
+let elt_cls (seg : Memseg.t) =
+  match seg.elt with Memseg.Float_elt -> Vreg.F | Memseg.Int_elt -> Vreg.I
+
+let load b ?base ?idx ?(off = 0) ?sub seg =
+  emit_d b ~cls:(elt_cls seg)
+    ~addr:{ Op.seg; base; idx; off; sub }
+    Opkind.Load
+
+let store b ?base ?idx ?(off = 0) ?sub seg v =
+  ignore
+    (emit b ~srcs:[ v ] ~addr:{ Op.seg; base; idx; off; sub } Opkind.Store)
+
+(** [load_iv b seg iv off] — load [seg\[iv + off\]] with an exact
+    subscript descriptor (the common affine access). *)
+let load_iv b seg iv off =
+  load b ~idx:iv ~off ~sub:(Subscript.of_iv ~off iv) seg
+
+let store_iv b seg iv off v =
+  store b ~idx:iv ~off ~sub:(Subscript.of_iv ~off iv) seg v
+
+(** Load at a loop-invariant register subscript [base + off]. *)
+let load_sym b seg base off =
+  load b ~base ~off
+    ~sub:(Subscript.add_sym (Subscript.constant off) base)
+    seg
+
+let store_sym b seg base off v =
+  store b ~base ~off
+    ~sub:(Subscript.add_sym (Subscript.constant off) base)
+    seg v
+
+(** Load at [base + iv + off] where [base] is loop-invariant (the
+    manually hoisted row-major 2-D access pattern). *)
+let load_sym_iv b seg base iv off =
+  load b ~base ~idx:iv ~off
+    ~sub:(Subscript.add_sym (Subscript.of_iv ~off iv) base)
+    seg
+
+let store_sym_iv b seg base iv off v =
+  store b ~base ~idx:iv ~off
+    ~sub:(Subscript.add_sym (Subscript.of_iv ~off iv) base)
+    seg v
+
+(* ---- channels ------------------------------------------------------ *)
+
+let recv b ch = emit_d b ~cls:Vreg.F (Opkind.Recv ch)
+let send b ch v = ignore (emit b ~srcs:[ v ] (Opkind.Send ch))
+
+(* ---- control constructs -------------------------------------------- *)
+
+let in_frame b f =
+  b.stack <- { items = [] } :: b.stack;
+  f ();
+  match b.stack with
+  | fr :: rest ->
+    b.stack <- rest;
+    close_frame fr
+  | [] -> assert false
+
+let if_ b cond ~then_ ~else_ =
+  let t = in_frame b then_ in
+  let e = in_frame b else_ in
+  push_item b (I_region (Region.If { cond; then_ = t; else_ = e }))
+
+(** Counted loop. The body receives a {e per-iteration copy} of the
+    induction variable, written at the top of every iteration by an
+    address-unit move. The copy is redefined before use each iteration,
+    so it qualifies for modulo variable expansion; the loop counter
+    itself stays a plain carried register updated once per iteration
+    (the paper's Warp keeps addressing on dedicated address-generation
+    hardware for the same reason — otherwise every address would hang
+    off the single live counter register and serialize the pipeline). *)
+let for_ b ?(name = "i") n body =
+  let iv = Vreg.Supply.fresh b.vregs ~name Vreg.I in
+  let r =
+    in_frame b (fun () ->
+        let i_loc =
+          emit_d b ~cls:Vreg.I ~srcs:[ iv ] Opkind.Amov
+        in
+        body i_loc)
+  in
+  push_item b (I_region (Region.For { iv; n; body = r }))
+
+(** A loop whose trip count lives in a register (unknown at compile
+    time). *)
+let for_reg b ?name nreg body = for_ b ?name (Region.Reg nreg) body
+
+let finish b : Program.t =
+  match b.stack with
+  | [ f ] ->
+    {
+      Program.name = b.name;
+      segs = List.rev b.segs;
+      body = close_frame f;
+      vregs = b.vregs;
+      ops = b.ops;
+    }
+  | _ -> invalid_arg "Builder.finish: unclosed region"

@@ -1,0 +1,24 @@
+(** Sequential reference interpreter — the golden semantics.
+
+    Executes the IR in program order with no notion of latency or
+    resources. Every schedule the compiler produces must preserve this
+    semantics: tests compare the final {!Machine_state.t} of a program
+    run here and through the VLIW simulator. *)
+
+type result = {
+  state : Machine_state.t;
+  flops : int;    (** dynamic floating-point operation count *)
+  dyn_ops : int;  (** dynamic count of all operations *)
+}
+
+exception Unbound_trip_count of string
+
+val run :
+  ?channels:int ->
+  ?inputs:float list list ->
+  ?init:(Machine_state.t -> unit) ->
+  Program.t ->
+  result
+(** [run p] executes [p] on a fresh state. [inputs] feeds the input
+    channels (index k feeds channel k); [init] fills memory with test
+    data before execution. *)

@@ -1,0 +1,136 @@
+(** Architectural state shared by the reference interpreter and the
+    VLIW simulator: register file, data memory (one array per segment),
+    and the communication queues. Final states are comparable, which is
+    how every scheduled program is validated against the sequential
+    semantics. *)
+
+open Semantics
+
+type segdata = SF of float array | SI of int array
+
+type t = {
+  regs : value array;                    (* indexed by vreg id *)
+  mem : (int, segdata) Hashtbl.t;        (* keyed by segment id *)
+  mutable input : float list array;      (* per input channel *)
+  output : Buffer.t array;               (* textual; see [outputs] *)
+  out_vals : float list ref array;       (* per output channel, reversed *)
+}
+
+let create ?(channels = 2) (p : Program.t) =
+  let regs = Array.make (max 1 (Program.num_vregs p)) (VI 0) in
+  let mem = Hashtbl.create 7 in
+  List.iter
+    (fun (s : Memseg.t) ->
+      let data =
+        match s.elt with
+        | Memseg.Float_elt -> SF (Array.make s.size 0.0)
+        | Memseg.Int_elt -> SI (Array.make s.size 0)
+      in
+      Hashtbl.replace mem s.sid data)
+    p.segs;
+  {
+    regs;
+    mem;
+    input = Array.make channels [];
+    output = Array.init channels (fun _ -> Buffer.create 64);
+    out_vals = Array.init channels (fun _ -> ref []);
+  }
+
+let set_input t ch xs =
+  if ch < 0 || ch >= Array.length t.input then
+    invalid_arg "Machine_state.set_input: bad channel";
+  t.input.(ch) <- xs
+
+let outputs t ch = List.rev !(t.out_vals.(ch))
+
+let read t (v : Vreg.t) = t.regs.(v.id)
+let write t (v : Vreg.t) x = t.regs.(v.id) <- x
+
+let seg_data t (s : Memseg.t) =
+  match Hashtbl.find_opt t.mem s.sid with
+  | Some d -> d
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Machine_state: unknown segment %s" s.sname)
+
+exception Out_of_bounds of string
+
+let check_bounds (s : Memseg.t) i =
+  if i < 0 || i >= s.size then
+    raise
+      (Out_of_bounds
+         (Printf.sprintf "%s[%d] (size %d)" s.sname i s.size))
+
+let load t s i =
+  check_bounds s i;
+  match seg_data t s with
+  | SF a -> VF a.(i)
+  | SI a -> VI a.(i)
+
+let store t s i v =
+  check_bounds s i;
+  match (seg_data t s, v) with
+  | SF a, VF x -> a.(i) <- x
+  | SI a, VI x -> a.(i) <- x
+  | SF _, VI _ -> raise (Type_error "int store to float segment")
+  | SI _, VF _ -> raise (Type_error "float store to int segment")
+
+exception Channel_empty of int
+
+let recv t ch =
+  match t.input.(ch) with
+  | [] -> raise (Channel_empty ch)
+  | x :: rest ->
+    t.input.(ch) <- rest;
+    x
+
+let send t ch x =
+  t.out_vals.(ch) := x :: !(t.out_vals.(ch));
+  Buffer.add_string t.output.(ch) (Printf.sprintf "%h\n" x)
+
+(** Initialize a float segment from a generator (for test fixtures and
+    the benchmark workloads). *)
+let init_farray t (s : Memseg.t) f =
+  match seg_data t s with
+  | SF a -> Array.iteri (fun i _ -> a.(i) <- f i) a
+  | SI _ -> invalid_arg "init_farray: int segment"
+
+let init_iarray t (s : Memseg.t) f =
+  match seg_data t s with
+  | SI a -> Array.iteri (fun i _ -> a.(i) <- f i) a
+  | SF _ -> invalid_arg "init_iarray: float segment"
+
+let get_farray t (s : Memseg.t) =
+  match seg_data t s with
+  | SF a -> Array.copy a
+  | SI _ -> invalid_arg "get_farray: int segment"
+
+let get_iarray t (s : Memseg.t) =
+  match seg_data t s with
+  | SI a -> Array.copy a
+  | SF _ -> invalid_arg "get_iarray: float segment"
+
+(** Structural equality of two final states: registers are {e not}
+    compared (schedules legitimately leave different garbage in
+    temporaries); memory and channel outputs are. *)
+let observably_equal a b =
+  let seg_eq sid d =
+    match (d, Hashtbl.find_opt b.mem sid) with
+    | SF x, Some (SF y) ->
+      Array.length x = Array.length y && Array.for_all2 Float.equal x y
+    | SI x, Some (SI y) -> x = y
+    | _ -> false
+  in
+  Hashtbl.fold (fun sid d acc -> acc && seg_eq sid d) a.mem true
+  && Array.for_all2
+       (fun x y -> List.equal Float.equal (List.rev !x) (List.rev !y))
+       a.out_vals b.out_vals
+
+let ctx t : Semantics.ctx =
+  {
+    rd = read t;
+    ld = load t;
+    st = store t;
+    recv = recv t;
+    send = send t;
+  }

@@ -1,0 +1,101 @@
+(** IR micro-operations.
+
+    An operation is a machine {!Sp_machine.Opkind.t} with register
+    operands, an optional immediate, and — for memory operations — an
+    address. These are the "minimally indivisible sequences of
+    micro-instructions" of the paper's Section 2.1: the scheduler never
+    splits one, and the machine description gives each a multi-cycle
+    resource reservation and a result latency. *)
+
+module Opkind = Sp_machine.Opkind
+
+type imm = Fimm of float | Iimm of int
+
+(** A data-memory address: [seg\[base + idx + off\]] where [base] and
+    [idx] are optional registers. [sub] is the semantic subscript used
+    by dependence analysis; the register operands define what the
+    hardware actually computes. *)
+type addr = {
+  seg : Memseg.t;
+  base : Vreg.t option;
+  idx : Vreg.t option;
+  off : int;
+  sub : Subscript.t option;
+}
+
+type t = {
+  uid : int;
+  kind : Opkind.t;
+  dst : Vreg.t option;
+  srcs : Vreg.t list;
+  imm : imm option;
+  addr : addr option;
+}
+
+let compare a b = compare a.uid b.uid
+let equal a b = a.uid = b.uid
+
+(** Registers read at issue time: the sources, plus address registers of
+    memory operations. *)
+let reads op =
+  let a =
+    match op.addr with
+    | None -> []
+    | Some { base; idx; _ } ->
+      List.filter_map (fun x -> x) [ base; idx ]
+  in
+  op.srcs @ a
+
+let writes op = match op.dst with None -> [] | Some d -> [ d ]
+
+(** Apply a register substitution to all operands (sources, destination
+    and address registers). The uid is preserved: a renamed copy is the
+    same operation for dependence purposes. *)
+let map_regs f op =
+  let addr =
+    Option.map
+      (fun a -> { a with base = Option.map f a.base; idx = Option.map f a.idx })
+      op.addr
+  in
+  { op with dst = Option.map f op.dst; srcs = List.map f op.srcs; addr }
+
+let is_mem op = match op.kind with Opkind.Load | Opkind.Store -> true | _ -> false
+let is_load op = op.kind = Opkind.Load
+let is_store op = op.kind = Opkind.Store
+let is_flop op = Opkind.is_flop op.kind
+
+let pp_imm ppf = function
+  | Fimm f -> Fmt.pf ppf "%g" f
+  | Iimm i -> Fmt.pf ppf "%d" i
+
+let pp_addr ppf { seg; base; idx; off; sub } =
+  let reg_part =
+    String.concat "+"
+      (List.filter_map (Option.map Vreg.to_string) [ base; idx ])
+  in
+  Fmt.pf ppf "%a[%s%+d]%a" Memseg.pp seg reg_part off
+    (Fmt.option Subscript.pp)
+    sub
+
+let pp ppf op =
+  (match op.dst with
+  | Some d -> Fmt.pf ppf "%a <- " Vreg.pp d
+  | None -> ());
+  Fmt.pf ppf "%a" Opkind.pp op.kind;
+  List.iter (fun s -> Fmt.pf ppf " %a" Vreg.pp s) op.srcs;
+  (match op.imm with Some i -> Fmt.pf ppf " #%a" pp_imm i | None -> ());
+  match op.addr with Some a -> Fmt.pf ppf " %a" pp_addr a | None -> ()
+
+(** Operation supply: uids are dense per program so passes can use
+    arrays indexed by uid. *)
+module Supply = struct
+  type supply = { mutable next : int }
+
+  let create () = { next = 0 }
+  let count s = s.next
+
+  let mk s ?dst ?(srcs = []) ?imm ?addr kind =
+    let uid = s.next in
+    s.next <- uid + 1;
+    { uid; kind; dst; srcs; imm; addr }
+end

@@ -1,0 +1,37 @@
+(** Operational semantics of individual operations, shared between the
+    sequential interpreter and the cycle-accurate simulators so the two
+    agree bit-for-bit — any divergence observed in tests is a
+    scheduling bug, not a semantics mismatch. *)
+
+type value = VF of float | VI of int
+
+val pp_value : Format.formatter -> value -> unit
+val equal_value : value -> value -> bool
+
+exception Type_error of string
+
+val as_f : value -> float
+val as_i : value -> int
+
+val quantize8 : float -> float
+(** Round to 8 mantissa bits — the model of a hardware seed table. *)
+
+val recip_seed : float -> float
+val rsqrt_seed : float -> float
+
+(** Execution context: how to read registers and reach memory and the
+    communication channels. The caller owns all timing. *)
+type ctx = {
+  rd : Vreg.t -> value;
+  ld : Memseg.t -> int -> value;
+  st : Memseg.t -> int -> value -> unit;
+  recv : int -> float;
+  send : int -> float -> unit;
+}
+
+val addr : ctx -> Op.addr -> int
+(** Effective address: base + index + constant offset. *)
+
+val exec : ctx -> Op.t -> value option
+(** Execute one operation; the returned value goes to the destination
+    register if the operation has one. *)

@@ -1,0 +1,50 @@
+(** Virtual registers.
+
+    Registers are typed by class — [F] (floating point) or [I]
+    (integer) — matching the split register files of the Warp cell.
+    Register allocation proper is not performed (the paper's compiler
+    assumes the files are large enough, Section 2.3); instead modulo
+    variable expansion checks expanded counts against file capacities. *)
+
+type cls = F | I
+
+type t = { id : int; cls : cls; name : string }
+
+let compare a b = compare a.id b.id
+let equal a b = a.id = b.id
+let hash a = a.id
+
+let cls_to_string = function F -> "f" | I -> "i"
+
+let to_string v =
+  if String.equal v.name "" then Printf.sprintf "%%%s%d" (cls_to_string v.cls) v.id
+  else Printf.sprintf "%%%s%d:%s" (cls_to_string v.cls) v.id v.name
+
+let pp ppf v = Fmt.string ppf (to_string v)
+
+let is_float v = v.cls = F
+
+(** Fresh-register supply. A supply is local to a program under
+    construction; ids are dense from 0 so downstream passes can use
+    arrays indexed by register id. *)
+module Supply = struct
+  type supply = { mutable next : int }
+
+  let create () = { next = 0 }
+  let count s = s.next
+
+  let fresh s ?(name = "") cls =
+    let id = s.next in
+    s.next <- id + 1;
+    { id; cls; name }
+end
+
+module Set = Set.Make (struct
+  type nonrec t = t
+  let compare = compare
+end)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+  let compare = compare
+end)

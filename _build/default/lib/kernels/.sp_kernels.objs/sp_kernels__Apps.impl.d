@@ -1,0 +1,1 @@
+lib/kernels/apps.ml: Float Kernel List Printf Sp_ir

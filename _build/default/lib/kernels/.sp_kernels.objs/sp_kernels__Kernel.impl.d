@@ -1,0 +1,1 @@
+lib/kernels/kernel.ml: Interp List Machine_state Memseg Program Sp_core Sp_ir Sp_lang Sp_machine Sp_vliw

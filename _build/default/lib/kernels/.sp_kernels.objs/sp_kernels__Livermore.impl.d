@@ -1,0 +1,1 @@
+lib/kernels/livermore.ml: Kernel List Printf Sp_ir

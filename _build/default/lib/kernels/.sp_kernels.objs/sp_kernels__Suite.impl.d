@@ -1,0 +1,1 @@
+lib/kernels/suite.ml: Array Kernel List Printf String

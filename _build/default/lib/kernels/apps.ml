@@ -1,0 +1,267 @@
+(** The application programs of the paper's Table 4-1, scaled for
+    cycle-accurate simulation.
+
+    The paper's numbers are for the full 10-cell Warp array running
+    homogeneous code; per its own accounting, "the computation rate for
+    each cell is simply one-tenth of the reported rate for the array",
+    so we simulate one cell and multiply by ten. Systolic programs
+    (matrix multiplication) are written as the per-cell program with
+    the neighbour traffic supplied on the communication queues, which
+    is exactly what a middle cell of the array sees. Image sizes are
+    reduced from 512x512 to 32x32 (MFLOPS is steady-state-dominated and
+    insensitive to this; the harness also reports cycles so the scaling
+    is visible). *)
+
+let img = 32 (* image side; paper used 512 *)
+
+(* ------------------------------------------------------------------ *)
+
+(** Matrix multiplication, the systolic cell program: A elements
+    stream past on channel 0 (each cell forwards them to its right
+    neighbour), partial results accumulate along channel 1; the cell
+    owns a block of B in local memory. One multiply-add per element per
+    cycle in the steady state — and the program runs unchanged on the
+    single-cell simulator (for the oracle check) and on the real
+    10-cell co-simulator ({!Sp_vliw.Array_sim}). *)
+let matmul_cell ~n =
+  let name = "matmul" in
+  (* the cell's B block is addressed linearly — one flat n*n loop keeps
+     the whole computation in a single software pipeline *)
+  let src =
+    Printf.sprintf
+      {|
+program matmul;
+var b : array [0..%d] of float;
+    a, c : float;
+    t : int;
+begin
+  for t := 0 to %d do begin
+    receive(a, 0);
+    receive(c, 1);
+    send(a, 0);
+    send(c + a * b[t], 1);
+  end
+end.
+|}
+      ((n * n) - 1) ((n * n) - 1)
+  in
+  let stream = List.init (n * n) (fun k -> 0.5 +. (0.125 *. float_of_int (k mod 31))) in
+  Kernel.mk name ~descr:"systolic matrix multiplication (cell program)"
+    ~init:(Kernel.init_all_arrays ~seed:41)
+    ~inputs:[ stream; List.map (fun x -> x *. 0.25) stream ]
+    (Kernel.W2 src)
+
+(** One radix-2 FFT butterfly pass over [n] butterflies, streamed the
+    way the Warp FFT runs: the two operand points arrive on the input
+    queues, twiddles come from local memory, and the two results leave
+    on the output queues (the real/imaginary halves of each point are
+    sent back to back). The full 512-point transform runs log2(512)
+    such passes; cycle cost and MFLOPS per pass are identical, see
+    EXPERIMENTS.md. *)
+let fft_stage ~n =
+  let src =
+    Printf.sprintf
+      {|
+program fft;
+var wr, wi : array [0..%d] of float;
+    ar, ai, br, bi, tr, ti : float;
+    k : int;
+begin
+  for k := 0 to %d do begin
+    receive(ar, 0);
+    receive(ai, 1);
+    receive(br, 0);
+    receive(bi, 1);
+    tr := wr[k] * br - wi[k] * bi;
+    ti := wr[k] * bi + wi[k] * br;
+    send(ar + tr, 0);
+    send(ai + ti, 1);
+    send(ar - tr, 0);
+    send(ai - ti, 1);
+  end
+end.
+|}
+      (n - 1) (n - 1)
+  in
+  let stream ph =
+    List.concat
+      (List.init n (fun k ->
+           let x = float_of_int ((k * 13 mod 40) + ph) *. 0.05 in
+           [ x; x +. 0.25 ]))
+  in
+  Kernel.mk "fft" ~descr:"radix-2 FFT butterfly stage (streamed, 512-point scaled)"
+    ~init:(Kernel.init_all_arrays ~seed:42)
+    ~inputs:[ stream 1; stream 7 ]
+    (Kernel.W2 src)
+
+(** 3x3 convolution, direct form: nine loads, nine multiplies, eight
+    adds per output pixel. Memory-port bound at one load per cycle. *)
+let conv3x3 ~n =
+  let src =
+    Printf.sprintf
+      {|
+program conv3x3;
+var p : array [0..%d, 0..%d] of float;
+    o : array [0..%d, 0..%d] of float;
+    i, j : int;
+begin
+  for i := 0 to %d do
+    for j := 0 to %d do
+      o[i,j] := 0.1*p[i,j]   + 0.2*p[i,j+1]   + 0.1*p[i,j+2]
+              + 0.2*p[i+1,j] + 0.4*p[i+1,j+1] + 0.2*p[i+1,j+2]
+              + 0.1*p[i+2,j] + 0.2*p[i+2,j+1] + 0.1*p[i+2,j+2];
+end.
+|}
+      (n + 1) (n + 1) (n - 1) (n - 1) (n - 1) (n - 1)
+  in
+  Kernel.mk "conv3x3" ~descr:"3x3 convolution, direct form"
+    ~init:(Kernel.init_all_arrays ~seed:43)
+    (Kernel.W2 src)
+
+(** Hough transform: threshold each pixel; edge pixels vote into an
+    accumulator line per angle (table-driven sin/cos). Conditional,
+    integer-address-heavy — the low-MFLOPS end of Table 4-1. *)
+let hough ~n ~angles =
+  let src =
+    Printf.sprintf
+      {|
+program hough;
+var p : array [0..%d, 0..%d] of float;
+    acc : independent array [0..%d] of float;
+    sins, coss : array [0..%d] of float;
+    rho, v : float;
+    i, j, t, r : int;
+begin
+  for i := 0 to %d do
+    for j := 0 to %d do begin
+      v := p[i,j];
+      if v > 1.4 then begin
+        for t := 0 to %d do begin
+          rho := float(i) * coss[t] + float(j) * sins[t];
+          r := int(rho);
+          acc[t * %d + r] := acc[t * %d + r] + v;
+        end
+      end
+      else v := 0.0;
+    end
+end.
+|}
+      (n - 1) (n - 1)
+      ((angles * 2 * n) - 1)
+      (angles - 1) (n - 1) (n - 1) (angles - 1) (2 * n) (2 * n)
+  in
+  Kernel.mk "hough" ~descr:"Hough transform (thresholded voting)"
+    ~init:(fun st p ->
+      Kernel.init_all_arrays ~seed:44 st p;
+      (* sin/cos tables in [0,1) so rho stays in range *)
+      let sins = Sp_ir.Program.find_seg p "sins" in
+      let coss = Sp_ir.Program.find_seg p "coss" in
+      Sp_ir.Machine_state.init_farray st sins (fun t ->
+          Float.abs (sin (float_of_int t *. 0.3)) *. 0.49);
+      Sp_ir.Machine_state.init_farray st coss (fun t ->
+          Float.abs (cos (float_of_int t *. 0.3)) *. 0.49);
+      let acc = Sp_ir.Program.find_seg p "acc" in
+      Sp_ir.Machine_state.init_farray st acc (fun _ -> 0.0))
+    (Kernel.W2 src)
+
+(** Local selective averaging: average each pixel with those 4-neighbours
+    that are within a threshold of it (data-dependent conditionals in
+    the innermost loop). *)
+let local_average ~n =
+  let src =
+    Printf.sprintf
+      {|
+program lsavg;
+var p : array [0..%d, 0..%d] of float;
+    o : array [0..%d, 0..%d] of float;
+    c, s, cnt, d : float;
+    i, j : int;
+begin
+  for i := 1 to %d do
+    for j := 1 to %d do begin
+      c := p[i,j];
+      s := c;
+      cnt := 1.0;
+      d := p[i-1,j] - c;
+      if abs(d) < 0.3 then begin s := s + p[i-1,j]; cnt := cnt + 1.0; end
+      else s := s;
+      d := p[i+1,j] - c;
+      if abs(d) < 0.3 then begin s := s + p[i+1,j]; cnt := cnt + 1.0; end
+      else s := s;
+      d := p[i,j-1] - c;
+      if abs(d) < 0.3 then begin s := s + p[i,j-1]; cnt := cnt + 1.0; end
+      else s := s;
+      d := p[i,j+1] - c;
+      if abs(d) < 0.3 then begin s := s + p[i,j+1]; cnt := cnt + 1.0; end
+      else s := s;
+      o[i,j] := s * inverse(cnt);
+    end
+end.
+|}
+      (n + 1) (n + 1) (n + 1) (n + 1) (n - 1) (n - 1)
+  in
+  Kernel.mk "lsavg" ~descr:"local selective averaging (conditional smoothing)"
+    ~init:(Kernel.init_all_arrays ~seed:45)
+    (Kernel.W2 src)
+
+(** All-pairs shortest path, one Warshall sweep (the paper ran 10
+    iterations over 350 nodes; we run one sweep over a smaller graph —
+    the inner loop is identical). *)
+let warshall ~n =
+  let src =
+    Printf.sprintf
+      {|
+program warshall;
+var d : independent array [0..%d, 0..%d] of float;
+    dik : float;
+    k, i, j : int;
+begin
+  for k := 0 to %d do
+    for i := 0 to %d do begin
+      dik := d[i,k];
+      for j := 0 to %d do
+        d[i,j] := min(d[i,j], dik + d[k,j]);
+    end
+end.
+|}
+      (n - 1) (n - 1) (n - 1) (n - 1) (n - 1)
+  in
+  Kernel.mk "warshall" ~descr:"Warshall all-pairs shortest path"
+    ~init:(Kernel.init_all_arrays ~seed:46)
+    (Kernel.W2 src)
+
+(** Roberts edge operator: cross-difference gradient magnitude. *)
+let roberts ~n =
+  let src =
+    Printf.sprintf
+      {|
+program roberts;
+var p : array [0..%d, 0..%d] of float;
+    o : array [0..%d, 0..%d] of float;
+    i, j : int;
+begin
+  for i := 0 to %d do
+    for j := 0 to %d do
+      o[i,j] := abs(p[i,j] - p[i+1,j+1]) + abs(p[i+1,j] - p[i,j+1]);
+end.
+|}
+      n n (n - 1) (n - 1) (n - 1) (n - 1)
+  in
+  Kernel.mk "roberts" ~descr:"Roberts edge operator"
+    ~init:(Kernel.init_all_arrays ~seed:47)
+    (Kernel.W2 src)
+
+(* ------------------------------------------------------------------ *)
+
+(** The Table 4-1 programs, with the paper's array-level MFLOPS
+    reference where the scan is legible. *)
+let all =
+  [
+    (matmul_cell ~n:48, Some 79.4);
+    (fft_stage ~n:128, Some 104.0);
+    (conv3x3 ~n:img, Some 71.9);
+    (hough ~n:16 ~angles:8, Some 24.3);
+    (local_average ~n:img, Some 39.2);
+    (warshall ~n:20, Some 15.2);
+    (roberts ~n:img, Some 42.2);
+  ]

@@ -1,0 +1,466 @@
+(** The Livermore Fortran kernels (McMahon), ported to the W2-like
+    dialect the way the paper ports them (Section 4.2): "The Fortran
+    programs were translated manually into the W2 syntax", INVERSE and
+    SQRT expand to 7 and 19 floating-point operations, EXP to 19
+    conditional statements.
+
+    The selection below mirrors the paper's Table 4-2 rows that our
+    dialect can express directly, including the three kernels the
+    paper's compiler declines to pipeline: LFK 22's EXP body blows the
+    length threshold; LFK 20's long division recurrences leave no room
+    under the serial restart interval. Problem sizes are scaled to keep
+    cycle-accurate simulation fast; MFLOPS is dominated by the steady
+    state and insensitive to this. *)
+
+let n = 200 (* base vector length *)
+
+let k1_hydro =
+  Kernel.mk "LFK1" ~descr:"hydro fragment"
+    ~init:(Kernel.init_all_arrays ~seed:1)
+    (Kernel.W2
+       (Printf.sprintf
+          {|
+program lfk1;
+var x, y, z : array [0..%d] of float;
+    q, r, t : float;
+    k : int;
+begin
+  q := 0.5; r := 1.5; t := 2.5;
+  for k := 0 to %d do
+    x[k] := q + y[k] * (r * z[k+10] + t * z[k+11]);
+end.
+|}
+          (n + 20) (n - 1)))
+
+let k2_first_order =
+  Kernel.mk "LFK2" ~descr:"ICCG-style first-order recurrence"
+    ~init:(Kernel.init_all_arrays ~seed:2)
+    (Kernel.W2
+       (Printf.sprintf
+          {|
+program lfk2;
+var x, v : array [0..%d] of float;
+    k : int;
+begin
+  for k := 1 to %d do
+    x[k] := x[k] - v[k] * x[k-1];
+end.
+|}
+          n (n - 1)))
+
+let k3_inner_product =
+  Kernel.mk "LFK3" ~descr:"inner product"
+    ~init:(Kernel.init_all_arrays ~seed:3)
+    (Kernel.W2
+       (Printf.sprintf
+          {|
+program lfk3;
+var x, z : array [0..%d] of float;
+    q : float;
+    k : int;
+begin
+  q := 0.0;
+  for k := 0 to %d do
+    q := q + z[k] * x[k];
+  x[0] := q;
+end.
+|}
+          n (n - 1)))
+
+let k4_banded =
+  Kernel.mk "LFK4" ~descr:"banded linear equations (distance-5 recurrence)"
+    ~init:(Kernel.init_all_arrays ~seed:4)
+    (Kernel.W2
+       (Printf.sprintf
+          {|
+program lfk4;
+var x, y : array [0..%d] of float;
+    k : int;
+begin
+  for k := 5 to %d do
+    x[k] := x[k] - y[k] * x[k-5];
+end.
+|}
+          n (n - 1)))
+
+let k5_tridiag =
+  Kernel.mk "LFK5" ~descr:"tri-diagonal elimination, below diagonal"
+    ~init:(Kernel.init_all_arrays ~seed:5)
+    (Kernel.W2
+       (Printf.sprintf
+          {|
+program lfk5;
+var x, y, z : array [0..%d] of float;
+    k : int;
+begin
+  for k := 1 to %d do
+    x[k] := z[k] * (y[k] - x[k-1]);
+end.
+|}
+          n (n - 1)))
+
+let k6_linear_recurrence =
+  Kernel.mk "LFK6" ~descr:"general linear recurrence equations"
+    ~init:(Kernel.init_all_arrays ~seed:6)
+    (Kernel.W2
+       {|
+program lfk6;
+var w : array [0..31] of float;
+    b : array [0..31, 0..31] of float;
+    s : float;
+    i, k : int;
+begin
+  for i := 1 to 31 do begin
+    s := 0.0;
+    for k := 0 to 30 do begin
+      if k < i then s := s + b[i,k] * w[i-k-1];
+      else s := s + 0.0;
+    end
+    w[i] := w[i] + s;
+  end
+end.
+|})
+
+let k7_eos =
+  Kernel.mk "LFK7" ~descr:"equation of state fragment"
+    ~init:(Kernel.init_all_arrays ~seed:7)
+    (Kernel.W2
+       (Printf.sprintf
+          {|
+program lfk7;
+var x, y, z, u : array [0..%d] of float;
+    q, r, t : float;
+    k : int;
+begin
+  q := 0.5; r := 1.5; t := 2.5;
+  for k := 0 to %d do
+    x[k] := u[k] + r * (z[k] + r * y[k])
+            + t * (u[k+3] + r * (u[k+2] + r * u[k+1])
+                   + t * (u[k+6] + q * (u[k+5] + q * u[k+4])));
+end.
+|}
+          (n + 10) (n - 1)))
+
+let k9_integrate_predictors =
+  Kernel.mk "LFK9" ~descr:"integrate predictors"
+    ~init:(Kernel.init_all_arrays ~seed:9)
+    (Kernel.W2
+       {|
+program lfk9;
+var px : array [0..99, 0..12] of float;
+    i : int;
+begin
+  for i := 0 to 99 do
+    px[i,0] := 0.1 + 0.25 * (px[i,12] + 0.5 * px[i,11] + 0.3 * px[i,10]
+               + 0.2 * (px[i,9] + 0.8 * px[i,8] + 0.7 * px[i,7])
+               + 0.6 * (px[i,6] + 0.9 * px[i,5] + 1.1 * px[i,4])
+               + 1.2 * (px[i,3] + 1.3 * px[i,2] + 1.4 * px[i,1]));
+end.
+|})
+
+let k10_difference_predictors =
+  Kernel.mk "LFK10" ~descr:"difference predictors"
+    ~init:(Kernel.init_all_arrays ~seed:10)
+    (Kernel.W2
+       {|
+program lfk10;
+var px, cx : array [0..99, 0..12] of float;
+    ar, br, cr : float;
+    i : int;
+begin
+  for i := 0 to 99 do begin
+    ar := cx[i,4];
+    br := ar - px[i,4];
+    px[i,4] := ar;
+    cr := br - px[i,5];
+    px[i,5] := br;
+    ar := cr - px[i,6];
+    px[i,6] := cr;
+    br := ar - px[i,7];
+    px[i,7] := ar;
+    cr := br - px[i,8];
+    px[i,8] := br;
+    px[i,9] := cr;
+  end
+end.
+|})
+
+let k11_first_sum =
+  Kernel.mk "LFK11" ~descr:"first sum (prefix sum)"
+    ~init:(Kernel.init_all_arrays ~seed:11)
+    (Kernel.W2
+       (Printf.sprintf
+          {|
+program lfk11;
+var x, y : array [0..%d] of float;
+    s : float;
+    k : int;
+begin
+  s := 0.0;
+  for k := 0 to %d do begin
+    s := s + y[k];
+    x[k] := s;
+  end
+end.
+|}
+          n (n - 1)))
+
+let k12_first_diff =
+  Kernel.mk "LFK12" ~descr:"first difference"
+    ~init:(Kernel.init_all_arrays ~seed:12)
+    (Kernel.W2
+       (Printf.sprintf
+          {|
+program lfk12;
+var x, y : array [0..%d] of float;
+    k : int;
+begin
+  for k := 0 to %d do
+    x[k] := y[k+1] - y[k];
+end.
+|}
+          (n + 1) (n - 1)))
+
+let k16_monte_carlo =
+  Kernel.mk "LFK16" ~descr:"Monte Carlo search (branchy scalar code)"
+    ~init:(Kernel.init_all_arrays ~seed:16)
+    (Kernel.W2
+       (Printf.sprintf
+          {|
+program lfk16;
+var zone, plan : array [0..%d] of float;
+    r, s, t : float;
+    k : int;
+begin
+  r := 1.0; s := 2.0; t := 0.0;
+  for k := 1 to %d do begin
+    t := zone[k] - zone[k-1];
+    if t < 0.0 then begin
+      s := plan[k] * r;
+      if s > zone[k] then r := r - 0.125;
+      else r := r + 0.125;
+    end
+    else begin
+      s := plan[k] + r;
+      if s > t then r := r * 0.5;
+      else r := r * 2.0;
+    end
+    plan[k] := s + r;
+  end
+end.
+|}
+          n (n - 1)))
+
+let k17_conditional =
+  Kernel.mk "LFK17" ~descr:"implicit conditional computation"
+    ~init:(Kernel.init_all_arrays ~seed:17)
+    (Kernel.W2
+       (Printf.sprintf
+          {|
+program lfk17;
+var vxne, vlr, ve3 : array [0..%d] of float;
+    k : int;
+begin
+  for k := 0 to %d do begin
+    if vlr[k] > 1.5 then
+      vxne[k] := vlr[k] * ve3[k];
+    else
+      vxne[k] := vlr[k] + ve3[k];
+  end
+end.
+|}
+          n (n - 1)))
+
+let k20_discrete_ordinates =
+  Kernel.mk "LFK20" ~descr:"discrete ordinates transport (division recurrence)"
+    ~init:(Kernel.init_all_arrays ~seed:20)
+    (Kernel.W2
+       (Printf.sprintf
+          {|
+program lfk20;
+var g, u, v, w, x : array [0..%d] of float;
+    xx, di, dn : float;
+    k : int;
+begin
+  xx := 1.0;
+  for k := 0 to %d do begin
+    di := u[k] - xx * v[k];
+    dn := 0.2;
+    if di > 0.01 then dn := max(min(w[k] / di, 2.0), 0.2);
+    xx := (g[k] + v[k] * dn) * inverse(u[k] + dn);
+    x[k] := xx;
+  end
+end.
+|}
+          n 63))
+
+let k21_matmul =
+  Kernel.mk "LFK21" ~descr:"matrix * matrix product"
+    ~init:(Kernel.init_all_arrays ~seed:21)
+    (Kernel.W2
+       {|
+program lfk21;
+var px : array [0..15, 0..15] of float;
+    vy : array [0..15, 0..15] of float;
+    cx : array [0..15, 0..15] of float;
+    i, j, k : int;
+begin
+  for k := 0 to 15 do
+    for i := 0 to 15 do
+      for j := 0 to 15 do
+        px[i,j] := px[i,j] + vy[i,k] * cx[k,j];
+end.
+|})
+
+let k22_planckian =
+  Kernel.mk "LFK22" ~descr:"Planckian distribution (EXP: 19 conditionals)"
+    ~init:(fun st p ->
+      (* keep exponents modest and denominators away from zero *)
+      List.iter
+        (fun (s : Sp_ir.Memseg.t) ->
+          if s.Sp_ir.Memseg.elt = Sp_ir.Memseg.Float_elt then
+            Sp_ir.Machine_state.init_farray st s (fun i ->
+                1.0 +. (0.02 *. float_of_int (i mod 50))))
+        p.Sp_ir.Program.segs)
+    (Kernel.W2
+       {|
+program lfk22;
+var u, v, w, y : array [0..63] of float;
+    ex : float;
+    k : int;
+begin
+  for k := 0 to 63 do begin
+    y[k] := u[k] * inverse(v[k]);
+    ex := exp(y[k]);
+    w[k] := u[k] * inverse(ex - 1.0);
+  end
+end.
+|})
+
+let k24_first_min =
+  Kernel.mk "LFK24" ~descr:"location of first minimum (conditional recurrence)"
+    ~init:(Kernel.init_all_arrays ~seed:24)
+    (Kernel.W2
+       (Printf.sprintf
+          {|
+program lfk24;
+var x : array [0..%d] of float;
+    loc : array [0..1] of int;
+    xm : float;
+    m, k : int;
+begin
+  m := 0;
+  xm := x[0];
+  for k := 1 to %d do begin
+    if x[k] < xm then begin
+      xm := x[k];
+      m := k;
+    end
+    else m := m;
+  end
+  loc[0] := m;
+end.
+|}
+          n (n - 1)))
+
+let k8_adi =
+  Kernel.mk "LFK8" ~descr:"ADI integration fragment (simplified)"
+    ~init:(Kernel.init_all_arrays ~seed:8)
+    (Kernel.W2
+       {|
+program lfk8;
+var u1, u2, u3 : array [0..2, 0..31] of float;
+    du1, du2, du3 : float;
+    kx, ky : int;
+begin
+  for ky := 1 to 30 do begin
+    du1 := u1[0, ky+1] - u1[0, ky-1];
+    du2 := u2[0, ky+1] - u2[0, ky-1];
+    du3 := u3[0, ky+1] - u3[0, ky-1];
+    u1[1, ky] := u1[0, ky] + 0.175 * (du1 + du2 + du3 + 0.25 * u1[0, ky]);
+    u2[1, ky] := u2[0, ky] + 0.175 * (du1 - du2 + du3 + 0.25 * u2[0, ky]);
+    u3[1, ky] := u3[0, ky] + 0.175 * (du1 + du2 - du3 + 0.25 * u3[0, ky]);
+  end
+end.
+|})
+
+let k18_hydro2d =
+  Kernel.mk "LFK18" ~descr:"2-D explicit hydrodynamics fragment"
+    ~init:(Kernel.init_all_arrays ~seed:18)
+    (Kernel.W2
+       {|
+program lfk18;
+var za, zb, zp, zq, zr, zm : array [0..6, 0..31] of float;
+    j, k : int;
+begin
+  for j := 1 to 5 do
+    for k := 1 to 30 do begin
+      za[j, k] := (zp[j-1, k+1] + zq[j-1, k+1] - zp[j-1, k] - zq[j-1, k])
+                  * (zr[j, k] + zr[j-1, k])
+                  * inverse(zm[j-1, k] + zm[j-1, k+1]);
+      zb[j, k] := (zp[j-1, k] + zq[j-1, k] - zp[j, k] - zq[j, k])
+                  * (zr[j, k] + zr[j, k-1])
+                  * inverse(zm[j, k] + zm[j-1, k]);
+    end
+end.
+|})
+
+let k23_implicit =
+  Kernel.mk "LFK23" ~descr:"2-D implicit hydrodynamics fragment"
+    ~init:(Kernel.init_all_arrays ~seed:23)
+    (Kernel.W2
+       {|
+program lfk23;
+var za, zu, zv, zz : array [0..5, 0..31] of float;
+    qa : float;
+    j, k : int;
+begin
+  for j := 1 to 4 do
+    for k := 1 to 30 do begin
+      qa := za[j, k+1] * zz[j, k] + za[j, k-1] * zv[j, k]
+            + za[j+1, k] * zu[j, k] + 0.175;
+      za[j, k] := za[j, k] + 0.205 * (qa - za[j, k]);
+    end
+end.
+|})
+
+(** The Table 4-2 rows we reproduce, in kernel order. *)
+let all =
+  [
+    k1_hydro;
+    k2_first_order;
+    k3_inner_product;
+    k4_banded;
+    k5_tridiag;
+    k6_linear_recurrence;
+    k7_eos;
+    k8_adi;
+    k9_integrate_predictors;
+    k10_difference_predictors;
+    k11_first_sum;
+    k12_first_diff;
+    k16_monte_carlo;
+    k17_conditional;
+    k18_hydro2d;
+    k20_discrete_ordinates;
+    k21_matmul;
+    k22_planckian;
+    k23_implicit;
+    k24_first_min;
+  ]
+
+(** Paper Table 4-2 reference points (MFLOPS on one Warp cell, lower
+    bound on efficiency, speed-up over the unpipelined kernel), for the
+    rows that are legible in the source scan. Used by EXPERIMENTS.md
+    and the bench harness for side-by-side shape comparison. *)
+let paper_reference =
+  [
+    ("LFK1", (7.63, 1.00, 4.6));
+    ("LFK3", (1.66, 1.00, 2.71));
+    ("LFK5", (1.12, 1.00, 2.86));
+    ("LFK7", (7.65, 1.00, 4.27));
+    ("LFK11", (0.77, 1.00, 1.30));
+    ("LFK12", (5.31, 0.97, 4.00));
+    ("LFK21", (1.30, 0.56, 2.63));
+    ("LFK22", (0.45, 1.00, 1.00));
+  ]

@@ -1,0 +1,263 @@
+(** The 72-program population for Figures 4-1 and 4-2.
+
+    The paper evaluates 72 user programs (vision, signal processing,
+    scientific code) and reports the distribution of array MFLOPS
+    (Figure 4-1) and of speed-up over locally compacted code
+    (Figure 4-2), noting that 42 of the 72 contain conditional
+    statements and that those speed up more. The originals are
+    proprietary Warp applications; we generate a population with the
+    same structural mix — 12 kernel families spanning parallel loops,
+    recurrences, reductions, stencils, streamed code and five flavours
+    of data-dependent conditionals, 6 size/constant variants each,
+    exactly 42 of 72 with conditionals. *)
+
+type entry = { kernel : Kernel.t; family : string; has_cond : bool }
+
+let w2 name fam has_cond ?(inputs = []) src =
+  {
+    kernel = Kernel.mk name ~init:(Kernel.init_all_arrays ~seed:7) ~inputs
+        (Kernel.W2 src);
+    family = fam;
+    has_cond;
+  }
+
+(* one variant knob: problem size and a couple of constants *)
+let sizes = [| 64; 96; 128; 160; 192; 224 |]
+let consts = [| 1.5; 0.5; 2.25; 3.5; 0.75; 1.25 |]
+
+let vadd v =
+  let n = sizes.(v) and c = consts.(v) in
+  w2 (Printf.sprintf "vadd.%d" v) "vadd" false
+    (Printf.sprintf
+       {|program vadd;
+var x : array [0..%d] of float; k : int;
+begin for k := 0 to %d do x[k] := x[k] + %g; end.|}
+       n (n - 1) c)
+
+let saxpy v =
+  let n = sizes.(v) and c = consts.(v) in
+  w2 (Printf.sprintf "saxpy.%d" v) "saxpy" false
+    (Printf.sprintf
+       {|program saxpy;
+var x, y : array [0..%d] of float; k : int;
+begin for k := 0 to %d do y[k] := %g * x[k] + y[k]; end.|}
+       n (n - 1) c)
+
+let dot v =
+  let n = sizes.(v) in
+  w2 (Printf.sprintf "dot.%d" v) "dot" false
+    (Printf.sprintf
+       {|program dot;
+var x, y : array [0..%d] of float; s : float; k : int;
+begin
+  s := 0.0;
+  for k := 0 to %d do s := s + x[k] * y[k];
+  x[0] := s;
+end.|}
+       n (n - 1))
+
+let conv1d v =
+  let n = sizes.(v) in
+  let taps = 3 + (v mod 3) in
+  let terms =
+    String.concat " + "
+      (List.init taps (fun t ->
+           Printf.sprintf "%g * x[k+%d]" (0.1 +. (0.2 *. float_of_int t)) t))
+  in
+  w2 (Printf.sprintf "conv1d.%d" v) "conv1d" false
+    (Printf.sprintf
+       {|program conv1d;
+var x : array [0..%d] of float;
+    y : array [0..%d] of float; k : int;
+begin for k := 0 to %d do y[k] := %s; end.|}
+       (n + taps) n (n - 1) terms)
+
+let stencil v =
+  let n = 16 + (2 * v) in
+  w2 (Printf.sprintf "stencil.%d" v) "stencil" false
+    (Printf.sprintf
+       {|program stencil;
+var p, o : array [0..%d, 0..%d] of float; i, j : int;
+begin
+  for i := 1 to %d do
+    for j := 1 to %d do
+      o[i,j] := 0.25 * (p[i-1,j] + p[i+1,j] + p[i,j-1] + p[i,j+1]);
+end.|}
+       (n + 1) (n + 1) n n)
+
+(* --- conditional families ------------------------------------------ *)
+
+let threshold v =
+  let n = sizes.(v) and c = consts.(v) in
+  w2 (Printf.sprintf "threshold.%d" v) "threshold" true
+    (Printf.sprintf
+       {|program threshold;
+var x, y : array [0..%d] of float; t : float; k : int;
+begin
+  for k := 0 to %d do begin
+    if x[k] > %g then t := x[k] * 2.0;
+    else t := x[k] * 0.25;
+    y[k] := t + 0.25 * (x[k+1] + x[k+2]) + 0.125 * x[k+3];
+  end
+end.|}
+       (n + 3) (n - 1) c)
+
+let clip v =
+  let n = sizes.(v) and c = consts.(v) in
+  w2 (Printf.sprintf "clip.%d" v) "clip" true
+    (Printf.sprintf
+       {|program clip;
+var x : array [0..%d] of float; t : float; k : int;
+begin
+  for k := 0 to %d do begin
+    t := x[k];
+    if t > %g then t := %g;
+    else begin
+      if t < 0.5 then t := 0.5;
+      else t := t;
+    end
+    x[k] := t;
+  end
+end.|}
+       n (n - 1) c c)
+
+let minscan v =
+  let n = sizes.(v) in
+  w2 (Printf.sprintf "minscan.%d" v) "minscan" true
+    (Printf.sprintf
+       {|program minscan;
+var x, y : array [0..%d] of float; m : float; k : int;
+begin
+  m := x[0];
+  for k := 0 to %d do begin
+    if x[k] < m then m := x[k];
+    else m := m;
+    y[k] := m + 0.5 * x[k+1] * x[k+1] + 0.25 * x[k+2];
+  end
+end.|}
+       (n + 2) (n - 1))
+
+let smooth v =
+  let n = sizes.(v) in
+  w2 (Printf.sprintf "smooth.%d" v) "smooth" true
+    (Printf.sprintf
+       {|program smooth;
+var x, y : array [0..%d] of float; d : float; k : int;
+begin
+  for k := 1 to %d do begin
+    d := x[k+1] - x[k-1];
+    if abs(d) < 0.5 then y[k] := 0.5 * (x[k-1] + x[k+1]);
+    else y[k] := x[k];
+  end
+end.|}
+       (n + 1) (n - 1))
+
+let condsum v =
+  let n = sizes.(v) and c = consts.(v) in
+  w2 (Printf.sprintf "condsum.%d" v) "condsum" true
+    (Printf.sprintf
+       {|program condsum;
+var x : array [0..%d] of float; s, t : float; k : int;
+begin
+  s := 0.0;
+  for k := 0 to %d do begin
+    t := x[k] * x[k] + 0.5 * x[k+1];
+    if t > %g then s := s + t;
+    else s := s;
+  end
+  x[0] := s;
+end.|}
+       (n + 1) (n - 1) c)
+
+let condcopy v =
+  let n = sizes.(v) and c = consts.(v) in
+  w2 (Printf.sprintf "condcopy.%d" v) "condcopy" true
+    (Printf.sprintf
+       {|program condcopy;
+var x, y, z : array [0..%d] of float; k : int;
+begin
+  for k := 0 to %d do begin
+    if x[k] * y[k] > %g then z[k] := x[k] + y[k];
+    else z[k] := x[k] - y[k];
+  end
+end.|}
+       n (n - 1) c)
+
+let branch2 v =
+  let n = sizes.(v) and c = consts.(v) in
+  w2 (Printf.sprintf "branch2.%d" v) "branch2" true
+    (Printf.sprintf
+       {|program branch2;
+var x, y : array [0..%d] of float; t, u : float; k : int;
+begin
+  for k := 0 to %d do begin
+    t := x[k];
+    if t > %g then u := t * t;
+    else u := t + t;
+    if u > 4.0 then y[k] := u * 0.125;
+    else y[k] := u;
+  end
+end.|}
+       n (n - 1) c)
+
+(* streamed signal processing, no conditionals *)
+let stream v =
+  let n = sizes.(v) and c = consts.(v) in
+  let e =
+    {
+      kernel =
+        Kernel.mk
+          (Printf.sprintf "stream.%d" v)
+          ~init:(Kernel.init_all_arrays ~seed:8)
+          ~inputs:
+            [ List.init n (fun i -> 1.0 +. (0.01 *. float_of_int (i mod 37))) ]
+          (Kernel.W2
+             (Printf.sprintf
+                {|program stream;
+var t : float; k : int;
+begin
+  for k := 0 to %d do begin
+    receive(t, 0);
+    send(%g * t * t + 0.5 * t + 0.125, 0);
+  end
+end.|}
+                (n - 1) c));
+      family = "stream";
+      has_cond = false;
+    }
+  in
+  e
+
+let polyeval v =
+  let n = sizes.(v) in
+  w2 (Printf.sprintf "poly.%d" v) "poly" false
+    (Printf.sprintf
+       {|program poly;
+var x, y : array [0..%d] of float; t : float; k : int;
+begin
+  for k := 0 to %d do begin
+    t := x[k];
+    y[k] := ((0.5 * t + 1.5) * t + 2.5) * t + 3.5;
+  end
+end.|}
+       n (n - 1))
+
+let families =
+  [ vadd; saxpy; dot; conv1d; stencil; stream; polyeval;
+    threshold; clip; minscan; smooth; condsum; condcopy; branch2 ]
+
+(** The 72 programs: 12 families x 6 variants. We use the first 12 of
+    the 14 generators above in a mix giving exactly 42 conditional
+    programs, like the paper's population. *)
+let all : entry list =
+  let chosen =
+    (* 5 unconditional + 7 conditional families *)
+    [ vadd; saxpy; dot; conv1d; stencil;
+      threshold; clip; minscan; smooth; condsum; condcopy; branch2 ]
+  in
+  List.concat_map (fun f -> List.init 6 f) chosen
+
+(** Sanity totals (used in tests): 72 programs, 42 with conditionals. *)
+let counts () =
+  ( List.length all,
+    List.length (List.filter (fun e -> e.has_cond) all) )

@@ -1,0 +1,1 @@
+lib/lang/lower.ml: Ast Builder Expand Fmt Hashtbl List Memseg Op Parser Program Region Sp_ir Sp_machine String Subscript Token Typecheck Vreg

@@ -1,0 +1,1 @@
+lib/lang/unroll.ml: Ast List Lower Parser String Typecheck

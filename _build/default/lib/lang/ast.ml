@@ -1,0 +1,71 @@
+(** Abstract syntax of the W2-like language.
+
+    W2 (Gross & Lam 1986) used "conventional Pascal-like control
+    constructs … to specify the cell programs, and asynchronous
+    computation primitives … to specify inter-cell communication"
+    (paper, Section 1). This dialect keeps exactly the constructs the
+    scheduling paper exercises: scalar and (1- or 2-dimensional) array
+    variables, assignments, arithmetic, [if]/[then]/[else], counted
+    [for] loops, [send]/[receive], and the intrinsics INVERSE, SQRT and
+    EXP that the paper expands into primitive operation sequences. *)
+
+type pos = Token.pos
+
+type ty = Tint | Tfloat
+
+let pp_ty ppf = function
+  | Tint -> Fmt.string ppf "int"
+  | Tfloat -> Fmt.string ppf "float"
+
+type decl = {
+  d_name : string;
+  d_pos : pos;
+  d_kind : decl_kind;
+}
+
+and decl_kind =
+  | Dscalar of ty
+  | Darray of {
+      elem : ty;
+      dims : (int * int) list;  (** (lo, hi) per dimension, inclusive *)
+      independent : bool;       (** the paper's disambiguation directive *)
+    }
+
+type binop =
+  | Add | Sub | Mul | Div
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop = Neg | Not
+
+type expr = { e_pos : pos; e : expr_node }
+
+and expr_node =
+  | Eint of int
+  | Efloat of float
+  | Evar of string
+  | Eindex of string * expr list    (** array element *)
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Ecall of string * expr list
+      (** intrinsics: sqrt, inverse, exp, abs, min, max, float, int,
+          receive *)
+
+type stmt = { s_pos : pos; s : stmt_node }
+
+and stmt_node =
+  | Sassign of lvalue * expr
+  | Sif of expr * stmt list * stmt list
+  | Sfor of { var : string; lo : expr; hi : expr; body : stmt list }
+  | Ssend of expr * int             (** send(e) or send(e, chan) *)
+  | Sreceive of lvalue * int        (** receive(x) or receive(x, chan) *)
+
+and lvalue = Lvar of string * pos | Lindex of string * expr list * pos
+
+type program = {
+  p_name : string;
+  p_decls : decl list;
+  p_body : stmt list;
+}
+
+let lvalue_pos = function Lvar (_, p) -> p | Lindex (_, _, p) -> p

@@ -1,0 +1,9 @@
+(** Hand-written lexer for the W2-like language. Identifiers and
+    keywords are case-insensitive; comments are Pascal-style [{ ... }]
+    or line comments [-- ...]. *)
+
+exception Error of Token.pos * string
+
+val tokenize : string -> (Token.pos * Token.t) list
+(** Tokenize a whole source string; the last element is always [EOF].
+    Raises {!Error} on malformed input. *)

@@ -1,0 +1,154 @@
+(** Source-level loop unrolling — the baseline the paper compares
+    software pipelining against in Section 5.1 ("to get enough
+    parallelism in the trace, trace scheduling relies primarily on
+    source code unrolling").
+
+    [program k p] rewrites every counted loop with compile-time bounds:
+
+    {v
+      for i := lo to hi do BODY
+      ==>
+      for i' := 0 to n/k - 1 do begin
+        BODY[i := lo + k*i'];  BODY[i := lo + k*i' + 1];  ...  (k copies)
+      end
+      -- plus (n mod k) residual copies with constant i
+    v}
+
+    The unrolled body is then compacted as one block by the baseline
+    compiler: iterations inside one unrolled group overlap, but the
+    hardware pipelines still drain at every group boundary — which is
+    exactly the structural disadvantage against software pipelining the
+    paper describes ("filling and draining the hardware pipelines at
+    the beginning and the end of each iteration make optimal
+    performance impossible"). *)
+
+open Ast
+
+(** Substitute variable [name] by expression [by] (capture-aware: inner
+    loops rebinding [name] shadow it). *)
+let rec subst_expr name by (e : expr) : expr =
+  let f = subst_expr name by in
+  let node =
+    match e.e with
+    | Eint _ | Efloat _ -> e.e
+    | Evar n -> if String.equal n name then by.e else e.e
+    | Eindex (a, idx) -> Eindex (a, List.map f idx)
+    | Ebin (op, x, y) -> Ebin (op, f x, f y)
+    | Eun (op, x) -> Eun (op, f x)
+    | Ecall (fn, args) -> Ecall (fn, List.map f args)
+  in
+  { e with e = node }
+
+let subst_lvalue name by = function
+  | Lvar (n, p) -> Lvar (n, p)
+  | Lindex (a, idx, p) -> Lindex (a, List.map (subst_expr name by) idx, p)
+
+let rec subst_stmt name by (s : stmt) : stmt =
+  let fe = subst_expr name by in
+  let node =
+    match s.s with
+    | Sassign (lv, e) -> Sassign (subst_lvalue name by lv, fe e)
+    | Sif (c, t, el) ->
+      Sif (fe c, List.map (subst_stmt name by) t, List.map (subst_stmt name by) el)
+    | Sfor ({ var; lo; hi; body } as f) ->
+      if String.equal var name then
+        (* shadowed: bounds are evaluated outside the shadow *)
+        Sfor { f with lo = fe lo; hi = fe hi }
+      else
+        Sfor
+          {
+            f with
+            lo = fe lo;
+            hi = fe hi;
+            body = List.map (subst_stmt name by) body;
+          }
+    | Ssend (e, ch) -> Ssend (fe e, ch)
+    | Sreceive (lv, ch) -> Sreceive (subst_lvalue name by lv, ch)
+  in
+  { s with s = node }
+
+let const_of (e : expr) =
+  match e.e with
+  | Eint n -> Some n
+  | Eun (Neg, { e = Eint n; _ }) -> Some (-n)
+  | _ -> None
+
+let int_ p n : expr = { e_pos = p; e = Eint n }
+
+(** Unroll one loop statement [k] times if its bounds are constants;
+    leave it alone otherwise. Inner loops are processed first. *)
+let rec unroll_stmt k (s : stmt) : stmt list =
+  match s.s with
+  | Sfor { var; lo; hi; body } -> (
+    let body = List.concat_map (unroll_stmt k) body in
+    match (const_of lo, const_of hi) with
+    | Some l, Some h when k > 1 && h - l + 1 >= k ->
+      let n = h - l + 1 in
+      let groups = n / k and rest = n mod k in
+      let p = s.s_pos in
+      let copy base_expr j =
+        let idx =
+          { e_pos = p; e = Ebin (Add, base_expr, int_ p j) }
+        in
+        List.map (subst_stmt var idx) body
+      in
+      let grouped =
+        {
+          s_pos = p;
+          s =
+            Sfor
+              {
+                var;
+                lo = int_ p 0;
+                hi = int_ p (groups - 1);
+                body =
+                  (let base =
+                     (* l + k*var *)
+                     {
+                       e_pos = p;
+                       e =
+                         Ebin
+                           ( Add,
+                             int_ p l,
+                             {
+                               e_pos = p;
+                               e = Ebin (Mul, int_ p k, { e_pos = p; e = Evar var });
+                             } );
+                     }
+                   in
+                   List.concat (List.init k (copy base)));
+              };
+        }
+      in
+      let residue =
+        List.concat
+          (List.init rest (fun j ->
+               copy (int_ p (l + (groups * k))) j))
+      in
+      grouped :: residue
+    | _ -> [ { s with s = Sfor { var; lo; hi; body } } ])
+  | Sif (c, t, e) ->
+    [
+      {
+        s with
+        s =
+          Sif
+            ( c,
+              List.concat_map (unroll_stmt k) t,
+              List.concat_map (unroll_stmt k) e );
+      };
+    ]
+  | _ -> [ s ]
+
+(** Unroll every constant-bound loop of the program [k] times. *)
+let program k (p : Ast.program) : Ast.program =
+  if k <= 1 then p
+  else { p with p_body = List.concat_map (unroll_stmt k) p.p_body }
+
+(** Front door mirroring {!Lower.compile_source}: parse, unroll, check,
+    lower. *)
+let compile_source ~k src =
+  let ast = Parser.parse src in
+  let ast = program k ast in
+  ignore (Typecheck.check ast);
+  Lower.lower ast

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Hashtbl List Opkind Printf String

@@ -1,0 +1,1 @@
+lib/machine/opkind.ml: Fmt Printf

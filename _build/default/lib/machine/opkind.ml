@@ -1,0 +1,100 @@
+(** Operation kinds understood by the machine model.
+
+    These are the micro-operations of the target datapath. Each kind is
+    mapped by a {!Machine.t} to a latency and a resource reservation.
+    The IR ({!module:Sp_ir}) attaches operands to these kinds. *)
+
+type rel = Eq | Ne | Lt | Le | Gt | Ge
+
+let negate_rel = function
+  | Eq -> Ne | Ne -> Eq | Lt -> Ge | Le -> Gt | Gt -> Le | Ge -> Lt
+
+let string_of_rel = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+type t =
+  (* floating point *)
+  | Fadd | Fsub | Fmul
+  | Fneg | Fabs
+  | Fmin | Fmax
+  | Fcmp of rel              (** produces an int (0/1) in an I register *)
+  | Fmov                     (** FP register move (runs on the adder) *)
+  | Fconst                   (** load FP immediate *)
+  | Fsel                     (** select: dst = if src0 <> 0 then src1 else src2 *)
+  | Frecs                    (** reciprocal seed (table lookup), ~1/17 rel. error *)
+  | Frsqs                    (** reciprocal-square-root seed, ~1/16 rel. error *)
+  (* integer ALU *)
+  | Iadd | Isub | Imul
+  | Iand | Ior | Ixor | Ishl | Ishr
+  | Idiv | Imod
+      (** iterative integer divide/modulo; used only in loop-setup code
+          for runtime trip counts, never inside pipelined kernels *)
+  | Icmp of rel
+  | Imov | Iconst
+  | Isel
+  | Itof | Ftoi
+  (* address generation: the synthesized induction-variable copy and
+     update run on the dedicated address unit, as on Warp, so loop
+     bookkeeping does not compete with user integer arithmetic *)
+  | Amov | Aadd
+  (* memory *)
+  | Load                     (** data-memory read *)
+  | Store                    (** data-memory write; no destination *)
+  (* inter-cell communication queues *)
+  | Recv of int              (** dequeue from input channel [n] *)
+  | Send of int              (** enqueue to output channel [n] *)
+  | Nop
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul"
+  | Fneg -> "fneg" | Fabs -> "fabs" | Fmin -> "fmin" | Fmax -> "fmax"
+  | Fcmp r -> "fcmp." ^ string_of_rel r
+  | Fmov -> "fmov" | Fconst -> "fconst" | Fsel -> "fsel"
+  | Frecs -> "frecs" | Frsqs -> "frsqs"
+  | Iadd -> "iadd" | Isub -> "isub" | Imul -> "imul"
+  | Iand -> "iand" | Ior -> "ior" | Ixor -> "ixor"
+  | Ishl -> "ishl" | Ishr -> "ishr" | Idiv -> "idiv" | Imod -> "imod"
+  | Icmp r -> "icmp." ^ string_of_rel r
+  | Imov -> "imov" | Iconst -> "iconst" | Isel -> "isel"
+  | Amov -> "amov" | Aadd -> "aadd"
+  | Itof -> "itof" | Ftoi -> "ftoi"
+  | Load -> "load" | Store -> "store"
+  | Recv n -> Printf.sprintf "recv%d" n
+  | Send n -> Printf.sprintf "send%d" n
+  | Nop -> "nop"
+
+let pp ppf k = Fmt.string ppf (to_string k)
+
+(** Does this operation count as one floating-point operation for MFLOPS
+    accounting? (Same convention as the paper: adds and multiplies — the
+    expanded INVERSE/SQRT sequences count their seeds too; compares,
+    moves and selects do not count.) *)
+let is_flop = function
+  | Fadd | Fsub | Fmul | Frecs | Frsqs -> true
+  | _ -> false
+
+(** Number of register sources the kind expects. *)
+let arity = function
+  | Fconst | Iconst | Nop | Recv _ -> 0
+  | Fneg | Fabs | Fmov | Itof | Ftoi | Send _ | Frecs | Frsqs | Imov
+  | Amov -> 1
+  | Fadd | Fsub | Fmul | Fmin | Fmax | Fcmp _
+  | Iadd | Isub | Imul | Iand | Ior | Ixor | Ishl | Ishr | Idiv | Imod
+  | Aadd | Icmp _ -> 2
+  | Fsel | Isel -> 3
+  | Load -> 0   (* address operands are carried separately *)
+  | Store -> 1  (* the stored value; address operands are separate *)
+
+(** Does the kind produce a result register? *)
+let has_dst = function
+  | Store | Send _ | Nop -> false
+  | _ -> true
+
+(** Register class of the destination, when there is one. *)
+let dst_is_float = function
+  | Fadd | Fsub | Fmul | Fneg | Fabs | Fmin | Fmax | Fmov | Fconst | Fsel
+  | Frecs | Frsqs | Itof -> true
+  | Load -> true (* loads of int arrays use [Ftoi] afterwards; see Sp_ir *)
+  | _ -> false

@@ -1,0 +1,43 @@
+(** Text histograms for the figure reproductions (Figures 4-1 and 4-2 of
+    the paper are histograms over a program population). *)
+
+type t = {
+  lo : float;          (** lower edge of the first bucket *)
+  width : float;       (** bucket width *)
+  counts : int array;  (** per-bucket counts; last bucket catches overflow *)
+  mutable n : int;
+  mutable total : float;
+}
+
+let create ~lo ~width ~buckets =
+  if width <= 0. then invalid_arg "Histogram.create: non-positive width";
+  if buckets <= 0 then invalid_arg "Histogram.create: no buckets";
+  { lo; width; counts = Array.make buckets 0; n = 0; total = 0. }
+
+let add t x =
+  let i = int_of_float (Float.floor ((x -. t.lo) /. t.width)) in
+  let i = max 0 (min (Array.length t.counts - 1) i) in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.n <- t.n + 1;
+  t.total <- t.total +. x
+
+let of_list ~lo ~width ~buckets xs =
+  let t = create ~lo ~width ~buckets in
+  List.iter (add t) xs;
+  t
+
+let count t = t.n
+let mean t = if t.n = 0 then 0. else t.total /. float_of_int t.n
+
+let bucket_label t i =
+  Printf.sprintf "%5.2f-%5.2f"
+    (t.lo +. (float_of_int i *. t.width))
+    (t.lo +. (float_of_int (i + 1) *. t.width))
+
+(** Render with one row per bucket: [label | ### count]. *)
+let pp ?(bar_unit = 1) ppf t =
+  Array.iteri
+    (fun i c ->
+      let bar = String.make (c / max 1 bar_unit) '#' in
+      Fmt.pf ppf "%s | %-30s %d@." (bucket_label t i) bar c)
+    t.counts

@@ -1,0 +1,43 @@
+(** Minimal aligned-column text tables, used by the benchmark harness to
+    print the paper's tables. *)
+
+type align = L | R
+
+type t = { headers : string list; aligns : align list; rows : string list list ref }
+
+let create ~headers ~aligns =
+  if List.length headers <> List.length aligns then
+    invalid_arg "Table.create: headers/aligns length mismatch";
+  { headers; aligns; rows = ref [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong arity";
+  t.rows := row :: !(t.rows)
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else match align with
+    | L -> s ^ String.make n ' '
+    | R -> String.make n ' ' ^ s
+
+let pp ppf t =
+  let rows = List.rev !(t.rows) in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w r -> max w (String.length (List.nth r i)))
+          (String.length h) rows)
+      t.headers
+  in
+  let print_row r =
+    let cells = List.map2 (fun (a, w) c -> pad a w c)
+        (List.combine t.aligns widths) r in
+    Fmt.pf ppf "  %s@." (String.concat "  " cells)
+  in
+  print_row t.headers;
+  Fmt.pf ppf "  %s@."
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter print_row rows

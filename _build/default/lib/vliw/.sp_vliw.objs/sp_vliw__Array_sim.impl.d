@@ -1,0 +1,1 @@
+lib/vliw/array_sim.ml: Array Hashtbl Inst List Machine_state Op Option Printf Prog Program Queue Semantics Sim Sp_ir Sp_machine Vreg

@@ -1,0 +1,1 @@
+lib/vliw/check.ml: Array Fmt Inst List Machine Prog Sp_ir Sp_machine

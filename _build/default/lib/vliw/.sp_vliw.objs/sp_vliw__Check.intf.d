@@ -1,0 +1,1 @@
+lib/vliw/check.mli: Format Prog Sp_machine

@@ -1,0 +1,1 @@
+lib/vliw/inst.ml: Fmt Sp_ir

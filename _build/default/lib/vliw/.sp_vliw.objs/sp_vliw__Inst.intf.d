@@ -1,0 +1,1 @@
+lib/vliw/inst.mli: Format Sp_ir

@@ -1,0 +1,1 @@
+lib/vliw/prog.ml: Array Fmt Inst List Printf

@@ -1,0 +1,1 @@
+lib/vliw/prog.mli: Format Inst Sp_ir

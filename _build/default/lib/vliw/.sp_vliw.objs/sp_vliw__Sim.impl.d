@@ -1,0 +1,1 @@
+lib/vliw/sim.ml: Array Hashtbl Inst List Machine_state Memseg Op Option Printf Prog Program Semantics Sp_ir Sp_machine Vreg

@@ -1,0 +1,1 @@
+lib/vliw/sim.mli: Machine_state Prog Program Sp_ir Sp_machine

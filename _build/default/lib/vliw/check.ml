@@ -1,0 +1,59 @@
+(** Static resource-discipline checker for assembled programs.
+
+    Walks the code in layout order, projecting each operation's
+    reservation onto the instructions it occupies, and verifies that no
+    resource is oversubscribed in any instruction. Layout order is
+    exact for the machines in this repository (all reservations are at
+    offset 0, so nothing spans a branch); for hypothetical multi-cycle
+    reservations the projection across taken branches would be
+    path-dependent and this checker is conservative along fall-through
+    only. *)
+
+open Sp_machine
+
+type violation = {
+  at : int;            (** instruction index *)
+  resource : string;
+  used : int;
+  avail : int;
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf "instruction %d oversubscribes %s: %d used, %d available"
+    v.at v.resource v.used v.avail
+
+let check_prog (m : Machine.t) (p : Prog.t) : violation list =
+  let n = Prog.length p in
+  let nr = Machine.num_resources m in
+  (* usage.(i).(r) = units of resource r used by instruction i *)
+  let usage = Array.init n (fun _ -> Array.make nr 0) in
+  Array.iteri
+    (fun i (inst : Inst.t) ->
+      List.iter
+        (fun (op : Sp_ir.Op.t) ->
+          List.iter
+            (fun (off, rid) ->
+              let j = i + off in
+              if j >= 0 && j < n then usage.(j).(rid) <- usage.(j).(rid) + 1)
+            (Machine.reservation m op.kind))
+        inst.ops)
+    p.code;
+  let viols = ref [] in
+  Array.iteri
+    (fun i u ->
+      Array.iteri
+        (fun rid used ->
+          let r = Machine.resource m rid in
+          if used > r.count then
+            viols :=
+              { at = i; resource = r.rname; used; avail = r.count }
+              :: !viols)
+        u)
+    usage;
+  List.rev !viols
+
+(** Raise on the first violation; for use in tests. *)
+exception Oversubscribed of violation
+
+let check_exn m p =
+  match check_prog m p with [] -> () | v :: _ -> raise (Oversubscribed v)

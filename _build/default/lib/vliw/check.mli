@@ -1,0 +1,19 @@
+(** Static resource-discipline checker: verifies that no instruction of
+    an assembled program oversubscribes any machine resource. Exact for
+    the machines in this repository (all reservations at offset 0). *)
+
+type violation = {
+  at : int;          (** instruction index *)
+  resource : string;
+  used : int;
+  avail : int;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_prog : Sp_machine.Machine.t -> Prog.t -> violation list
+(** All violations, in instruction order; [[]] for legal code. *)
+
+exception Oversubscribed of violation
+
+val check_exn : Sp_machine.Machine.t -> Prog.t -> unit

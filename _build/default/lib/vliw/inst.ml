@@ -1,0 +1,49 @@
+(** Very long instruction words.
+
+    One instruction issues every cycle. It carries any number of
+    micro-operations (the resource checker enforces the machine's
+    per-cycle capacities) plus one control field for the sequencer.
+    Hardware loop counters model Warp's sequencer-side looping support:
+    they live in the sequencer, not the register files, so loop control
+    never competes with the datapath (see DESIGN.md Section 6). *)
+
+type label = int
+(** Symbolic until {!Prog.Asm.finish}; instruction index afterwards. *)
+
+type ctl =
+  | Next
+  | Halt
+  | Jump of label
+  | CJump of { cond : Sp_ir.Vreg.t; if_zero : bool; target : label }
+      (** branch when [cond <> 0] (or [= 0] when [if_zero]) *)
+  | CtrSet of { ctr : int; value : int }
+      (** load an immediate into hardware loop counter [ctr] *)
+  | CtrSetR of { ctr : int; reg : Sp_ir.Vreg.t }
+      (** load a register into a loop counter *)
+  | CtrLoop of { ctr : int; target : label }
+      (** decrement counter; jump if still positive *)
+  | CtrJumpLt of { ctr : int; bound : int; target : label }
+      (** jump when the counter is below an immediate bound *)
+
+type t = { ops : Sp_ir.Op.t list; ctl : ctl }
+
+let empty = { ops = []; ctl = Next }
+
+let pp_ctl ppf = function
+  | Next -> ()
+  | Halt -> Fmt.pf ppf " halt"
+  | Jump l -> Fmt.pf ppf " jump L%d" l
+  | CJump { cond; if_zero; target } ->
+    Fmt.pf ppf " cjump%s %a L%d"
+      (if if_zero then ".z" else ".nz")
+      Sp_ir.Vreg.pp cond target
+  | CtrSet { ctr; value } -> Fmt.pf ppf " ctr%d := %d" ctr value
+  | CtrSetR { ctr; reg } -> Fmt.pf ppf " ctr%d := %a" ctr Sp_ir.Vreg.pp reg
+  | CtrLoop { ctr; target } -> Fmt.pf ppf " ctrloop%d L%d" ctr target
+  | CtrJumpLt { ctr; bound; target } ->
+    Fmt.pf ppf " if ctr%d < %d jump L%d" ctr bound target
+
+let pp ppf i =
+  Fmt.pf ppf "[%a]%a"
+    (Fmt.list ~sep:(Fmt.any "; ") Sp_ir.Op.pp)
+    i.ops pp_ctl i.ctl

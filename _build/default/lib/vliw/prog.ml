@@ -1,0 +1,75 @@
+(** Assembled VLIW programs and the assembler used to build them.
+
+    The assembler hands out symbolic labels, lets the emitter place
+    them, and resolves everything to instruction indices in
+    {!Asm.finish}. *)
+
+type t = { code : Inst.t array }
+
+let length p = Array.length p.code
+
+let pp ppf p =
+  Array.iteri (fun i inst -> Fmt.pf ppf "%4d: %a@." i Inst.pp inst) p.code
+
+(** Static code-size statistics (Section 2.4 of the paper). *)
+let size p = Array.length p.code
+
+module Asm = struct
+  type asm = {
+    mutable insts : Inst.t list; (* reversed *)
+    mutable n : int;
+    mutable labels : (int * int) list; (* symbolic label -> index *)
+    mutable next_label : int;
+  }
+
+  let create () = { insts = []; n = 0; labels = []; next_label = 0 }
+
+  let fresh_label a =
+    let l = a.next_label in
+    a.next_label <- l + 1;
+    l
+
+  (** Bind [l] to the address of the next instruction emitted. *)
+  let place a l = a.labels <- (l, a.n) :: a.labels
+
+  let here a = a.n
+
+  let inst a ?(ctl = Inst.Next) ops =
+    a.insts <- { Inst.ops; ctl } :: a.insts;
+    a.n <- a.n + 1
+
+  (** Attach [ctl] to the last emitted instruction if its control field
+      is free; otherwise emit a fresh instruction carrying it. Used to
+      place loop-back branches and join jumps after code whose last
+      instruction may already branch (e.g. a conditional ending exactly
+      at a construct boundary). *)
+  let attach_ctl a ctl =
+    (* if a label points at the next address, some branch targets the
+       position after the last instruction — the control transfer must
+       occupy that position, not piggyback on the previous word *)
+    let label_here = List.exists (fun (_, i) -> i = a.n) a.labels in
+    match a.insts with
+    | ({ Inst.ctl = Inst.Next; _ } as i) :: rest when not label_here ->
+      a.insts <- { i with Inst.ctl } :: rest
+    | _ -> inst a ~ctl []
+
+  let resolve a l =
+    match List.assoc_opt l a.labels with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Asm: unplaced label L%d" l)
+
+  let finish a =
+    let fix (i : Inst.t) =
+      let ctl =
+        match i.ctl with
+        | Inst.Next | Inst.Halt | Inst.CtrSet _ | Inst.CtrSetR _ -> i.ctl
+        | Inst.Jump l -> Inst.Jump (resolve a l)
+        | Inst.CJump c -> Inst.CJump { c with target = resolve a c.target }
+        | Inst.CtrLoop c -> Inst.CtrLoop { c with target = resolve a c.target }
+        | Inst.CtrJumpLt c ->
+          Inst.CtrJumpLt { c with target = resolve a c.target }
+      in
+      { i with Inst.ctl }
+    in
+    { code = Array.of_list (List.rev_map fix a.insts) }
+end

@@ -1,0 +1,32 @@
+(** Assembled VLIW programs and the assembler used to build them. *)
+
+type t = { code : Inst.t array }
+
+val length : t -> int
+val size : t -> int
+(** Static code size in instruction words (the paper's Section 2.4
+    metric). *)
+
+val pp : Format.formatter -> t -> unit
+
+module Asm : sig
+  type asm
+
+  val create : unit -> asm
+
+  val fresh_label : asm -> Inst.label
+  val place : asm -> Inst.label -> unit
+  (** Bind a label to the address of the next instruction emitted. *)
+
+  val here : asm -> int
+  val inst : asm -> ?ctl:Inst.ctl -> Sp_ir.Op.t list -> unit
+
+  val attach_ctl : asm -> Inst.ctl -> unit
+  (** Attach control to the last instruction if its field is free and
+      no label points past it; otherwise emit a fresh word. Only for
+      control that reads no register (a register-reading field must
+      occupy its own, later word — see DESIGN.md §7.5). *)
+
+  val finish : asm -> t
+  (** Resolve labels. Raises [Invalid_argument] on an unplaced label. *)
+end

@@ -1,0 +1,137 @@
+(** Cycle-accurate VLIW simulator.
+
+    Timing contract (shared with the scheduler's dependence model, see
+    DESIGN.md Section 6):
+
+    - one instruction issues per cycle; every micro-operation in it
+      reads its source registers at issue;
+    - a result with latency [l] becomes readable exactly [l] cycles
+      after issue (in-flight values are invisible before that);
+    - stores become visible to loads on the {e following} cycle; a load
+      issued in the same instruction as a store to the same address
+      reads the old value;
+    - control (jumps, hardware loop counters) takes effect on the next
+      cycle, with no delay slots;
+    - channel receives dequeue at issue, sends enqueue at issue.
+
+    The simulator deliberately performs no resource checking — that is
+    {!Check.check_prog}'s job — but it does verify the register
+    write-port discipline: two in-flight writes landing on the same
+    register in the same cycle indicate a scheduling bug and raise
+    {!Write_conflict}. *)
+
+open Sp_ir
+
+exception Write_conflict of string
+exception Cycle_limit of int
+
+type result = {
+  state : Machine_state.t;
+  cycles : int;
+  flops : int;
+  dyn_ops : int;
+}
+
+type pending = { at : int; dst : Vreg.t; v : Semantics.value }
+
+let run ?(channels = 2) ?(inputs = []) ?(max_cycles = 100_000_000)
+    ?(ctrs = 16) ?(init = fun (_ : Machine_state.t) -> ())
+    (m : Sp_machine.Machine.t) (p : Program.t) (code : Prog.t) : result =
+  let st = Machine_state.create ~channels p in
+  List.iteri (fun ch xs -> Machine_state.set_input st ch xs) inputs;
+  init st;
+  let counters = Array.make ctrs 0 in
+  let flops = ref 0 and dyn = ref 0 in
+  (* pending register writes, keyed by due cycle *)
+  let pend : (int, pending list) Hashtbl.t = Hashtbl.create 64 in
+  let add_pending at dst v =
+    let l = Option.value ~default:[] (Hashtbl.find_opt pend at) in
+    (match List.find_opt (fun p -> Vreg.equal p.dst dst) l with
+    | Some _ ->
+      raise
+        (Write_conflict
+           (Printf.sprintf "two writes to %s due at cycle %d"
+              (Vreg.to_string dst) at))
+    | None -> ());
+    Hashtbl.replace pend at ({ at; dst; v } :: l)
+  in
+  let apply_pending t =
+    match Hashtbl.find_opt pend t with
+    | None -> ()
+    | Some l ->
+      List.iter (fun { dst; v; _ } -> Machine_state.write st dst v) l;
+      Hashtbl.remove pend t
+  in
+  (* store buffer: stores issued this cycle apply at end of cycle *)
+  let store_buf : (Memseg.t * int * Semantics.value) list ref = ref [] in
+  let ctx =
+    {
+      Semantics.rd = Machine_state.read st;
+      ld = Machine_state.load st;
+      st = (fun s i v -> store_buf := (s, i, v) :: !store_buf);
+      recv = Machine_state.recv st;
+      send = Machine_state.send st;
+    }
+  in
+  let pc = ref 0 and cycle = ref 0 and halted = ref false in
+  while not !halted do
+    if !cycle > max_cycles then raise (Cycle_limit !cycle);
+    apply_pending !cycle;
+    if !pc < 0 || !pc >= Prog.length code then halted := true
+    else begin
+      let inst = code.Prog.code.(!pc) in
+      (* issue all micro-operations: reads happen against the current
+         register file; writes are queued for [cycle + latency] *)
+      List.iter
+        (fun (op : Op.t) ->
+          incr dyn;
+          if Op.is_flop op then incr flops;
+          let v = Semantics.exec ctx op in
+          match (v, op.dst) with
+          | Some v, Some d ->
+            let lat = max 1 (Sp_machine.Machine.latency m op.kind) in
+            add_pending (!cycle + lat) d v
+          | None, None -> ()
+          | Some _, None -> ()
+          | None, Some _ ->
+            raise (Semantics.Type_error "dst op produced no value"))
+        inst.Inst.ops;
+      (* stores commit at end of cycle *)
+      List.iter
+        (fun (s, i, v) -> Machine_state.store st s i v)
+        (List.rev !store_buf);
+      store_buf := [];
+      (* control *)
+      (match inst.Inst.ctl with
+      | Inst.Next -> incr pc
+      | Inst.Halt -> halted := true
+      | Inst.Jump l -> pc := l
+      | Inst.CJump { cond; if_zero; target } ->
+        let c = Semantics.as_i (Machine_state.read st cond) in
+        let taken = if if_zero then c = 0 else c <> 0 in
+        if taken then pc := target else incr pc
+      | Inst.CtrSet { ctr; value } ->
+        counters.(ctr) <- value;
+        incr pc
+      | Inst.CtrSetR { ctr; reg } ->
+        counters.(ctr) <- Semantics.as_i (Machine_state.read st reg);
+        incr pc
+      | Inst.CtrLoop { ctr; target } ->
+        counters.(ctr) <- counters.(ctr) - 1;
+        if counters.(ctr) > 0 then pc := target else incr pc
+      | Inst.CtrJumpLt { ctr; bound; target } ->
+        if counters.(ctr) < bound then pc := target else incr pc);
+      incr cycle
+    end
+  done;
+  (* drain remaining in-flight writes so the final state is complete *)
+  let horizon = ref !cycle in
+  Hashtbl.iter (fun t _ -> if t > !horizon then horizon := t) pend;
+  for t = !cycle to !horizon do
+    apply_pending t
+  done;
+  { state = st; cycles = !cycle; flops = !flops; dyn_ops = !dyn }
+
+(** MFLOPS achieved by a simulation on machine [m]. *)
+let mflops (m : Sp_machine.Machine.t) (r : result) =
+  Sp_machine.Machine.mflops m ~flops:r.flops ~cycles:r.cycles

@@ -1,0 +1,55 @@
+(** Static statistics over assembled programs: instruction-word
+    occupancy (how full the long instructions are — the "compaction"
+    the paper's techniques exist to achieve) and per-resource usage. *)
+
+open Sp_machine
+
+type t = {
+  words : int;              (** instruction count *)
+  ops : int;                (** micro-operations *)
+  empty_words : int;
+  max_ops_per_word : int;
+  mean_ops_per_word : float;
+  resource_use : (string * int) list;
+      (** total issue-slot uses per resource, by name *)
+}
+
+let compute (m : Machine.t) (p : Prog.t) : t =
+  let nres = Machine.num_resources m in
+  let per_res = Array.make nres 0 in
+  let ops = ref 0 and empty = ref 0 and mx = ref 0 in
+  Array.iter
+    (fun (inst : Inst.t) ->
+      let k = List.length inst.Inst.ops in
+      ops := !ops + k;
+      if k = 0 then incr empty;
+      if k > !mx then mx := k;
+      List.iter
+        (fun (op : Sp_ir.Op.t) ->
+          List.iter
+            (fun (_, rid) -> per_res.(rid) <- per_res.(rid) + 1)
+            (Machine.reservation m op.Sp_ir.Op.kind))
+        inst.Inst.ops)
+    p.Prog.code;
+  let words = Prog.length p in
+  {
+    words;
+    ops = !ops;
+    empty_words = !empty;
+    max_ops_per_word = !mx;
+    mean_ops_per_word =
+      (if words = 0 then 0.0 else float_of_int !ops /. float_of_int words);
+    resource_use =
+      List.filter
+        (fun (_, n) -> n > 0)
+        (List.init nres (fun rid ->
+             ((Machine.resource m rid).Machine.rname, per_res.(rid))));
+  }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "%d words, %d operations (%.2f ops/word, %d empty words, peak %d)@."
+    t.words t.ops t.mean_ops_per_word t.empty_words t.max_ops_per_word;
+  Fmt.pf ppf "resource uses:";
+  List.iter (fun (n, c) -> Fmt.pf ppf " %s=%d" n c) t.resource_use;
+  Fmt.pf ppf "@."

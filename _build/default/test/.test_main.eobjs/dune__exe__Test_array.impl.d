@@ -1,0 +1,1 @@
+test/test_array.ml: Alcotest Array List Printf Sp_core Sp_kernels Sp_lang Sp_machine Sp_vliw

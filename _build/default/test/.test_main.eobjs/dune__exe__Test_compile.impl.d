@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest Builder Fmt Gen Interp List Machine_state Printf QCheck2 QCheck_alcotest Region Sp_core Sp_ir Sp_kernels Sp_lang Sp_machine Sp_vliw String

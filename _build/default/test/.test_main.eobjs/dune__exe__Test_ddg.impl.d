@@ -1,0 +1,1 @@
+test/test_ddg.ml: Alcotest Array List Memseg Op Sp_core Sp_ir Sp_machine Subscript Vreg

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Builder Expand Float Interp List Machine_state Op Printf Program Region Semantics Sp_ir Sp_machine

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Builder List Memseg Op Program Region Sp_ir Sp_machine Subscript Vreg

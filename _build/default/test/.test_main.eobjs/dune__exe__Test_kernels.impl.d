@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest List Printf Sp_core Sp_kernels Sp_machine

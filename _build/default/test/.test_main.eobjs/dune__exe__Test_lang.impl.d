@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Ast Float Lexer List Lower Parser Printf Sp_ir Sp_kernels Sp_lang Sp_machine Typecheck Unroll

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_array Test_compile Test_ddg Test_interp Test_ir Test_kernels Test_lang Test_machine Test_modsched Test_mve Test_sched Test_util Test_vliw

@@ -1,0 +1,1 @@
+test/test_modsched.ml: Alcotest Array List Memseg Op QCheck2 QCheck_alcotest Sp_core Sp_ir Sp_machine Subscript Vreg

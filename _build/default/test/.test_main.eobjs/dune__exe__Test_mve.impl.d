@@ -1,0 +1,1 @@
+test/test_mve.ml: Alcotest Array List Memseg Op Printf Sp_core Sp_ir Sp_machine Subscript Vreg

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Hashtbl List Memseg Op Option QCheck2 QCheck_alcotest Sp_core Sp_ir Sp_machine Subscript Test_modsched Vreg

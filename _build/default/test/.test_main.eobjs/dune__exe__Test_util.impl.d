@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fmt Histogram Intmath List QCheck2 QCheck_alcotest Sp_util String Table

@@ -1,0 +1,1 @@
+test/test_vliw.ml: Alcotest Array Builder List Machine_state Memseg Op Program Sp_ir Sp_machine Sp_vliw Vreg

@@ -1,0 +1,260 @@
+(** Tests for dependence-graph construction: edge kinds, delays,
+    iteration distances, disambiguation, channel ordering, MVE
+    candidate detection. *)
+
+open Sp_ir
+module Opkind = Sp_machine.Opkind
+module Ddg = Sp_core.Ddg
+module Sunit = Sp_core.Sunit
+
+let m = Sp_machine.Machine.warp
+
+(* build units straight from ops *)
+let units_of ops =
+  Array.of_list (List.mapi (fun i op -> Sunit.of_op m ~sid:i op) ops)
+
+let find_edge g ~src ~dst ~omega =
+  List.find_opt
+    (fun (e : Ddg.edge) -> e.Ddg.src = src && e.Ddg.dst = dst && e.Ddg.omega = omega)
+    g.Ddg.edges
+
+let edge_exn g ~src ~dst ~omega =
+  match find_edge g ~src ~dst ~omega with
+  | Some e -> e
+  | None ->
+    Alcotest.failf "missing edge u%d -> u%d (omega %d)" src dst omega
+
+type setup = {
+  sup : Vreg.Supply.supply;
+  ops : Op.Supply.supply;
+  segs : Memseg.Supply.supply;
+}
+
+let setup () =
+  {
+    sup = Vreg.Supply.create ();
+    ops = Op.Supply.create ();
+    segs = Memseg.Supply.create ();
+  }
+
+let freg s n = Vreg.Supply.fresh s.sup ~name:n Vreg.F
+
+let test_flow_delay () =
+  let s = setup () in
+  let a = freg s "a" and b = freg s "b" and c = freg s "c" in
+  let mul = Op.Supply.mk s.ops ~dst:c ~srcs:[ a; b ] Opkind.Fmul in
+  let add = Op.Supply.mk s.ops ~dst:a ~srcs:[ c; b ] Opkind.Fadd in
+  let g = Ddg.build (units_of [ mul; add ]) in
+  (* flow c: delay = multiplier latency *)
+  let e = edge_exn g ~src:0 ~dst:1 ~omega:0 in
+  Alcotest.(check int) "flow delay = latency" 7 e.Ddg.delay
+
+let test_anti_delay () =
+  let s = setup () in
+  let a = freg s "a" and b = freg s "b" and c = freg s "c" in
+  (* use of a, then redefinition of a *)
+  let use = Op.Supply.mk s.ops ~dst:c ~srcs:[ a; b ] Opkind.Fadd in
+  let def = Op.Supply.mk s.ops ~dst:a ~srcs:[ b; b ] Opkind.Fmul in
+  let g = Ddg.build (units_of [ use; def ]) in
+  (* anti: read at issue, write lands at +7 => delay 0 - 7 + 1 = -6 *)
+  let e = edge_exn g ~src:0 ~dst:1 ~omega:0 in
+  Alcotest.(check int) "anti delay = 1 - latency" (-6) e.Ddg.delay
+
+let test_output_delay () =
+  let s = setup () in
+  let a = freg s "a" and b = freg s "b" in
+  let d1 = Op.Supply.mk s.ops ~dst:a ~srcs:[ b; b ] Opkind.Fadd in
+  let d2 = Op.Supply.mk s.ops ~dst:a ~srcs:[ b; b ] Opkind.Fmul in
+  let g = Ddg.build ~mve:false (units_of [ d1; d2 ]) in
+  let e = edge_exn g ~src:0 ~dst:1 ~omega:0 in
+  Alcotest.(check int) "output delay" 1 e.Ddg.delay
+
+let test_carried_accumulator () =
+  let s = setup () in
+  let acc = freg s "acc" and x = freg s "x" in
+  (* acc := acc + x : carried flow with distance 1, delay = latency *)
+  let add = Op.Supply.mk s.ops ~dst:acc ~srcs:[ acc; x ] Opkind.Fadd in
+  let g = Ddg.build (units_of [ add ]) in
+  let e = edge_exn g ~src:0 ~dst:0 ~omega:1 in
+  Alcotest.(check int) "self flow delay" 7 e.Ddg.delay;
+  (* not an MVE candidate: first access is a use *)
+  Alcotest.(check bool) "accumulator not expandable" false
+    (Vreg.Set.mem acc g.Ddg.mve_candidates)
+
+let test_mve_candidate () =
+  let s = setup () in
+  let t = freg s "t" and x = freg s "x" and y = freg s "y" in
+  (* t defined at top of every iteration, then used: a candidate;
+     without MVE there would be a carried anti t(use)->t(def) *)
+  let def = Op.Supply.mk s.ops ~dst:t ~srcs:[ x; x ] Opkind.Fmul in
+  let use = Op.Supply.mk s.ops ~dst:y ~srcs:[ t; x ] Opkind.Fadd in
+  let g = Ddg.build (units_of [ def; use ]) in
+  Alcotest.(check bool) "t is a candidate" true
+    (Vreg.Set.mem t g.Ddg.mve_candidates);
+  Alcotest.(check bool) "carried anti removed" true
+    (find_edge g ~src:1 ~dst:0 ~omega:1 = None);
+  (* with expansion disabled the carried edges come back *)
+  let g0 = Ddg.build ~mve:false (units_of [ def; use ]) in
+  Alcotest.(check bool) "no candidates" true
+    (Vreg.Set.is_empty g0.Ddg.mve_candidates);
+  Alcotest.(check bool) "carried anti present" true
+    (find_edge g0 ~src:1 ~dst:0 ~omega:1 <> None)
+
+let test_live_out_excluded () =
+  let s = setup () in
+  let t = freg s "t" and x = freg s "x" in
+  let def = Op.Supply.mk s.ops ~dst:t ~srcs:[ x; x ] Opkind.Fmul in
+  let g =
+    Ddg.build ~live_out:(fun r -> Vreg.equal r t) (units_of [ def ])
+  in
+  Alcotest.(check bool) "live-out not expandable" false
+    (Vreg.Set.mem t g.Ddg.mve_candidates)
+
+let mem_ops s ?(independent = false) () =
+  let seg =
+    Memseg.Supply.fresh s.segs ~independent ~name:"a" ~size:100 ()
+  in
+  let iv = Vreg.Supply.fresh s.sup ~name:"i" Vreg.I in
+  let v = freg s "v" in
+  let load off =
+    Op.Supply.mk s.ops ~dst:(freg s "l")
+      ~addr:
+        { Op.seg; base = None; idx = Some iv; off;
+          sub = Some (Subscript.of_iv ~off iv) }
+      Opkind.Load
+  in
+  let store off =
+    Op.Supply.mk s.ops ~srcs:[ v ]
+      ~addr:
+        { Op.seg; base = None; idx = Some iv; off;
+          sub = Some (Subscript.of_iv ~off iv) }
+      Opkind.Store
+  in
+  (load, store)
+
+let test_memory_distance () =
+  let s = setup () in
+  let load, store = mem_ops s () in
+  (* store a[i], load a[i-2]: the load reads what was stored 2
+     iterations ago: flow edge with omega 2 *)
+  let st = store 0 and ld = load (-2) in
+  let g = Ddg.build (units_of [ st; ld ]) in
+  let e = edge_exn g ~src:0 ~dst:1 ~omega:2 in
+  Alcotest.(check int) "store->load delay" 1 e.Ddg.delay;
+  (* and no same-iteration edge: distinct addresses *)
+  Alcotest.(check bool) "no omega-0 edge" true
+    (find_edge g ~src:0 ~dst:1 ~omega:0 = None)
+
+let test_memory_same_iteration () =
+  let s = setup () in
+  let load, store = mem_ops s () in
+  let ld = load 0 and st = store 0 in
+  (* load then store, same address: anti, same iteration *)
+  let g = Ddg.build (units_of [ ld; st ]) in
+  let e = edge_exn g ~src:0 ~dst:1 ~omega:0 in
+  Alcotest.(check int) "load->store anti delay" 0 e.Ddg.delay
+
+let test_memory_never_alias () =
+  let s = setup () in
+  let load, store = mem_ops s () in
+  (* stride-1 accesses at different offsets never... they alias at
+     distance 3; but a backwards distance (load ahead of the store)
+     means the store never feeds the load *)
+  let st = store 0 and ld = load 3 in
+  (* store a[i] iter i; load a[i+3]: the load of iteration j reads
+     a[j+3], written by the store of iteration j+3: dependence goes
+     load -> store with omega 3 *)
+  let g = Ddg.build (units_of [ st; ld ]) in
+  Alcotest.(check bool) "load->store anti carried" true
+    (find_edge g ~src:1 ~dst:0 ~omega:3 <> None);
+  Alcotest.(check bool) "no store->load flow" true
+    (List.for_all
+       (fun (e : Ddg.edge) -> not (e.Ddg.src = 0 && e.Ddg.dst = 1))
+       g.Ddg.edges)
+
+let test_independent_directive () =
+  let s = setup () in
+  (* opaque subscripts on an independent segment: no cross-iteration
+     edges; on a normal segment: conservative both ways *)
+  let mk_opaque independent =
+    let seg =
+      Memseg.Supply.fresh s.segs ~independent
+        ~name:(if independent then "ind" else "dep")
+        ~size:100 ()
+    in
+    let idx = Vreg.Supply.fresh s.sup ~name:"x" Vreg.I in
+    let v = freg s "v" in
+    let ld =
+      Op.Supply.mk s.ops ~dst:(freg s "l")
+        ~addr:{ Op.seg; base = None; idx = Some idx; off = 0; sub = None }
+        Opkind.Load
+    in
+    let st =
+      Op.Supply.mk s.ops ~srcs:[ v ]
+        ~addr:{ Op.seg; base = None; idx = Some idx; off = 0; sub = None }
+        Opkind.Store
+    in
+    Ddg.build (units_of [ ld; st ])
+  in
+  let g_dep = mk_opaque false in
+  Alcotest.(check bool) "conservative carried edge" true
+    (find_edge g_dep ~src:1 ~dst:0 ~omega:1 <> None);
+  let g_ind = mk_opaque true in
+  Alcotest.(check bool) "directive removes carried edges" true
+    (find_edge g_ind ~src:1 ~dst:0 ~omega:1 = None);
+  Alcotest.(check bool) "program order kept" true
+    (find_edge g_ind ~src:0 ~dst:1 ~omega:0 = None)
+
+let test_channel_ordering () =
+  let s = setup () in
+  let r1 = Op.Supply.mk s.ops ~dst:(freg s "a") (Opkind.Recv 0) in
+  let r2 = Op.Supply.mk s.ops ~dst:(freg s "b") (Opkind.Recv 0) in
+  let r_other = Op.Supply.mk s.ops ~dst:(freg s "c") (Opkind.Recv 1) in
+  let g = Ddg.build (units_of [ r1; r2; r_other ]) in
+  Alcotest.(check bool) "same channel ordered" true
+    (find_edge g ~src:0 ~dst:1 ~omega:0 <> None);
+  Alcotest.(check bool) "carried order back" true
+    (find_edge g ~src:1 ~dst:0 ~omega:1 <> None);
+  Alcotest.(check bool) "self across iterations" true
+    (find_edge g ~src:0 ~dst:0 ~omega:1 <> None);
+  Alcotest.(check bool) "different channels independent" true
+    (List.for_all
+       (fun (e : Ddg.edge) ->
+         (* the self ordering across iterations remains; no cross edges *)
+         e.Ddg.src = e.Ddg.dst || not (e.Ddg.src = 2 || e.Ddg.dst = 2))
+       g.Ddg.edges)
+
+let test_intra_edges_forward () =
+  (* intra-iteration edges always point forward in program order (the
+     property the list scheduler's reverse sweep relies on) *)
+  let s = setup () in
+  let load, store = mem_ops s () in
+  let a = freg s "a" and b = freg s "b" in
+  let ops =
+    [ load 0;
+      Op.Supply.mk s.ops ~dst:a ~srcs:[ b; b ] Opkind.Fadd;
+      Op.Supply.mk s.ops ~dst:b ~srcs:[ a; a ] Opkind.Fmul;
+      store 1 ]
+  in
+  let g = Ddg.build ~mve:false (units_of ops) in
+  List.iter
+    (fun (e : Ddg.edge) ->
+      if e.Ddg.omega = 0 then
+        Alcotest.(check bool) "forward" true (e.Ddg.src < e.Ddg.dst))
+    g.Ddg.edges
+
+let suite =
+  [
+    ("flow delay", `Quick, test_flow_delay);
+    ("anti delay", `Quick, test_anti_delay);
+    ("output delay", `Quick, test_output_delay);
+    ("carried accumulator", `Quick, test_carried_accumulator);
+    ("mve candidate", `Quick, test_mve_candidate);
+    ("live-out excluded from mve", `Quick, test_live_out_excluded);
+    ("memory distance", `Quick, test_memory_distance);
+    ("memory same-iteration anti", `Quick, test_memory_same_iteration);
+    ("memory backward distance", `Quick, test_memory_never_alias);
+    ("independent directive", `Quick, test_independent_directive);
+    ("channel ordering", `Quick, test_channel_ordering);
+    ("intra edges forward", `Quick, test_intra_edges_forward);
+  ]

@@ -1,0 +1,84 @@
+(** Tests for the machine descriptions. *)
+
+open Sp_machine
+
+let test_warp_resources () =
+  let m = Machine.warp in
+  let r name = (Machine.find_resource m name).Machine.count in
+  Alcotest.(check int) "one adder" 1 (r "fadd");
+  Alcotest.(check int) "one multiplier" 1 (r "fmul");
+  Alcotest.(check int) "one memory port" 1 (r "mem");
+  Alcotest.(check int) "one sequencer" 1 (r "seq");
+  Alcotest.(check int) "two address generators" 2 (r "agu");
+  Alcotest.check_raises "unknown resource"
+    (Invalid_argument "Machine.find_resource: no resource \"nope\" in warp")
+    (fun () -> ignore (Machine.find_resource m "nope"))
+
+let test_warp_latencies () =
+  let m = Machine.warp in
+  (* the paper: 5-stage pipelines plus the 2-cycle register-file delay *)
+  Alcotest.(check int) "fadd" 7 (Machine.latency m Opkind.Fadd);
+  Alcotest.(check int) "fmul" 7 (Machine.latency m Opkind.Fmul);
+  Alcotest.(check int) "alu" 1 (Machine.latency m Opkind.Iadd);
+  Alcotest.(check int) "store has no result" 0 (Machine.latency m Opkind.Store)
+
+let test_scaling () =
+  let m2 = Machine.warp_scaled ~width:2 in
+  Alcotest.(check int) "two adders" 2
+    (Machine.find_resource m2 "fadd").Machine.count;
+  Alcotest.(check int) "registers scale" (62 * 2) m2.Machine.fregs;
+  Alcotest.(check int) "still one sequencer" 1
+    (Machine.find_resource m2 "seq").Machine.count;
+  Alcotest.check_raises "width >= 1"
+    (Invalid_argument "Machine.warp_scaled: width < 1") (fun () ->
+      ignore (Machine.warp_scaled ~width:0))
+
+let test_mflops () =
+  let m = Machine.warp in
+  (* 5 MHz clock: 2 flops/cycle = the 10 MFLOPS peak of the paper *)
+  Alcotest.(check (float 1e-9)) "peak" 10.0
+    (Machine.mflops m ~flops:2000 ~cycles:1000);
+  Alcotest.(check (float 1e-9)) "zero cycles" 0.0
+    (Machine.mflops m ~flops:10 ~cycles:0)
+
+let test_reservations_offset0 () =
+  (* every opkind of each machine reserves at offset 0 only (the
+     checker and emitter rely on it for exactness) *)
+  List.iter
+    (fun m ->
+      List.iter
+        (fun k ->
+          List.iter
+            (fun (off, rid) ->
+              Alcotest.(check int)
+                (Printf.sprintf "%s/%s offset" m.Machine.name
+                   (Opkind.to_string k))
+                0 off;
+              Alcotest.(check bool) "valid rid" true
+                (rid >= 0 && rid < Machine.num_resources m))
+            (Machine.reservation m k))
+        [ Opkind.Fadd; Opkind.Fmul; Opkind.Load; Opkind.Store; Opkind.Iadd;
+          Opkind.Amov; Opkind.Recv 0; Opkind.Send 1; Opkind.Fconst ])
+    [ Machine.warp; Machine.toy; Machine.serial ]
+
+let test_opkind_meta () =
+  Alcotest.(check bool) "fadd is flop" true (Opkind.is_flop Opkind.Fadd);
+  Alcotest.(check bool) "fcmp not flop" false
+    (Opkind.is_flop (Opkind.Fcmp Opkind.Lt));
+  Alcotest.(check bool) "seeds count as flops" true (Opkind.is_flop Opkind.Frecs);
+  Alcotest.(check int) "fadd arity" 2 (Opkind.arity Opkind.Fadd);
+  Alcotest.(check int) "fsel arity" 3 (Opkind.arity Opkind.Fsel);
+  Alcotest.(check int) "load arity" 0 (Opkind.arity Opkind.Load);
+  Alcotest.(check bool) "store no dst" false (Opkind.has_dst Opkind.Store);
+  Alcotest.(check bool) "negate lt" true
+    (Opkind.negate_rel Opkind.Lt = Opkind.Ge)
+
+let suite =
+  [
+    ("warp resources", `Quick, test_warp_resources);
+    ("warp latencies", `Quick, test_warp_latencies);
+    ("scaling", `Quick, test_scaling);
+    ("mflops accounting", `Quick, test_mflops);
+    ("reservations at offset 0", `Quick, test_reservations_offset0);
+    ("opkind metadata", `Quick, test_opkind_meta);
+  ]

@@ -1,0 +1,21 @@
+(** Test entry point. Suites are grouped per library layer; run with
+    [dune runtest]. Set [ALCOTEST_QUICK_TESTS=1] to skip the slow
+    workload simulations. *)
+
+let () =
+  Alcotest.run "softpipe"
+    [
+      ("util", Test_util.suite);
+      ("machine", Test_machine.suite);
+      ("ir", Test_ir.suite);
+      ("interp", Test_interp.suite);
+      ("lang", Test_lang.suite);
+      ("vliw", Test_vliw.suite);
+      ("array", Test_array.suite);
+      ("ddg", Test_ddg.suite);
+      ("sched", Test_sched.suite);
+      ("modsched", Test_modsched.suite);
+      ("mve", Test_mve.suite);
+      ("compile", Test_compile.suite);
+      ("kernels", Test_kernels.suite);
+    ]

@@ -1,0 +1,139 @@
+(** Unit and property tests for [Sp_util]. *)
+
+open Sp_util
+
+let check_int = Alcotest.(check int)
+
+(* ---- Intmath ------------------------------------------------------ *)
+
+let test_gcd () =
+  check_int "gcd 12 18" 6 (Intmath.gcd 12 18);
+  check_int "gcd 0 5" 5 (Intmath.gcd 0 5);
+  check_int "gcd 5 0" 5 (Intmath.gcd 5 0);
+  check_int "gcd 0 0" 0 (Intmath.gcd 0 0);
+  check_int "gcd -12 18" 6 (Intmath.gcd (-12) 18);
+  check_int "gcd 7 13" 1 (Intmath.gcd 7 13)
+
+let test_lcm () =
+  check_int "lcm 4 6" 12 (Intmath.lcm 4 6);
+  check_int "lcm 1 9" 9 (Intmath.lcm 1 9);
+  check_int "lcm 0 9" 0 (Intmath.lcm 0 9);
+  check_int "lcm_list []" 1 (Intmath.lcm_list []);
+  check_int "lcm_list [2;3;4]" 12 (Intmath.lcm_list [ 2; 3; 4 ])
+
+let test_ceil_div () =
+  check_int "7/2" 4 (Intmath.ceil_div 7 2);
+  check_int "8/2" 4 (Intmath.ceil_div 8 2);
+  check_int "1/5" 1 (Intmath.ceil_div 1 5);
+  check_int "0/5" 0 (Intmath.ceil_div 0 5);
+  check_int "-1/5" 0 (Intmath.ceil_div (-1) 5);
+  check_int "-7/2" (-3) (Intmath.ceil_div (-7) 2);
+  Alcotest.check_raises "zero divisor"
+    (Invalid_argument "Intmath.ceil_div: non-positive divisor") (fun () ->
+      ignore (Intmath.ceil_div 3 0))
+
+let test_floor_div () =
+  check_int "7/2" 3 (Intmath.floor_div 7 2);
+  check_int "-7/2" (-4) (Intmath.floor_div (-7) 2);
+  check_int "-8/2" (-4) (Intmath.floor_div (-8) 2)
+
+let test_divisors () =
+  Alcotest.(check (list int)) "divisors 12" [ 1; 2; 3; 4; 6; 12 ]
+    (Intmath.divisors 12);
+  Alcotest.(check (list int)) "divisors 1" [ 1 ] (Intmath.divisors 1);
+  Alcotest.(check (list int)) "divisors 7" [ 1; 7 ] (Intmath.divisors 7)
+
+let test_smallest_divisor_geq () =
+  (* the register-count rounding rule of the paper's Section 2.3 *)
+  check_int "u=6 q=4 -> 6" 6 (Intmath.smallest_divisor_geq ~u:6 ~q:4);
+  check_int "u=6 q=2 -> 2" 2 (Intmath.smallest_divisor_geq ~u:6 ~q:2);
+  check_int "u=6 q=3 -> 3" 3 (Intmath.smallest_divisor_geq ~u:6 ~q:3);
+  check_int "u=12 q=5 -> 6" 6 (Intmath.smallest_divisor_geq ~u:12 ~q:5);
+  check_int "u=7 q=2 -> 7" 7 (Intmath.smallest_divisor_geq ~u:7 ~q:2)
+
+let test_range () =
+  Alcotest.(check (list int)) "range 2 5" [ 2; 3; 4 ] (Intmath.range 2 5);
+  Alcotest.(check (list int)) "range 3 3" [] (Intmath.range 3 3);
+  Alcotest.(check (list int)) "range 5 2" [] (Intmath.range 5 2)
+
+(* ---- properties --------------------------------------------------- *)
+
+let pos_gen = QCheck2.Gen.int_range 1 1000
+
+let prop_gcd_divides =
+  QCheck2.Test.make ~name:"gcd divides both arguments" ~count:500
+    QCheck2.Gen.(pair pos_gen pos_gen)
+    (fun (a, b) ->
+      let g = Intmath.gcd a b in
+      g > 0 && a mod g = 0 && b mod g = 0)
+
+let prop_gcd_lcm =
+  QCheck2.Test.make ~name:"gcd * lcm = a * b" ~count:500
+    QCheck2.Gen.(pair pos_gen pos_gen)
+    (fun (a, b) -> Intmath.gcd a b * Intmath.lcm a b = a * b)
+
+let prop_ceil_div =
+  QCheck2.Test.make ~name:"ceil_div bounds" ~count:500
+    QCheck2.Gen.(pair (int_range (-1000) 1000) pos_gen)
+    (fun (a, b) ->
+      let c = Intmath.ceil_div a b in
+      (c * b >= a) && ((c - 1) * b < a))
+
+let prop_divisor_rule =
+  QCheck2.Test.make ~name:"smallest_divisor_geq is a divisor and minimal"
+    ~count:500
+    QCheck2.Gen.(
+      let* u = int_range 1 60 in
+      let* q = int_range 1 u in
+      return (u, q))
+    (fun (u, q) ->
+      let d = Intmath.smallest_divisor_geq ~u ~q in
+      u mod d = 0 && d >= q
+      && List.for_all
+           (fun d' -> d' < q || d' >= d)
+           (Intmath.divisors u))
+
+(* ---- Histogram / Table -------------------------------------------- *)
+
+let test_histogram () =
+  let h = Histogram.of_list ~lo:0.0 ~width:1.0 ~buckets:4 [ 0.5; 1.5; 1.7; 9.0; -2.0 ] in
+  check_int "count" 5 (Histogram.count h);
+  (* -2 clamps into bucket 0; 9 clamps into the last bucket *)
+  check_int "bucket0" 2 h.Histogram.counts.(0);
+  check_int "bucket1" 2 h.Histogram.counts.(1);
+  check_int "bucket3" 1 h.Histogram.counts.(3);
+  Alcotest.(check (float 1e-9)) "mean" 2.14 (Histogram.mean h)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_table () =
+  let t = Table.create ~headers:[ "a"; "b" ] ~aligns:[ Table.L; Table.R ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "yy"; "22" ];
+  let s = Fmt.str "%a" Table.pp t in
+  Alcotest.(check bool) "renders all rows" true
+    (String.length s > 0 && contains s "yy" && contains s "22");
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Table.add_row: wrong arity") (fun () ->
+      Table.add_row t [ "only-one" ])
+
+let suite =
+  let qt = QCheck_alcotest.to_alcotest in
+  [
+    ("gcd", `Quick, test_gcd);
+    ("lcm", `Quick, test_lcm);
+    ("ceil_div", `Quick, test_ceil_div);
+    ("floor_div", `Quick, test_floor_div);
+    ("divisors", `Quick, test_divisors);
+    ("smallest_divisor_geq", `Quick, test_smallest_divisor_geq);
+    ("range", `Quick, test_range);
+    ("histogram", `Quick, test_histogram);
+    ("table", `Quick, test_table);
+    qt prop_gcd_divides;
+    qt prop_gcd_lcm;
+    qt prop_ceil_div;
+    qt prop_divisor_rule;
+  ]

@@ -1,0 +1,211 @@
+(** Tests for the VLIW target: assembler, the simulator's timing
+    contract, and the static resource checker. *)
+
+open Sp_ir
+module Inst = Sp_vliw.Inst
+module Prog = Sp_vliw.Prog
+module Sim = Sp_vliw.Sim
+module Check = Sp_vliw.Check
+module Opkind = Sp_machine.Opkind
+
+let m = Sp_machine.Machine.warp
+
+(* a tiny hand-assembled program over a one-segment context *)
+type ctx = {
+  p : Program.t;
+  a : Memseg.t;
+  sup : Vreg.Supply.supply;
+  ops : Op.Supply.supply;
+}
+
+let mk_ctx () =
+  let b = Builder.create "ctx" in
+  let a = Builder.farray b "a" 16 in
+  let p = Builder.finish b in
+  { p; a; sup = p.Program.vregs; ops = p.Program.ops }
+
+let freg c = Vreg.Supply.fresh c.sup Vreg.F
+
+let fconst c x dst = Op.Supply.mk c.ops ~dst ~imm:(Op.Fimm x) Opkind.Fconst
+let fadd c dst x y = Op.Supply.mk c.ops ~dst ~srcs:[ x; y ] Opkind.Fadd
+
+let store c v off =
+  Op.Supply.mk c.ops ~srcs:[ v ]
+    ~addr:{ Op.seg = c.a; base = None; idx = None; off; sub = None }
+    Opkind.Store
+
+let run c code = Sim.run m c.p code
+
+let test_write_latency_visibility () =
+  (* an adder result is invisible before its 7-cycle latency elapses *)
+  let c = mk_ctx () in
+  let x = freg c and y = freg c and z = freg c in
+  let asm = Prog.Asm.create () in
+  Prog.Asm.inst asm [ fconst c 1.5 x; fconst c 0.25 y ];
+  Prog.Asm.inst asm [];
+  Prog.Asm.inst asm [ fadd c y x x ];      (* issues at 2, lands at 9 *)
+  Prog.Asm.inst asm [ fadd c z y y ];      (* reads y at 3: still 0.25! *)
+  Prog.Asm.inst asm [];
+  Prog.Asm.inst asm [];
+  Prog.Asm.inst asm [];
+  Prog.Asm.inst asm [];
+  Prog.Asm.inst asm [];
+  Prog.Asm.inst asm [];
+  Prog.Asm.inst asm [ store c y 0 ];       (* at 10: sees 3.0 *)
+  Prog.Asm.inst asm [ store c z 1 ];       (* z = 0 + 0 *)
+  Prog.Asm.inst asm ~ctl:Inst.Halt [];
+  let r = run c (Prog.Asm.finish asm) in
+  let arr = Machine_state.get_farray r.Sim.state c.a in
+  Alcotest.(check (float 0.0)) "landed value" 3.0 arr.(0);
+  Alcotest.(check (float 0.0)) "early read saw the old value" 0.5 arr.(1)
+
+let test_store_load_same_cycle () =
+  (* a load issued with a store to the same address reads the OLD value *)
+  let c = mk_ctx () in
+  let one = freg c and got = freg c in
+  let load dst off =
+    Op.Supply.mk c.ops ~dst
+      ~addr:{ Op.seg = c.a; base = None; idx = None; off; sub = None }
+      Opkind.Load
+  in
+  let asm = Prog.Asm.create () in
+  Prog.Asm.inst asm [ fconst c 9.0 one ];
+  Prog.Asm.inst asm [];
+  (* same instruction: store a[0] := 9.0 and load a[0] *)
+  Prog.Asm.inst asm [ store c one 0; load got 0 ];
+  Prog.Asm.inst asm [];
+  Prog.Asm.inst asm [];
+  Prog.Asm.inst asm [];
+  Prog.Asm.inst asm [ store c got 1 ];
+  Prog.Asm.inst asm ~ctl:Inst.Halt [];
+  let r = run c (Prog.Asm.finish asm) in
+  let arr = Machine_state.get_farray r.Sim.state c.a in
+  Alcotest.(check (float 0.0)) "store landed" 9.0 arr.(0);
+  Alcotest.(check (float 0.0)) "load saw the old value" 0.0 arr.(1)
+
+let test_ctr_loop () =
+  (* hardware counter: body executes exactly [n] times *)
+  let c = mk_ctx () in
+  let acc = freg c and one = freg c in
+  let asm = Prog.Asm.create () in
+  Prog.Asm.inst asm [ fconst c 1.0 one ];
+  Prog.Asm.inst asm [ fconst c 0.0 acc ];
+  Prog.Asm.inst asm ~ctl:(Inst.CtrSet { ctr = 0; value = 5 }) [];
+  let top = Prog.Asm.fresh_label asm in
+  Prog.Asm.place asm top;
+  Prog.Asm.inst asm [ fadd c acc acc one ];
+  (* wait out the adder before the next accumulation *)
+  for _ = 1 to 6 do
+    Prog.Asm.inst asm []
+  done;
+  Prog.Asm.attach_ctl asm (Inst.CtrLoop { ctr = 0; target = top });
+  Prog.Asm.inst asm [ store c acc 0 ];
+  Prog.Asm.inst asm ~ctl:Inst.Halt [];
+  let r = run c (Prog.Asm.finish asm) in
+  let arr = Machine_state.get_farray r.Sim.state c.a in
+  Alcotest.(check (float 0.0)) "5 iterations" 5.0 arr.(0)
+
+let test_ctr_jump_lt () =
+  let c = mk_ctx () in
+  let flag = freg c in
+  let asm = Prog.Asm.create () in
+  let skip = Prog.Asm.fresh_label asm in
+  Prog.Asm.inst asm [ fconst c 0.0 flag ];
+  Prog.Asm.inst asm [];
+  Prog.Asm.inst asm ~ctl:(Inst.CtrSet { ctr = 1; value = 0 }) [];
+  Prog.Asm.inst asm ~ctl:(Inst.CtrJumpLt { ctr = 1; bound = 1; target = skip }) [];
+  Prog.Asm.inst asm [ fconst c 7.0 flag ]; (* skipped *)
+  Prog.Asm.place asm skip;
+  Prog.Asm.inst asm [ store c flag 0 ];
+  Prog.Asm.inst asm ~ctl:Inst.Halt [];
+  let r = run c (Prog.Asm.finish asm) in
+  let arr = Machine_state.get_farray r.Sim.state c.a in
+  Alcotest.(check (float 0.0)) "guard skipped the body" 0.0 arr.(0)
+
+let test_write_conflict_detected () =
+  let c = mk_ctx () in
+  let x = freg c in
+  let asm = Prog.Asm.create () in
+  (* two writes landing on x in the same cycle *)
+  Prog.Asm.inst asm [ fconst c 1.0 x; fconst c 2.0 x ];
+  Prog.Asm.inst asm ~ctl:Inst.Halt [];
+  let code = Prog.Asm.finish asm in
+  match run c code with
+  | exception Sim.Write_conflict _ -> ()
+  | _ -> Alcotest.fail "expected a write-port conflict"
+
+let test_cycle_limit () =
+  let c = mk_ctx () in
+  let asm = Prog.Asm.create () in
+  let top = Prog.Asm.fresh_label asm in
+  Prog.Asm.place asm top;
+  Prog.Asm.inst asm ~ctl:(Inst.Jump top) [];
+  let code = Prog.Asm.finish asm in
+  match Sim.run ~max_cycles:1000 m c.p code with
+  | exception Sim.Cycle_limit _ -> ()
+  | _ -> Alcotest.fail "expected the cycle limit to fire"
+
+let test_unplaced_label () =
+  let asm = Prog.Asm.create () in
+  let l = Prog.Asm.fresh_label asm in
+  Prog.Asm.inst asm ~ctl:(Inst.Jump l) [];
+  match Prog.Asm.finish asm with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unplaced label must be rejected"
+
+let test_checker_flags_oversubscription () =
+  let c = mk_ctx () in
+  let x = freg c and y = freg c and z = freg c and w = freg c in
+  let asm = Prog.Asm.create () in
+  (* two adds in one instruction on the single adder *)
+  Prog.Asm.inst asm [ fadd c x y y; fadd c z w w ];
+  Prog.Asm.inst asm ~ctl:Inst.Halt [];
+  let code = Prog.Asm.finish asm in
+  match Check.check_prog m code with
+  | [ v ] ->
+    Alcotest.(check string) "resource" "fadd" v.Check.resource;
+    Alcotest.(check int) "used" 2 v.Check.used;
+    Alcotest.check_raises "check_exn raises" (Check.Oversubscribed v)
+      (fun () -> Check.check_exn m code)
+  | _ -> Alcotest.fail "expected exactly one violation"
+
+let test_checker_accepts_legal () =
+  let c = mk_ctx () in
+  let x = freg c and y = freg c in
+  let asm = Prog.Asm.create () in
+  Prog.Asm.inst asm [ fadd c x y y ];
+  Prog.Asm.inst asm [ fadd c y x x ];
+  Prog.Asm.inst asm ~ctl:Inst.Halt [];
+  Alcotest.(check int) "no violations" 0
+    (List.length (Check.check_prog m (Prog.Asm.finish asm)))
+
+let test_stats () =
+  let c = mk_ctx () in
+  let x = freg c and y = freg c in
+  let asm = Prog.Asm.create () in
+  Prog.Asm.inst asm [ fconst c 1.0 x; fconst c 2.0 y ];
+  Prog.Asm.inst asm [];
+  Prog.Asm.inst asm [ store c x 0 ];
+  Prog.Asm.inst asm ~ctl:Inst.Halt [];
+  let st = Sp_vliw.Stats.compute m (Prog.Asm.finish asm) in
+  Alcotest.(check int) "words" 4 st.Sp_vliw.Stats.words;
+  Alcotest.(check int) "ops" 3 st.Sp_vliw.Stats.ops;
+  Alcotest.(check int) "empty" 2 st.Sp_vliw.Stats.empty_words;
+  Alcotest.(check int) "peak" 2 st.Sp_vliw.Stats.max_ops_per_word;
+  Alcotest.(check (float 1e-9)) "mean" 0.75 st.Sp_vliw.Stats.mean_ops_per_word;
+  Alcotest.(check (option int)) "mem uses" (Some 1)
+    (List.assoc_opt "mem" st.Sp_vliw.Stats.resource_use)
+
+let suite =
+  [
+    ("write latency visibility", `Quick, test_write_latency_visibility);
+    ("store/load same cycle", `Quick, test_store_load_same_cycle);
+    ("hardware counter loop", `Quick, test_ctr_loop);
+    ("counter guard", `Quick, test_ctr_jump_lt);
+    ("write conflict detected", `Quick, test_write_conflict_detected);
+    ("cycle limit", `Quick, test_cycle_limit);
+    ("unplaced label rejected", `Quick, test_unplaced_label);
+    ("checker flags oversubscription", `Quick, test_checker_flags_oversubscription);
+    ("checker accepts legal code", `Quick, test_checker_accepts_legal);
+    ("occupancy statistics", `Quick, test_stats);
+  ]
