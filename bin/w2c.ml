@@ -9,12 +9,21 @@
 
     Common options: [--machine warp|toy|serial|warpNx],
     [--no-pipeline], [--mve max-q|lcm|off], [--search linear|binary],
-    [--if-exclusive], [--threshold N], [--verify] (cross-check against
-    the sequential interpreter). *)
+    [--if-exclusive], [--threshold N], [--fuel N] (interval-search
+    budget), [--inject SITE\@K] (deterministic fault injection),
+    [--validate] (replay the emitted code against the machine's timing
+    and resource contracts), [--verify] (cross-check against the
+    sequential interpreter).
+
+    Every failure mode — missing or unreadable file, front-end error,
+    simulator cycle-limit or write-port trap — is reported as a
+    structured error with a nonzero exit code, never a raw exception. *)
 
 open Cmdliner
 module C = Sp_core.Compile
 module Machine = Sp_machine.Machine
+
+let ( let* ) = Result.bind
 
 let read_file path =
   let ic = open_in_bin path in
@@ -88,7 +97,13 @@ let config_term =
     Arg.(value & opt int C.default.C.threshold & info [ "threshold" ]
            ~doc:"Maximum compacted body length considered for pipelining.")
   in
-  let mk no_pipeline mve_mode search if_exclusive threshold =
+  let fuel =
+    Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N"
+           ~doc:"Placement-probe budget per loop for the initiation \
+                 interval search; exhaustion degrades the loop to its \
+                 serial schedule. Unlimited when absent.")
+  in
+  let mk no_pipeline mve_mode search if_exclusive threshold fuel =
     {
       C.pipeline = not no_pipeline;
       mve_mode;
@@ -97,9 +112,51 @@ let config_term =
       if_exclusive;
       pipeline_outer = true;
       profit_margin = C.default.C.profit_margin;
+      fuel;
     }
   in
-  Term.(const mk $ no_pipeline $ mve $ search $ if_exclusive $ threshold)
+  Term.(const mk $ no_pipeline $ mve $ search $ if_exclusive $ threshold
+        $ fuel)
+
+let inject_conv =
+  let parse s =
+    let bad () =
+      Error (`Msg (Printf.sprintf "bad injection spec %S (want SITE@K)" s))
+    in
+    match String.rindex_opt s '@' with
+    | None -> bad ()
+    | Some i -> (
+      let site = String.sub s 0 i in
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+      with
+      | Some k when k >= 1 && site <> "" -> Ok (site, k)
+      | _ -> bad ())
+  in
+  Arg.conv (parse, fun ppf (s, k) -> Fmt.pf ppf "%s@@%d" s k)
+
+let inject_arg =
+  Arg.(value & opt (some inject_conv) None & info [ "inject" ] ~docv:"SITE@K"
+         ~doc:"Arm deterministic fault injection: the K-th execution of \
+               the named compiler site raises, exercising the \
+               degradation path. See the schedule report for the \
+               affected loops.")
+
+let arm_inject = function
+  | None -> Ok ()
+  | Some (site, k) ->
+    let sites = Sp_util.Fault.sites () in
+    if List.mem site sites then Ok (Sp_util.Fault.arm ~site ~after:k)
+    else
+      Error
+        (`Msg
+           (Printf.sprintf "unknown fault site %S (available: %s)" site
+              (String.concat ", " sites)))
+
+let validate_arg =
+  Arg.(value & flag & info [ "validate" ]
+         ~doc:"Replay the emitted code against the machine's timing \
+               contract and resource discipline; any violation is a \
+               hard error.")
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.w2")
@@ -113,33 +170,64 @@ let load ?(unroll = 1) path =
   if unroll <= 1 then Sp_lang.Lower.compile_source (read_file path)
   else Sp_lang.Unroll.compile_source ~k:unroll (read_file path)
 
-let or_fail f =
-  try f () with
-  | Sp_lang.Lexer.Error (p, m) ->
-    Fmt.epr "lexical error at %a: %s@." Sp_lang.Token.pp_pos p m;
-    exit 1
-  | Sp_lang.Parser.Error (p, m) ->
-    Fmt.epr "syntax error at %a: %s@." Sp_lang.Token.pp_pos p m;
-    exit 1
-  | Sp_lang.Typecheck.Error (p, m) ->
-    Fmt.epr "type error at %a: %s@." Sp_lang.Token.pp_pos p m;
-    exit 1
-  | Sp_lang.Lower.Error (p, m) ->
-    Fmt.epr "lowering error at %a: %s@." Sp_lang.Token.pp_pos p m;
-    exit 1
+(** Run [f], converting every expected failure — unreadable input,
+    front-end error, stray injected fault — into a driver error
+    message. *)
+let or_msg f =
+  let err fmt = Fmt.kstr (fun m -> Error (`Msg m)) fmt in
+  match f () with
+  | v -> Ok v
+  | exception Sys_error m -> err "%s" m
+  | exception Sp_lang.Lexer.Error (p, m) ->
+    err "lexical error at %a: %s" Sp_lang.Token.pp_pos p m
+  | exception Sp_lang.Parser.Error (p, m) ->
+    err "syntax error at %a: %s" Sp_lang.Token.pp_pos p m
+  | exception Sp_lang.Typecheck.Error (p, m) ->
+    err "type error at %a: %s" Sp_lang.Token.pp_pos p m
+  | exception Sp_lang.Lower.Error (p, m) ->
+    err "lowering error at %a: %s" Sp_lang.Token.pp_pos p m
+  | exception Sp_util.Fault.Injected site ->
+    err "injected fault at %s escaped the degradation guards" site
+
+(** Simulate, trapping the machine's runtime faults into structured
+    failures that name the kernel. *)
+let sim_run ~name ?max_cycles ~init m p code =
+  match Sp_vliw.Sim.run ?max_cycles ~init m p code with
+  | sim -> Ok sim
+  | exception Sp_vliw.Sim.Cycle_limit n ->
+    Error
+      (`Msg
+        (Printf.sprintf "%s: simulation hit the cycle limit at cycle %d" name
+           n))
+  | exception Sp_vliw.Sim.Write_conflict msg ->
+    Error (`Msg (Printf.sprintf "%s: write-port conflict: %s" name msg))
+
+let do_validate m name code =
+  let rep = Sp_vliw.Validate.all m code in
+  if Sp_vliw.Validate.ok rep then begin
+    Fmt.pr "validate: ok@.";
+    Ok ()
+  end
+  else Error (`Msg (Fmt.str "%s: validation failed@.%a" name
+                      Sp_vliw.Validate.pp_report rep))
+
+let pp_degraded ppf (loops : C.loop_report list) =
+  let d = List.length (List.filter (fun r -> C.is_degraded r.C.status) loops) in
+  if d > 0 then Fmt.pf ppf "  degraded: %d of %d loop(s)@." d
+      (List.length loops)
 
 let cmd_ir =
   let run file =
-    or_fail (fun () ->
+    or_msg (fun () ->
         let p = load file in
         Fmt.pr "%a@." Sp_ir.Program.pp p)
   in
   Cmd.v (Cmd.info "ir" ~doc:"Dump the scheduling IR")
-    Term.(const run $ file_arg)
+    Term.(term_result (const run $ file_arg))
 
 let cmd_dot =
   let run m file =
-    or_fail (fun () ->
+    or_msg (fun () ->
         let p = load file in
         List.iteri
           (fun i (iv, g) ->
@@ -151,38 +239,49 @@ let cmd_dot =
   Cmd.v
     (Cmd.info "dot" ~doc:"Emit Graphviz dependence graphs of the \
                           innermost loops")
-    Term.(const run $ machine_arg $ file_arg)
+    Term.(term_result (const run $ machine_arg $ file_arg))
 
 let cmd_compile =
-  let run m config unroll file =
-    or_fail (fun () ->
-        let p = load ~unroll file in
-        let r = C.program ~config m p in
-        Fmt.pr "; %s: %d instructions for machine %s@." p.Sp_ir.Program.name
-          r.C.code_size m.Machine.name;
-        Fmt.pr "%a" Sp_vliw.Prog.pp r.C.code;
-        match Sp_vliw.Check.check_prog m r.C.code with
-        | [] -> ()
-        | vs ->
-          List.iter
-            (fun v -> Fmt.epr "warning: %a@." Sp_vliw.Check.pp_violation v)
-            vs)
+  let run m config validate inject unroll file =
+    let* () = arm_inject inject in
+    Fun.protect ~finally:Sp_util.Fault.disarm @@ fun () ->
+    let* p = or_msg (fun () -> load ~unroll file) in
+    let* r = or_msg (fun () -> C.program ~config m p) in
+    Fmt.pr "; %s: %d instructions for machine %s@." p.Sp_ir.Program.name
+      r.C.code_size m.Machine.name;
+    Fmt.pr "%a" Sp_vliw.Prog.pp r.C.code;
+    if validate then do_validate m p.Sp_ir.Program.name r.C.code
+    else begin
+      (match Sp_vliw.Check.check_prog m r.C.code with
+      | [] -> ()
+      | vs ->
+        List.iter
+          (fun v -> Fmt.epr "warning: %a@." Sp_vliw.Check.pp_violation v)
+          vs);
+      Ok ()
+    end
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile and print the VLIW code")
-    Term.(const run $ machine_arg $ config_term $ unroll_arg $ file_arg)
+    Term.(term_result
+            (const run $ machine_arg $ config_term $ validate_arg
+             $ inject_arg $ unroll_arg $ file_arg))
 
 let cmd_schedule =
-  let run m config file =
-    or_fail (fun () ->
-        let p = load file in
-        let r = C.program ~config m p in
-        Fmt.pr "%s on %s: %d instructions@." p.Sp_ir.Program.name
-          m.Machine.name r.C.code_size;
-        List.iter (fun lr -> Fmt.pr "  %a@." C.pp_loop_report lr) r.C.loops)
+  let run m config inject file =
+    let* () = arm_inject inject in
+    Fun.protect ~finally:Sp_util.Fault.disarm @@ fun () ->
+    let* p = or_msg (fun () -> load file) in
+    let* r = or_msg (fun () -> C.program ~config m p) in
+    Fmt.pr "%s on %s: %d instructions@." p.Sp_ir.Program.name
+      m.Machine.name r.C.code_size;
+    List.iter (fun lr -> Fmt.pr "  %a@." C.pp_loop_report lr) r.C.loops;
+    Fmt.pr "%a" pp_degraded r.C.loops;
+    Ok ()
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Print the per-loop scheduling report")
-    Term.(const run $ machine_arg $ config_term $ file_arg)
+    Term.(term_result
+            (const run $ machine_arg $ config_term $ inject_arg $ file_arg))
 
 let cmd_run =
   let verify =
@@ -190,35 +289,46 @@ let cmd_run =
            ~doc:"Cross-check the final state against the sequential \
                  interpreter.")
   in
-  let run m config verify unroll file =
-    or_fail (fun () ->
-        let p = load ~unroll file in
-        let r = C.program ~config m p in
-        let init st = Sp_kernels.Kernel.init_all_arrays st p in
-        let sim = Sp_vliw.Sim.run ~init m p r.C.code in
-        Fmt.pr "%s on %s: %d cycles, %d flops, %.2f MFLOPS (cell), %d words@."
-          p.Sp_ir.Program.name m.Machine.name sim.Sp_vliw.Sim.cycles
-          sim.Sp_vliw.Sim.flops
-          (Sp_vliw.Sim.mflops m sim)
-          r.C.code_size;
-        List.iter (fun lr -> Fmt.pr "  %a@." C.pp_loop_report lr) r.C.loops;
-        Fmt.pr "  %a" Sp_vliw.Stats.pp (Sp_vliw.Stats.compute m r.C.code);
-        if verify then begin
-          let o = Sp_ir.Interp.run ~init p in
-          if
-            Sp_ir.Machine_state.observably_equal o.Sp_ir.Interp.state
-              sim.Sp_vliw.Sim.state
-          then Fmt.pr "verify: schedule preserves sequential semantics@."
-          else begin
-            Fmt.epr "verify: FINAL STATE MISMATCH@.";
-            exit 2
-          end
-        end)
+  let max_cycles =
+    Arg.(value & opt (some int) None & info [ "max-cycles" ] ~docv:"N"
+           ~doc:"Abort simulation after N cycles (reported as a \
+                 structured failure, not a crash).")
+  in
+  let run m config verify validate max_cycles inject unroll file =
+    let* () = arm_inject inject in
+    Fun.protect ~finally:Sp_util.Fault.disarm @@ fun () ->
+    let* p = or_msg (fun () -> load ~unroll file) in
+    let name = p.Sp_ir.Program.name in
+    let* r = or_msg (fun () -> C.program ~config m p) in
+    let init st = Sp_kernels.Kernel.init_all_arrays st p in
+    let* sim = sim_run ~name ?max_cycles ~init m p r.C.code in
+    Fmt.pr "%s on %s: %d cycles, %d flops, %.2f MFLOPS (cell), %d words@."
+      name m.Machine.name sim.Sp_vliw.Sim.cycles sim.Sp_vliw.Sim.flops
+      (Sp_vliw.Sim.mflops m sim) r.C.code_size;
+    List.iter (fun lr -> Fmt.pr "  %a@." C.pp_loop_report lr) r.C.loops;
+    Fmt.pr "%a" pp_degraded r.C.loops;
+    Fmt.pr "  %a" Sp_vliw.Stats.pp (Sp_vliw.Stats.compute m r.C.code);
+    let* () =
+      if validate then do_validate m name r.C.code else Ok ()
+    in
+    if verify then begin
+      let* o = or_msg (fun () -> Sp_ir.Interp.run ~init p) in
+      if
+        Sp_ir.Machine_state.observably_equal o.Sp_ir.Interp.state
+          sim.Sp_vliw.Sim.state
+      then begin
+        Fmt.pr "verify: schedule preserves sequential semantics@.";
+        Ok ()
+      end
+      else Error (`Msg (name ^ ": verify: FINAL STATE MISMATCH"))
+    end
+    else Ok ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile, simulate and report performance")
-    Term.(const run $ machine_arg $ config_term $ verify $ unroll_arg
-          $ file_arg)
+    Term.(term_result
+            (const run $ machine_arg $ config_term $ verify $ validate_arg
+             $ max_cycles $ inject_arg $ unroll_arg $ file_arg))
 
 let () =
   let doc = "software-pipelining compiler for a Warp-like VLIW cell" in

@@ -1,0 +1,56 @@
+#!/bin/sh
+# Tier-1 verification in one command: build, unit/property tests, then a
+# CLI smoke pass — every example must compile, validate, and match the
+# sequential interpreter, and every expected failure must surface as a
+# structured error (never an uncaught exception).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+W2C="dune exec --no-build bin/w2c.exe --"
+
+echo "== example smoke: run --validate --verify"
+for f in examples/*.w2; do
+  echo "   $f"
+  $W2C run --validate --verify "$f" >/dev/null
+done
+
+# Expected failures: each must exit nonzero with a clean one-line error.
+expect_fail() {
+  label="$1"; shift
+  out=$("$@" 2>&1) && {
+    echo "FAIL: $label: expected a nonzero exit"
+    echo "$out"
+    exit 1
+  }
+  case "$out" in
+  *"Raised at"* | *"Fatal error"* | *backtrace*)
+    echo "FAIL: $label: uncaught exception leaked:"
+    echo "$out"
+    exit 1
+    ;;
+  esac
+  echo "   $label: ok"
+}
+
+echo "== expect-fail smoke"
+expect_fail "missing file" \
+  dune exec --no-build bin/w2c.exe -- run devtools/smoke/no_such_file.w2
+expect_fail "parse error" \
+  dune exec --no-build bin/w2c.exe -- run devtools/smoke/parse_error.w2
+expect_fail "cycle limit" \
+  dune exec --no-build bin/w2c.exe -- run --max-cycles 5 examples/saxpy.w2
+expect_fail "unknown fault site" \
+  dune exec --no-build bin/w2c.exe -- run --inject bogus.site@1 examples/saxpy.w2
+
+echo "== degradation smoke: injected fault still runs and validates"
+$W2C run --validate --verify --inject modsched.place@1 examples/saxpy.w2 \
+  >/dev/null
+
+echo "CI OK"

@@ -40,6 +40,10 @@ type config = {
           Section 4.2 on LFK 16/20: "the calculated lower bound on the
           initiation interval were within 99%% of the length of the
           unpipelined loop"); 1.0 accepts any nominal gain *)
+  fuel : int option;
+      (** placement-probe budget per loop for the interval search
+          ([Modsched.schedule_with_budget]); exhaustion degrades the
+          loop to its serial schedule. [None] = unlimited. *)
 }
 
 let default =
@@ -51,6 +55,7 @@ let default =
     if_exclusive = false;
     pipeline_outer = true;
     profit_margin = 0.95;
+    fuel = None;
   }
 
 (** The Figure 4-2 baseline: individual basic blocks compacted, no
@@ -69,6 +74,11 @@ type status =
   | Not_profitable      (** no interval below the serial restart length *)
   | Register_overflow
   | Trip_too_small
+  | Budget_exhausted    (** the interval search ran out of fuel *)
+  | Degraded of string
+      (** an internal error (or injected fault) was caught during the
+          pipelining attempt, or the pipelined fragments failed
+          validation; the loop reverted to its serial schedule *)
 
 let status_to_string = function
   | Pipelined -> "pipelined"
@@ -77,6 +87,15 @@ let status_to_string = function
   | Not_profitable -> "not-profitable"
   | Register_overflow -> "register-overflow"
   | Trip_too_small -> "trip-too-small"
+  | Budget_exhausted -> "budget-exhausted"
+  | Degraded msg -> "degraded: " ^ msg
+
+(** Did the loop fall back to its serial schedule because of an error
+    or an exhausted budget (as opposed to a policy decision)? *)
+let is_degraded = function
+  | Degraded _ | Budget_exhausted -> true
+  | Pipelined | Disabled | Over_threshold | Not_profitable
+  | Register_overflow | Trip_too_small -> false
 
 type loop_report = {
   l_id : int;
@@ -184,130 +203,9 @@ let make_ctx (m : Machine.t) cfg (p : Program.t) =
 let renumber units =
   Array.of_list (List.mapi (fun i (u : Sunit.t) -> { u with Sunit.sid = i }) units)
 
-(* ------------------------------------------------------------------ *)
-(* Reduction of conditionals                                           *)
-(* ------------------------------------------------------------------ *)
-
-(** Schedule a straight-line unit list as a basic block and produce its
-    fragment, reservation profile and length. *)
-let compact_units ctx units ~pad_to =
-  let arr = renumber units in
-  let g = Ddg.build ~mve:false arr in
-  let p = Listsched.compact ctx.m g in
-  let r = Listsched.restart_interval g p in
-  let len = max p.Listsched.len pad_to in
-  let frag, resv = Emit.seq_frag arr p ~r_len:len in
-  (arr, p, frag, resv, len, r)
-
-let reduce_if ctx ~cond ~(then_units : Sunit.t list) ~(else_units : Sunit.t list)
-    : Sunit.t =
-  let t_arr, t_pl, t_frag, t_resv, t_len, _ =
-    compact_units ctx then_units ~pad_to:1
-  in
-  let e_arr, e_pl, e_frag, e_resv, e_len, _ =
-    compact_units ctx else_units ~pad_to:1
-  in
-  let lb = max t_len e_len in
-  let len = 1 + lb in
-  (* A branch that contains a loop expands at emission beyond its
-     static length; every static operand/effect time inside it then
-     under-approximates the dynamic one. Live-ins must stay valid until
-     the construct's end, defs land only after it, and memory effects
-     are pinned to both ends. *)
-  let expanding =
-    List.exists Sunit.expands then_units || List.exists Sunit.expands else_units
-  in
-  (* register uses/defs of a scheduled branch, shifted past the test slot *)
-  let side (arr : Sunit.t array) (pl : Listsched.placement) =
-    let uses = ref [] and defs = ref [] and mems = ref [] in
-    Array.iteri
-      (fun i (u : Sunit.t) ->
-        let base = 1 + pl.Listsched.times.(i) in
-        List.iter
-          (fun (r, t) ->
-            uses := (r, base + t) :: !uses;
-            (* pinned past the end plus the maximum write latency: an
-               overwriting operation from another iteration must ISSUE
-               after the construct's last slot — its write lands a
-               dynamic latency after issue, and only issue order
-               survives the emission-time expansion *)
-            if expanding then uses := (r, len + 7) :: !uses)
-          u.Sunit.uses;
-        List.iter
-          (fun (r, t) ->
-            let t' =
-              if expanding then len + max 0 (t - (u.Sunit.len - 1))
-              else base + t
-            in
-            defs := (r, t') :: !defs)
-          u.Sunit.defs;
-        List.iter
-          (fun (e : Sunit.mem_eff) ->
-            mems := { e with Sunit.at = base + e.Sunit.at } :: !mems;
-            if expanding then
-              mems := { e with Sunit.at = len - 1 } :: !mems)
-          (Ddg.effects u))
-      arr;
-    (!uses, !defs, !mems)
-  in
-  let t_uses, t_defs, t_mems = side t_arr t_pl in
-  let e_uses, e_defs, e_mems = side e_arr e_pl in
-  (* a register defined on one side only must stay valid across the
-     other path: record it as used at entry as well *)
-  let one_sided =
-    let ids l = List.map (fun ((r : Vreg.t), _) -> r.Vreg.id) l in
-    let t_ids = ids t_defs and e_ids = ids e_defs in
-    List.filter (fun (r, _) -> not (List.mem r.Vreg.id e_ids)) t_defs
-    @ List.filter (fun (r, _) -> not (List.mem r.Vreg.id t_ids)) e_defs
-  in
-  let uses =
-    ((cond, 0) :: t_uses)
-    @ e_uses
-    @ List.map (fun (r, _) -> (r, 0)) one_sided
-  in
-  let defs = Sunit.merge_times max t_defs e_defs in
-  let shift l = List.map (fun (o, r) -> (o + 1, r)) l in
-  let resv =
-    if ctx.cfg.if_exclusive then
-      List.concat
-        (List.init len (fun o ->
-             (o, ctx.seq_rid)
-             :: List.map (fun (_, r) -> (o, r)) ctx.all_resources))
-    else
-      (* the construct claims the sequencer for its whole length; any
-         sequencer claims inside the branches (nested constructs) are
-         subsumed, and must not double-book the single unit *)
-      List.filter
-        (fun (_, r) -> r <> ctx.seq_rid)
-        (Sunit.union_resv (shift t_resv) (shift e_resv))
-      @ List.init len (fun o -> (o, ctx.seq_rid))
-  in
-  {
-    Sunit.sid = 0;
-    len;
-    uses;
-    defs;
-    mems = t_mems @ e_mems;
-    resv;
-    payload = Sunit.P_if { cond; then_ = t_frag; else_ = e_frag };
-    no_wrap = true;
-    barrier = false;
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Reduction of loops                                                  *)
-(* ------------------------------------------------------------------ *)
-
-let iconst_kinds = [ Sp_machine.Opkind.Iconst; Sp_machine.Opkind.Fconst ]
-
-let is_hoistable (u : Sunit.t) =
-  match u.Sunit.payload with
-  | Sunit.P_op op ->
-    List.mem op.Op.kind iconst_kinds && op.Op.srcs = [] && op.Op.addr = None
-  | _ -> false
-
-(** Conservative memory summary of a loop body for the enclosing level:
-    reads at entry, writes at entry and exit, unknown subscripts. *)
+(** Conservative memory summary of a scheduled construct for the
+    enclosing level: reads at entry, writes at entry and exit, unknown
+    subscripts. *)
 let summarize_mems (units : Sunit.t array) ~len =
   let segs = Hashtbl.create 8 in
   let by_sid = Hashtbl.create 8 in
@@ -345,12 +243,213 @@ let summarize_mems (units : Sunit.t array) ~len =
       base @ wr @ acc)
     segs []
 
+(* ------------------------------------------------------------------ *)
+(* Reduction of conditionals                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Schedule a straight-line unit list as a basic block and produce its
+    fragment, reservation profile and length. *)
+let compact_units ctx units ~pad_to =
+  let arr = renumber units in
+  let g = Ddg.build ~mve:false arr in
+  let p = Listsched.compact ctx.m g in
+  let r = Listsched.restart_interval g p in
+  let len = max p.Listsched.len pad_to in
+  let frag, resv = Emit.seq_frag arr p ~r_len:len in
+  (arr, p, frag, resv, len, r)
+
+let reduce_if ctx ~cond ~(then_units : Sunit.t list) ~(else_units : Sunit.t list)
+    : Sunit.t =
+  let t_arr, t_pl, t_frag, t_resv, t_len, _ =
+    compact_units ctx then_units ~pad_to:1
+  in
+  let e_arr, e_pl, e_frag, e_resv, e_len, _ =
+    compact_units ctx else_units ~pad_to:1
+  in
+  let lb = max t_len e_len in
+  let len = 1 + lb in
+  let exclusive_resv () =
+    List.concat
+      (List.init len (fun o ->
+           (o, ctx.seq_rid)
+           :: List.map (fun (_, r) -> (o, r)) ctx.all_resources))
+  in
+  let exact () =
+    (* A branch that contains a loop expands at emission beyond its
+       static length; every static operand/effect time inside it then
+       under-approximates the dynamic one. Live-ins must stay valid
+       until the construct's end, defs land only after it, and memory
+       effects are pinned to both ends. *)
+    let expanding =
+      List.exists Sunit.expands then_units
+      || List.exists Sunit.expands else_units
+    in
+    (* register uses/defs of a scheduled branch, shifted past the test
+       slot *)
+    let side (arr : Sunit.t array) (pl : Listsched.placement) =
+      let uses = ref [] and defs = ref [] and mems = ref [] in
+      Array.iteri
+        (fun i (u : Sunit.t) ->
+          let base = 1 + pl.Listsched.times.(i) in
+          List.iter
+            (fun (r, t) ->
+              uses := (r, base + t) :: !uses;
+              (* pinned past the end plus the maximum write latency: an
+                 overwriting operation from another iteration must ISSUE
+                 after the construct's last slot — its write lands a
+                 dynamic latency after issue, and only issue order
+                 survives the emission-time expansion *)
+              if expanding then uses := (r, len + 7) :: !uses)
+            u.Sunit.uses;
+          List.iter
+            (fun (r, t) ->
+              let t' =
+                if expanding then len + max 0 (t - (u.Sunit.len - 1))
+                else base + t
+              in
+              defs := (r, t') :: !defs)
+            u.Sunit.defs;
+          List.iter
+            (fun (e : Sunit.mem_eff) ->
+              mems := { e with Sunit.at = base + e.Sunit.at } :: !mems;
+              if expanding then
+                mems := { e with Sunit.at = len - 1 } :: !mems)
+            (Ddg.effects u))
+        arr;
+      (!uses, !defs, !mems)
+    in
+    let t_uses, t_defs, t_mems = side t_arr t_pl in
+    let e_uses, e_defs, e_mems = side e_arr e_pl in
+    (* a register defined on one side only must stay valid across the
+       other path: record it as used at entry as well *)
+    let one_sided =
+      let ids l = List.map (fun ((r : Vreg.t), _) -> r.Vreg.id) l in
+      let t_ids = ids t_defs and e_ids = ids e_defs in
+      List.filter (fun (r, _) -> not (List.mem r.Vreg.id e_ids)) t_defs
+      @ List.filter (fun (r, _) -> not (List.mem r.Vreg.id t_ids)) e_defs
+    in
+    let uses =
+      ((cond, 0) :: t_uses)
+      @ e_uses
+      @ List.map (fun (r, _) -> (r, 0)) one_sided
+    in
+    let defs = Sunit.merge_times max t_defs e_defs in
+    let shift l = List.map (fun (o, r) -> (o + 1, r)) l in
+    let resv =
+      if ctx.cfg.if_exclusive then exclusive_resv ()
+      else
+        (* the construct claims the sequencer for its whole length; any
+           sequencer claims inside the branches (nested constructs) are
+           subsumed, and must not double-book the single unit *)
+        List.filter
+          (fun (_, r) -> r <> ctx.seq_rid)
+          (Sunit.union_resv (shift t_resv) (shift e_resv))
+        @ List.init len (fun o -> (o, ctx.seq_rid))
+    in
+    (uses, defs, t_mems @ e_mems, resv)
+  in
+  (* Degraded decoration: every register either branch touches is live
+     at entry and pinned past the construct's (dynamic) end, every def
+     lands only after it, memory effects are summarized at both ends,
+     and the construct claims every resource — nothing co-schedules
+     with it, so the timing of whatever is inside cannot be violated
+     by the surrounding schedule. *)
+  let conservative msg =
+    Sp_util.Log.info "loop-free if-reduction degraded: %s" msg;
+    let both = Array.append t_arr e_arr in
+    let regs = Hashtbl.create 32 in
+    Array.iter
+      (fun (u : Sunit.t) ->
+        List.iter
+          (fun ((r : Vreg.t), _) -> Hashtbl.replace regs r.Vreg.id r)
+          (u.Sunit.uses @ u.Sunit.defs))
+      both;
+    let uses =
+      (cond, 0)
+      :: Hashtbl.fold (fun _ r acc -> (r, 0) :: (r, len + 7) :: acc) regs []
+    in
+    let defs =
+      let h = Hashtbl.create 32 in
+      Array.iter
+        (fun (u : Sunit.t) ->
+          List.iter
+            (fun ((r : Vreg.t), _) -> Hashtbl.replace h r.Vreg.id r)
+            u.Sunit.defs)
+        both;
+      Hashtbl.fold (fun _ r acc -> (r, len + 7) :: acc) h []
+    in
+    (uses, defs, summarize_mems both ~len, exclusive_resv ())
+  in
+  let uses, defs, mems, resv =
+    try exact ()
+    with e ->
+      conservative
+        (match e with
+        | Sp_util.Fault.Injected site -> "fault injected at " ^ site
+        | e -> Printexc.to_string e)
+  in
+  {
+    Sunit.sid = 0;
+    len;
+    uses;
+    defs;
+    mems;
+    resv;
+    payload = Sunit.P_if { cond; then_ = t_frag; else_ = e_frag };
+    no_wrap = true;
+    barrier = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reduction of loops                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let iconst_kinds = [ Sp_machine.Opkind.Iconst; Sp_machine.Opkind.Fconst ]
+
+let is_hoistable (u : Sunit.t) =
+  match u.Sunit.payload with
+  | Sunit.P_op op ->
+    List.mem op.Op.kind iconst_kinds && op.Op.srcs = [] && op.Op.addr = None
+  | _ -> false
+
+(** Validate a pipelined loop's fragments against the timing contract
+    before committing to them. The linearized prolog ++ kernel ++
+    epilog is exactly the dynamic instruction stream of a minimal-trip
+    execution (one kernel pass), so checking it as a straight-line
+    pseudo-program is sound. Fragments holding nested constructs
+    (slots with control payloads) are skipped — their expansion is not
+    straight-line, and the inner construct was already checked when it
+    was reduced. *)
+let validate_frags ctx (pf : Emit.pipe_frags) : string option =
+  let frags = [ pf.Emit.f_prolog; pf.Emit.f_kernel; pf.Emit.f_epilog ] in
+  let straight =
+    List.for_all
+      (fun (f : Sunit.frag) ->
+        Array.for_all (fun s -> Option.is_none s.Sunit.sctl) f)
+      frags
+  in
+  if not straight then None
+  else
+    let code =
+      Array.concat
+        (List.map
+           (fun (f : Sunit.frag) ->
+             Array.map
+               (fun s ->
+                 { Sp_vliw.Inst.ops = List.rev s.Sunit.sops;
+                   ctl = Sp_vliw.Inst.Next })
+               f)
+           frags)
+    in
+    match Sp_vliw.Validate.check_timing ctx.m { Sp_vliw.Prog.code } with
+    | [] -> None
+    | v :: _ -> Some (Fmt.str "%a" Sp_vliw.Validate.pp_violation v)
+
 let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
     (body_units : Sunit.t list) : Sunit.t list =
   let l_id = ctx.next_loop in
   ctx.next_loop <- l_id + 1;
-  let dbg = Sys.getenv_opt "SP_DEBUG" <> None in
-  if dbg then Printf.eprintf "[loop%d] enter, %d units\n%!" l_id (List.length body_units);
+  Sp_util.Log.debug "loop%d: enter, %d units" l_id (List.length body_units);
   (* hoist loop-invariant constants to the enclosing level — but only
      when the destination has no other definition in the body (an inner
      loop's counter is initialized by a constant yet redefined by its
@@ -401,21 +500,22 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
     g > l
   in
   (* full dependence graph: serial restart interval and fallback body *)
-  if dbg then Printf.eprintf "[loop%d] building full ddg\n%!" l_id;
+  Sp_util.Log.debug "loop%d: building full ddg" l_id;
   let g_full = Ddg.build ~mve:false units in
-  if dbg then Printf.eprintf "[loop%d] compacting (%d edges)\n%!" l_id (List.length g_full.Ddg.edges);
+  Sp_util.Log.debug "loop%d: compacting (%d edges)" l_id
+    (List.length g_full.Ddg.edges);
   let pl = Listsched.compact ctx.m g_full in
   let seq_len = Listsched.restart_interval g_full pl in
-  if dbg then Printf.eprintf "[loop%d] seq_len=%d\n%!" l_id seq_len;
+  Sp_util.Log.debug "loop%d: seq_len=%d" l_id seq_len;
   let seq_body, _ = Emit.seq_frag units pl ~r_len:seq_len in
   (* pipelining graph: carried deps on expandable variables removed *)
   let g_mve =
     Ddg.build ~mve:(ctx.cfg.mve_mode <> Mve.Off) ~live_out units
   in
-  if dbg then Printf.eprintf "[loop%d] analyzing\n%!" l_id;
+  Sp_util.Log.debug "loop%d: analyzing" l_id;
   let analysis = Modsched.analyze ~s_max:seq_len g_mve in
   let scc = analysis.Modsched.a_scc in
-  if dbg then Printf.eprintf "[loop%d] analysis done\n%!" l_id;
+  Sp_util.Log.debug "loop%d: analysis done" l_id;
   let mii = Mii.compute ctx.m units ~rec_mii:analysis.Modsched.a_rec_mii in
   (* a reduced control construct must fit strictly inside one s-window
      (see Modsched.wrap_ok), so its length + 1 is a genuine lower bound
@@ -458,6 +558,12 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
       scc.Scc.nontrivial scc.Scc.comps
   in
   (* ---- pipelining decision ---------------------------------------- *)
+  (* Every step of the attempt — interval search, modulo variable
+     expansion, fragment expansion, fragment validation — runs inside
+     one guard: whatever goes wrong (an exhausted budget, an injected
+     fault, an internal error, fragments that fail the timing
+     contract), this loop alone degrades to the serial schedule
+     already in hand and compilation continues. *)
   let attempt =
     if not ctx.cfg.pipeline then Error Disabled
     else if has_inner_loop && not ctx.cfg.pipeline_outer then Error Disabled
@@ -467,33 +573,52 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
       >= ctx.cfg.profit_margin *. float_of_int seq_len
     then Error Not_profitable
     else
-      match
-        (if dbg then Printf.eprintf "[loop%d] searching ii in [%d,%d]\n%!" l_id mii.Mii.mii (seq_len-1);
-         Modsched.schedule ~search:ctx.cfg.search ~analysis ctx.m g_mve
-           ~mii:mii.Mii.mii ~max_ii:(seq_len - 1))
+      try
+        Sp_util.Log.debug "loop%d: searching ii in [%d,%d]" l_id mii.Mii.mii
+          (seq_len - 1);
+        match
+          Modsched.schedule_with_budget ~search:ctx.cfg.search ~analysis
+            ?fuel:ctx.cfg.fuel ctx.m g_mve ~mii:mii.Mii.mii
+            ~max_ii:(seq_len - 1)
+        with
+        | Modsched.No_interval -> Error Not_profitable
+        | Modsched.Fuel_exhausted -> Error Budget_exhausted
+        | Modsched.Scheduled sched -> (
+          Sp_util.Log.debug "loop%d: scheduled ii=%d sc=%d span=%d" l_id
+            sched.Modsched.s sched.Modsched.sc sched.Modsched.span;
+          let mve =
+            Mve.compute ~mode:ctx.cfg.mve_mode ctx.m g_mve sched
+              ~supply:ctx.vregs
+          in
+          Sp_util.Log.debug "loop%d: mve u=%d" l_id mve.Mve.unroll;
+          if has_inner_loop && mve.Mve.unroll > 1 then
+            (* pipelining around an inner loop only overlaps the outer
+               bookkeeping with the inner prolog/epilog; replicating the
+               whole inner loop per kernel copy is never worth the code
+               size (Section 2.4's concern) *)
+            Error Not_profitable
+          else if not mve.Mve.fits then Error Register_overflow
+          else
+            match n with
+            | Region.Const k
+              when k - (sched.Modsched.sc - 1) < mve.Mve.unroll ->
+              Error Trip_too_small
+            | _ -> (
+              let pf = Emit.pipe_frags units sched mve in
+              Sp_util.Log.debug "loop%d: frags built" l_id;
+              match validate_frags ctx pf with
+              | Some msg -> Error (Degraded msg)
+              | None -> Ok (sched, mve, pf)))
       with
-      | None -> Error Not_profitable
-      | Some sched -> (
-        if dbg then Printf.eprintf "[loop%d] scheduled ii=%d sc=%d span=%d\n%!" l_id sched.Modsched.s sched.Modsched.sc sched.Modsched.span;
-        let mve =
-          Mve.compute ~mode:ctx.cfg.mve_mode ctx.m g_mve sched
-            ~supply:ctx.vregs
-        in
-        if dbg then Printf.eprintf "[loop%d] mve u=%d\n%!" l_id mve.Mve.unroll;
-        if has_inner_loop && mve.Mve.unroll > 1 then
-          (* pipelining around an inner loop only overlaps the outer
-             bookkeeping with the inner prolog/epilog; replicating the
-             whole inner loop per kernel copy is never worth the code
-             size (Section 2.4's concern) *)
-          Error Not_profitable
-        else if not mve.Mve.fits then Error Register_overflow
-        else
-          match n with
-          | Region.Const k
-            when k - (sched.Modsched.sc - 1) < mve.Mve.unroll ->
-            Error Trip_too_small
-          | _ -> Ok (sched, mve))
+      | Sp_util.Fault.Injected site ->
+        Error (Degraded ("fault injected at " ^ site))
+      | e -> Error (Degraded (Printexc.to_string e))
   in
+  (match attempt with
+  | Error ((Degraded _ | Budget_exhausted) as st) ->
+    Sp_util.Log.info "loop%d reverts to its serial schedule [%s]" l_id
+      (status_to_string st)
+  | _ -> ());
   (* ---- payload construction --------------------------------------- *)
   let seq_count =
     match n with
@@ -601,13 +726,11 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
         }
       in
       mk_unit ~prolog:[||] ~epilog:[||] ~prolog_resv:[] ~epilog_resv:[] ~mid
-    | Ok (sched, mve) ->
+    | Ok (sched, mve, pf) ->
       report
         ~ii:(Some sched.Modsched.s)
         ~sc:sched.Modsched.sc ~unroll:mve.Mve.unroll ~mf:mve.Mve.fregs
         ~mi:mve.Mve.iregs Pipelined;
-      let pf = Emit.pipe_frags units sched mve in
-      if dbg then Printf.eprintf "[loop%d] frags built\n%!" l_id;
       let sc = pf.Emit.sc and u = pf.Emit.unroll in
       (match n with
       | Region.Const k ->
@@ -758,19 +881,18 @@ let innermost_ddgs ?(config = default) (m : Machine.t) (p : Program.t) :
   List.rev !out
 
 let program ?(config = default) (m : Machine.t) (p : Program.t) : result =
-  let dbg = Sys.getenv_opt "SP_DEBUG" <> None in
   let ctx = make_ctx m config p in
   let units = units_of_region ctx ~depth:0 p.Program.body in
-  if dbg then Printf.eprintf "[top] %d units\n%!" (List.length units);
+  Sp_util.Log.debug "top: %d units" (List.length units);
   let arr = renumber units in
   let g = Ddg.build ~mve:false arr in
   let pl = Listsched.compact ctx.m g in
   let frag, _ = Emit.seq_frag arr pl ~r_len:pl.Listsched.len in
   let asm = Sp_vliw.Prog.Asm.create () in
-  if dbg then Printf.eprintf "[top] emitting\n%!";
+  Sp_util.Log.debug "top: emitting";
   Emit.emit_slots asm ~rename:Emit.identity_rename ~depth:0 frag
     ~extras:Emit.no_extras;
-  if dbg then Printf.eprintf "[top] emitted\n%!";
+  Sp_util.Log.debug "top: emitted";
   Sp_vliw.Prog.Asm.inst asm ~ctl:Sp_vliw.Inst.Halt [];
   let code = Sp_vliw.Prog.Asm.finish asm in
   {

@@ -38,6 +38,8 @@ let payload_len = function
 
 let no_extras : Op.t list array = [||]
 
+let () = Sp_util.Fault.register "emit.kernel"
+
 let rec emit_slots asm ~rename ~depth (frag : Sunit.frag)
     ~(extras : Op.t list array) =
   let n = Array.length frag in
@@ -146,6 +148,7 @@ type pipe_frags = {
     fragments with modulo-variable-expansion renaming per iteration. *)
 let pipe_frags (units : Sunit.t array) (sched : Modsched.schedule)
     (mve : Mve.t) : pipe_frags =
+  Sp_util.Fault.point "emit.kernel";
   let s = sched.Modsched.s in
   let sc = sched.Modsched.sc in
   let u = mve.Mve.unroll in

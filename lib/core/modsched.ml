@@ -89,7 +89,22 @@ let analyze ~s_max (g : Ddg.t) : analysis =
 
 (* ------------------------------------------------------------------ *)
 
-let schedule_component (m : Machine.t) (g : Ddg.t) ~s ~members
+let () = Sp_util.Fault.register "modsched.place"
+
+(** Fuel accounting: every slot probe against a reservation table
+    spends one unit. Exhausting the budget aborts the whole interval
+    search — the degradation machinery in {!Sp_core.Compile} then
+    reverts the loop to its serial schedule, so a pathological loop
+    can bound the compiler's work instead of hanging it. *)
+exception Out_of_fuel
+
+let spend = function
+  | None -> ()
+  | Some r ->
+    decr r;
+    if !r < 0 then raise Out_of_fuel
+
+let schedule_component ?fuel (m : Machine.t) (g : Ddg.t) ~s ~members
     ~(sp : Spath.t) : int array option =
   ignore m;
   let members = Array.of_list members in
@@ -117,9 +132,11 @@ let schedule_component (m : Machine.t) (g : Ddg.t) ~s ~members
       let placed = ref false in
       let t = ref !lo in
       while (not !placed) && !t <= !hi && !t < !lo + s do
+        spend fuel;
         if Mrt.Modulo.fits table ~at:!t u.Sunit.resv then begin
           Mrt.Modulo.add table ~at:!t u.Sunit.resv;
           off.(v) <- !t;
+          Sp_util.Fault.point "modsched.place";
           placed := true
         end
         else incr t
@@ -129,7 +146,7 @@ let schedule_component (m : Machine.t) (g : Ddg.t) ~s ~members
     Some off
   with Fail -> None
 
-let try_schedule (m : Machine.t) (g : Ddg.t) ~(scc : Scc.t)
+let try_schedule_fueled ?fuel (m : Machine.t) (g : Ddg.t) ~(scc : Scc.t)
     ~(spaths : Spath.t option array) ~s : int array option =
   let nc = Scc.num_components scc in
   let units = g.Ddg.units in
@@ -142,7 +159,7 @@ let try_schedule (m : Machine.t) (g : Ddg.t) ~(scc : Scc.t)
       match spaths.(c) with
       | None -> offsets.(c) <- Array.make (List.length members) 0
       | Some sp -> (
-        match schedule_component m g ~s ~members ~sp with
+        match schedule_component ?fuel m g ~s ~members ~sp with
         | Some off -> offsets.(c) <- off
         | None -> raise Fail)
     done;
@@ -195,9 +212,11 @@ let try_schedule (m : Machine.t) (g : Ddg.t) ~(scc : Scc.t)
         let placed = ref false in
         let t = ref est in
         while (not !placed) && !t < est + s do
+          spend fuel;
           if fits_at !t then begin
             Mrt.Modulo.add table ~at:!t resv;
             start.(c) <- !t;
+            Sp_util.Fault.point "modsched.place";
             placed := true
           end
           else incr t
@@ -212,9 +231,18 @@ let try_schedule (m : Machine.t) (g : Ddg.t) ~(scc : Scc.t)
     Some times
   with Fail -> None
 
+let try_schedule (m : Machine.t) (g : Ddg.t) ~(scc : Scc.t)
+    ~(spaths : Spath.t option array) ~s : int array option =
+  try_schedule_fueled m g ~scc ~spaths ~s
+
 (* ------------------------------------------------------------------ *)
 
 type search = Linear | Binary
+
+type outcome =
+  | Scheduled of schedule
+  | No_interval
+  | Fuel_exhausted
 
 let mk_schedule units ~s times =
   let span =
@@ -223,39 +251,51 @@ let mk_schedule units ~s times =
   in
   { s; times; span; sc = Sp_util.Intmath.ceil_div span s }
 
-(** Search for the smallest schedulable initiation interval in
-    [\[mii, max_ii\]]. Returns [None] if none is found (the loop is then
-    left unpipelined). [analysis] must come from {!analyze} with
-    [s_max >= max_ii]. *)
-let schedule ?(search = Linear) ?analysis (m : Machine.t) (g : Ddg.t) ~mii
-    ~max_ii : schedule option =
+(** Search [\[mii, max_ii\]] for the smallest schedulable initiation
+    interval under a placement-probe budget. [analysis] must come from
+    {!analyze} with [s_max >= max_ii]. *)
+let schedule_with_budget ?(search = Linear) ?analysis ?fuel (m : Machine.t)
+    (g : Ddg.t) ~mii ~max_ii : outcome =
   let a =
     match analysis with
     | Some a -> a
     | None -> analyze ~s_max:(max mii max_ii) g
   in
   let mii = max mii a.a_rec_mii in
-  let try_s s = try_schedule m g ~scc:a.a_scc ~spaths:a.a_spaths ~s in
-  match search with
-  | Linear ->
-    let rec go s =
-      if s > max_ii then None
-      else
-        match try_s s with
-        | Some times -> Some (mk_schedule g.Ddg.units ~s times)
-        | None -> go (s + 1)
-    in
-    go (max 1 mii)
-  | Binary ->
-    (* assumes monotone schedulability — the assumption the paper
-       rejects; kept for the ablation *)
-    let rec go lo hi best =
-      if lo > hi then best
-      else
-        let mid = (lo + hi) / 2 in
-        match try_s mid with
-        | Some times ->
-          go lo (mid - 1) (Some (mk_schedule g.Ddg.units ~s:mid times))
-        | None -> go (mid + 1) hi best
-    in
-    go (max 1 mii) max_ii None
+  let fuel = Option.map ref fuel in
+  let try_s s =
+    try_schedule_fueled ?fuel m g ~scc:a.a_scc ~spaths:a.a_spaths ~s
+  in
+  try
+    match search with
+    | Linear ->
+      let rec go s =
+        if s > max_ii then No_interval
+        else
+          match try_s s with
+          | Some times -> Scheduled (mk_schedule g.Ddg.units ~s times)
+          | None -> go (s + 1)
+      in
+      go (max 1 mii)
+    | Binary ->
+      (* assumes monotone schedulability — the assumption the paper
+         rejects; kept for the ablation *)
+      let rec go lo hi best =
+        if lo > hi then best
+        else
+          let mid = (lo + hi) / 2 in
+          match try_s mid with
+          | Some times ->
+            go lo (mid - 1) (Scheduled (mk_schedule g.Ddg.units ~s:mid times))
+          | None -> go (mid + 1) hi best
+      in
+      go (max 1 mii) max_ii No_interval
+  with Out_of_fuel -> Fuel_exhausted
+
+(** Unbudgeted search; [None] when no interval in range is schedulable
+    (the loop is then left unpipelined). *)
+let schedule ?search ?analysis (m : Machine.t) (g : Ddg.t) ~mii ~max_ii :
+    schedule option =
+  match schedule_with_budget ?search ?analysis m g ~mii ~max_ii with
+  | Scheduled s -> Some s
+  | No_interval | Fuel_exhausted -> None

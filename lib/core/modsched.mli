@@ -41,6 +41,26 @@ type search =
   | Linear  (** the paper's choice: schedulability is not monotonic *)
   | Binary  (** ablation: assumes monotonicity *)
 
+(** Result of a budgeted interval search. *)
+type outcome =
+  | Scheduled of schedule
+  | No_interval     (** no interval in [\[mii, max_ii\]] is schedulable *)
+  | Fuel_exhausted  (** the placement-probe budget ran out mid-search *)
+
+val schedule_with_budget :
+  ?search:search ->
+  ?analysis:analysis ->
+  ?fuel:int ->
+  Machine.t ->
+  Ddg.t ->
+  mii:int ->
+  max_ii:int ->
+  outcome
+(** Search [max mii rec_bound .. max_ii] for the smallest schedulable
+    interval, spending one unit of [fuel] per reservation-table probe
+    (unlimited when omitted). [analysis] must come from {!analyze} with
+    [s_max >= max_ii]; it is recomputed when omitted. *)
+
 val schedule :
   ?search:search ->
   ?analysis:analysis ->
@@ -49,6 +69,5 @@ val schedule :
   mii:int ->
   max_ii:int ->
   schedule option
-(** Search [max mii rec_bound .. max_ii] for the smallest schedulable
-    interval. [analysis] must come from {!analyze} with
-    [s_max >= max_ii]; it is recomputed when omitted. *)
+(** {!schedule_with_budget} without a budget; [None] when no interval
+    in range is schedulable. *)

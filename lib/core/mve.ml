@@ -24,6 +24,8 @@
 open Sp_ir
 open Sp_machine
 
+let () = Sp_util.Fault.register "mve.assign"
+
 type mode = Max_q | Lcm | Off
 
 type alloc = {
@@ -104,9 +106,8 @@ let compute ?(mode = Max_q) (m : Machine.t) (g : Ddg.t)
                     death := max !death (sched.Modsched.times.(i) + t))
                 u.Sunit.uses)
             units;
-          if Sys.getenv_opt "SP_DEBUG" <> None then
-            Printf.eprintf "[mve] %s birth=%d death=%d s=%d\n%!"
-              (Vreg.to_string r) !birth !death s;
+          Sp_util.Log.debug "mve: %s birth=%d death=%d s=%d"
+            (Vreg.to_string r) !birth !death s;
           if !birth = max_int then None (* candidate never defined: skip *)
           else
             (* a dead value (never read) needs exactly one location *)
@@ -125,6 +126,7 @@ let compute ?(mode = Max_q) (m : Machine.t) (g : Ddg.t)
     let allocs =
       List.map
         (fun ((r : Vreg.t), q) ->
+          Sp_util.Fault.point "mve.assign";
           let n = Sp_util.Intmath.smallest_divisor_geq ~u ~q in
           let copies =
             Array.init n (fun k ->

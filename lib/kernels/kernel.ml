@@ -55,30 +55,55 @@ type measurement = {
   resource_ok : bool;
   loops : Sp_core.Compile.loop_report list;
   dyn_ops : int;
+  failure : string option;
+      (** a simulator trap (cycle limit, write-port conflict) — the
+          measurement's numbers are then zero and [sem_ok] false *)
 }
 
 (** Compile under [config], cross-check against the interpreter, and
-    measure. *)
-let run ?(config = Sp_core.Compile.default) (m : Sp_machine.Machine.t)
-    (k : t) : measurement =
+    measure. A simulator trap is reported in [failure], never raised. *)
+let run ?(config = Sp_core.Compile.default) ?max_cycles
+    (m : Sp_machine.Machine.t) (k : t) : measurement =
   let p = program k in
   let r = Sp_core.Compile.program ~config m p in
   let init st = k.init st p in
-  let oracle = Interp.run ~inputs:k.inputs ~init p in
-  let sim = Sp_vliw.Sim.run ~inputs:k.inputs ~init m p r.Sp_core.Compile.code in
-  {
-    kernel = k.name;
-    cycles = sim.Sp_vliw.Sim.cycles;
-    flops = sim.Sp_vliw.Sim.flops;
-    mflops = Sp_vliw.Sim.mflops m sim;
-    code_size = r.Sp_core.Compile.code_size;
-    sem_ok =
-      Machine_state.observably_equal oracle.Interp.state
-        sim.Sp_vliw.Sim.state;
-    resource_ok = Sp_vliw.Check.check_prog m r.Sp_core.Compile.code = [];
-    loops = r.Sp_core.Compile.loops;
-    dyn_ops = sim.Sp_vliw.Sim.dyn_ops;
-  }
+  let base =
+    {
+      kernel = k.name;
+      cycles = 0;
+      flops = 0;
+      mflops = 0.0;
+      code_size = r.Sp_core.Compile.code_size;
+      sem_ok = false;
+      resource_ok = Sp_vliw.Check.check_prog m r.Sp_core.Compile.code = [];
+      loops = r.Sp_core.Compile.loops;
+      dyn_ops = 0;
+      failure = None;
+    }
+  in
+  match
+    Sp_vliw.Sim.run ?max_cycles ~inputs:k.inputs ~init m p
+      r.Sp_core.Compile.code
+  with
+  | exception Sp_vliw.Sim.Cycle_limit n ->
+    {
+      base with
+      failure = Some (Printf.sprintf "cycle limit hit at cycle %d" n);
+    }
+  | exception Sp_vliw.Sim.Write_conflict msg ->
+    { base with failure = Some ("write-port conflict: " ^ msg) }
+  | sim ->
+    let oracle = Interp.run ~inputs:k.inputs ~init p in
+    {
+      base with
+      cycles = sim.Sp_vliw.Sim.cycles;
+      flops = sim.Sp_vliw.Sim.flops;
+      mflops = Sp_vliw.Sim.mflops m sim;
+      sem_ok =
+        Machine_state.observably_equal oracle.Interp.state
+          sim.Sp_vliw.Sim.state;
+      dyn_ops = sim.Sp_vliw.Sim.dyn_ops;
+    }
 
 (** Speed-up of the pipelined compilation over local compaction only
     (the Figure 4-2 metric), plus both measurements. *)

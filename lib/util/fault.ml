@@ -1,0 +1,64 @@
+(** Deterministic fault injection.
+
+    Compiler passes mark their interesting failure sites with
+    {!point}[ "pass.site"]; a test (or [w2c --inject site@k]) arms one
+    site so that its [k]-th execution raises {!Injected}. The
+    degradation machinery in {!Sp_core.Compile} must catch the
+    exception and revert the affected loop to its serial schedule —
+    the property suite in [test/test_fault.ml] verifies that under
+    every registered fault the compiler still terminates, validates
+    and produces interpreter-identical code.
+
+    Sites are registered at module-initialization time by the passes
+    that own them, so {!sites} is complete as soon as the libraries
+    are linked. All state is global and explicitly deterministic:
+    arming, hit counting and firing depend only on the call sequence. *)
+
+exception Injected of string
+(** Raised by an armed {!point}. Carries the site name. *)
+
+let registered : (string, unit) Hashtbl.t = Hashtbl.create 16
+let armed : (string * int) option ref = ref None
+let hit_counts : (string, int) Hashtbl.t = Hashtbl.create 16
+let fired_site : string option ref = ref None
+
+let register site = Hashtbl.replace registered site ()
+
+let sites () =
+  List.sort compare (Hashtbl.fold (fun s () acc -> s :: acc) registered [])
+
+(** Arm [site]: its [after]-th subsequent execution (1-based) raises
+    {!Injected}. Re-arming resets all hit counters; only one site is
+    armed at a time. *)
+let arm ~site ~after =
+  if after < 1 then invalid_arg "Fault.arm: after must be >= 1";
+  register site;
+  Hashtbl.reset hit_counts;
+  fired_site := None;
+  armed := Some (site, after)
+
+(** Disarm everything and clear counters. *)
+let disarm () =
+  armed := None;
+  fired_site := None;
+  Hashtbl.reset hit_counts
+
+(** Executions of [site] since the last {!arm}/{!disarm}. *)
+let hits site = Option.value ~default:0 (Hashtbl.find_opt hit_counts site)
+
+(** The armed site, if it has fired since arming. *)
+let fired () = !fired_site
+
+(** Mark a failure site. When any site is armed, counts the hit and
+    raises {!Injected} on the armed site's [after]-th execution; when
+    nothing is armed it costs a single [ref] read. *)
+let point site =
+  match !armed with
+  | None -> ()
+  | Some (s, after) ->
+    let n = 1 + hits site in
+    Hashtbl.replace hit_counts site n;
+    if s = site && n = after then begin
+      fired_site := Some site;
+      raise (Injected site)
+    end

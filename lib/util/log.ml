@@ -1,0 +1,40 @@
+(** Leveled diagnostic logging shared by the compiler passes and the
+    driver/benchmark tools.
+
+    Replaces the ad-hoc [SP_DEBUG] [Printf.eprintf] tracing that used
+    to be sprinkled through {!Sp_core.Compile}: one switch, three
+    levels, all output on stderr so it never corrupts report output.
+
+    The level comes from the [SP_LOG] environment variable ([quiet],
+    [info] or [debug]; [SP_DEBUG] being set at all still selects
+    [debug], for compatibility with old invocations) and can be
+    overridden programmatically with {!set_level}. *)
+
+type level = Quiet | Info | Debug
+
+let int_of_level = function Quiet -> 0 | Info -> 1 | Debug -> 2
+
+let level_of_string = function
+  | "quiet" -> Some Quiet
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
+
+let current =
+  ref
+    (match Option.bind (Sys.getenv_opt "SP_LOG") level_of_string with
+    | Some l -> l
+    | None -> if Sys.getenv_opt "SP_DEBUG" <> None then Debug else Quiet)
+
+let set_level l = current := l
+let level () = !current
+let enabled l = int_of_level l <= int_of_level !current
+
+(** [logf level fmt ...] writes one line to stderr when [level] is
+    enabled; a disabled level costs only the format dispatch. *)
+let logf l fmt =
+  if enabled l then Printf.eprintf ("[sp] " ^^ fmt ^^ "\n%!")
+  else Printf.ifprintf stderr fmt
+
+let info fmt = logf Info fmt
+let debug fmt = logf Debug fmt

@@ -18,4 +18,6 @@ let () =
       ("mve", Test_mve.suite);
       ("compile", Test_compile.suite);
       ("kernels", Test_kernels.suite);
+      ("validate", Test_validate.suite);
+      ("fault", Test_fault.suite);
     ]

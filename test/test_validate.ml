@@ -1,0 +1,216 @@
+(** Translation-validation tests.
+
+    Two directions: {e soundness} — the validator accepts every
+    schedule the compiler produces, across the whole kernel suite,
+    machines and random programs — and {e sensitivity} — deliberately
+    corrupted schedules are rejected. Each corruption class must find
+    an applicable mutation site in real compiled code (the test fails
+    if it cannot, guarding against vacuous passes). *)
+
+module C = Sp_core.Compile
+module V = Sp_vliw.Validate
+module Inst = Sp_vliw.Inst
+module Prog = Sp_vliw.Prog
+module Machine = Sp_machine.Machine
+
+let machines = [ Machine.warp; Machine.toy; Machine.serial ]
+
+let compile ?(config = C.default) m (k : Sp_kernels.Kernel.t) =
+  let p = Sp_kernels.Kernel.program k in
+  (C.program ~config m p).C.code
+
+let check_clean what m code =
+  let rep = V.all m code in
+  Alcotest.(check bool)
+    (Fmt.str "%s: %a" what V.pp_report rep)
+    true (V.ok rep)
+
+let test_suite_clean () =
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (e : Sp_kernels.Suite.entry) ->
+          let k = e.Sp_kernels.Suite.kernel in
+          check_clean
+            (Printf.sprintf "%s on %s" k.Sp_kernels.Kernel.name
+               m.Machine.name)
+            m (compile m k))
+        Sp_kernels.Suite.all)
+    machines
+
+let test_livermore_clean () =
+  List.iter
+    (fun k ->
+      check_clean k.Sp_kernels.Kernel.name Machine.warp
+        (compile Machine.warp k))
+    Sp_kernels.Livermore.all
+
+let test_configs_clean () =
+  let k = Sp_kernels.Livermore.k7_eos in
+  List.iter
+    (fun (name, config) ->
+      check_clean name Machine.warp (compile ~config Machine.warp k))
+    [
+      ("local-only", C.local_only);
+      ("mve-lcm", { C.default with C.mve_mode = Sp_core.Mve.Lcm });
+      ("mve-off", { C.default with C.mve_mode = Sp_core.Mve.Off });
+      ("binary", { C.default with C.search = Sp_core.Modsched.Binary });
+    ]
+
+(* ---- property: random programs validate cleanly --------------------- *)
+
+let prop_random_clean =
+  QCheck2.Test.make ~count:120 ~name:"random programs validate cleanly"
+    ~print:(Fmt.str "%a" Gen.pp_spec) Gen.spec_gen (fun sp ->
+      let p, _, _ = Gen.build sp in
+      List.for_all
+        (fun m ->
+          let r = C.program m p in
+          let rep = V.all m r.C.code in
+          V.ok rep
+          || QCheck2.Test.fail_reportf "%s: %a" m.Machine.name V.pp_report
+               rep)
+        [ Machine.warp; Machine.toy ])
+
+(* ---- sensitivity: corrupted schedules are rejected ------------------ *)
+
+(** A small, definitely-pipelined kernel to corrupt. *)
+let victim () =
+  let k =
+    Sp_kernels.Kernel.mk "victim"
+      (Sp_kernels.Kernel.W2
+         {|program s;
+var x, y : array [0..127] of float; k : int;
+begin for k := 0 to 127 do y[k] := 2.5 * x[k] + y[k]; end.|})
+  in
+  compile Machine.warp k
+
+let copy (p : Prog.t) = { Prog.code = Array.map (fun i -> i) p.Prog.code }
+
+(** Corruption class 1: displace a producer one cycle past its tightest
+    consumer. We look — inside the entry stretch, where the validator
+    can prove latency violations — for a register written exactly once
+    whose first read sits exactly at the write's latency; delaying that
+    write by one word makes the consumer read a value still in flight. *)
+let test_mutation_delay_producer () =
+  let p = victim () in
+  let m = Machine.warp in
+  let n = Array.length p.Prog.code in
+  let stretch_end = ref n in
+  (try
+     Array.iteri
+       (fun i (inst : Inst.t) ->
+         match inst.Inst.ctl with
+         | Inst.Jump _ | Inst.Halt ->
+           stretch_end := i;
+           raise Exit
+         | _ -> ())
+       p.Prog.code
+   with Exit -> ());
+  (* reg id -> Some (write index, latency) for once-written registers,
+     None once a second write poisons the pair *)
+  let writes : (int, (int * int) option) Hashtbl.t = Hashtbl.create 32 in
+  let site = ref None in
+  (try
+     for i = 0 to !stretch_end - 1 do
+       let inst = p.Prog.code.(i) in
+       List.iter
+         (fun (r : Sp_ir.Vreg.t) ->
+           match Hashtbl.find_opt writes r.Sp_ir.Vreg.id with
+           | Some (Some (w, lat))
+             when lat >= 2 && i = w + lat
+                  && w + 1 < !stretch_end
+                  && p.Prog.code.(w).Inst.ctl = Inst.Next
+                  && p.Prog.code.(w + 1).Inst.ctl = Inst.Next ->
+             site := Some (w, i);
+             raise Exit
+           | _ -> ())
+         (List.concat_map Sp_ir.Op.reads inst.Inst.ops);
+       List.iter
+         (fun (op : Sp_ir.Op.t) ->
+           match op.Sp_ir.Op.dst with
+           | None -> ()
+           | Some d ->
+             let id = d.Sp_ir.Vreg.id in
+             if Hashtbl.mem writes id then Hashtbl.replace writes id None
+             else
+               Hashtbl.replace writes id
+                 (Some
+                    ( i,
+                      max 1
+                        (Sp_machine.Machine.latency m op.Sp_ir.Op.kind) )))
+         inst.Inst.ops
+     done
+   with Exit -> ());
+  match !site with
+  | None -> Alcotest.fail "no tight producer/consumer pair found to corrupt"
+  | Some (w, c) ->
+    let q = copy p in
+    let tmp = q.Prog.code.(w) in
+    q.Prog.code.(w) <- q.Prog.code.(w + 1);
+    q.Prog.code.(w + 1) <- tmp;
+    let rep = V.all Machine.warp q in
+    Alcotest.(check bool) "clean before corruption" true
+      (V.ok (V.all Machine.warp p));
+    Alcotest.(check bool)
+      (Fmt.str "producer at %d delayed past its read at %d rejected" w c)
+      true
+      (List.exists (fun v -> v.V.rule = V.Latency) rep.V.timing)
+
+(** Corruption class 2: drop the first counter set; a later counter
+    loop then runs off an uninitialized counter. *)
+let test_mutation_drop_counter_set () =
+  let p = victim () in
+  let q = copy p in
+  let dropped = ref false in
+  Array.iteri
+    (fun i (inst : Inst.t) ->
+      if not !dropped then
+        match inst.Inst.ctl with
+        | Inst.CtrSet _ | Inst.CtrSetR _ ->
+          q.Prog.code.(i) <- { inst with Inst.ctl = Inst.Next };
+          dropped := true
+        | _ -> ())
+    p.Prog.code;
+  if not !dropped then Alcotest.fail "no counter set found to drop";
+  let rep = V.all Machine.warp q in
+  Alcotest.(check bool) "dropped counter set rejected" true
+    (List.exists (fun v -> v.V.rule = V.Counter) rep.V.timing)
+
+(** Corruption class 3: duplicate a word's operations in place — two
+    writes to one register land in the same cycle (and the word
+    double-books its resources). *)
+let test_mutation_duplicate_ops () =
+  let p = victim () in
+  let site = ref None in
+  Array.iteri
+    (fun i (inst : Inst.t) ->
+      if
+        !site = None
+        && List.exists (fun (o : Sp_ir.Op.t) -> o.Sp_ir.Op.dst <> None)
+             inst.Inst.ops
+      then site := Some i)
+    p.Prog.code;
+  match !site with
+  | None -> Alcotest.fail "no writing word found to duplicate"
+  | Some i ->
+    let q = copy p in
+    let inst = q.Prog.code.(i) in
+    q.Prog.code.(i) <- { inst with Inst.ops = inst.Inst.ops @ inst.Inst.ops };
+    let rep = V.all Machine.warp q in
+    Alcotest.(check bool)
+      (Fmt.str "duplicated word %d rejected" i)
+      true
+      (List.exists (fun v -> v.V.rule = V.Write_port) rep.V.timing
+      || rep.V.resources <> [])
+
+let suite =
+  [
+    ("whole suite validates cleanly (3 machines)", `Slow, test_suite_clean);
+    ("livermore validates cleanly", `Quick, test_livermore_clean);
+    ("ablation configs validate cleanly", `Quick, test_configs_clean);
+    QCheck_alcotest.to_alcotest prop_random_clean;
+    ("mutation: delayed producer", `Quick, test_mutation_delay_producer);
+    ("mutation: dropped counter set", `Quick, test_mutation_drop_counter_set);
+    ("mutation: duplicated ops", `Quick, test_mutation_duplicate_ops);
+  ]
