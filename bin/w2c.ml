@@ -103,7 +103,30 @@ let config_term =
                  interval search; exhaustion degrades the loop to its \
                  serial schedule. Unlimited when absent.")
   in
-  let mk no_pipeline mve_mode search if_exclusive threshold fuel =
+  let opt_conv =
+    Arg.conv
+      ( (function
+        | "heur" -> Ok `Heur
+        | "exact" -> Ok `Exact
+        | s -> Error (`Msg (Printf.sprintf "unknown optimizer %S" s))),
+        fun ppf o ->
+          Fmt.string ppf (match o with `Heur -> "heur" | `Exact -> "exact") )
+  in
+  let opt =
+    Arg.(value & opt opt_conv `Heur & info [ "opt" ]
+           ~doc:"Scheduler tier: heur (the paper's heuristic) or exact \
+                 (certify each pipelined loop against the exact modulo \
+                 scheduler; the report then carries a per-loop \
+                 optimality certificate, and any strictly better \
+                 schedule found replaces the heuristic one).")
+  in
+  let opt_fuel =
+    Arg.(value & opt (some int) None & info [ "opt-fuel" ] ~docv:"N"
+           ~doc:"Fuel budget per loop for the exact certifier (with \
+                 --opt exact); exhaustion yields an unknown \
+                 certificate, never a failure. Default 2e6.")
+  in
+  let mk no_pipeline mve_mode search if_exclusive threshold fuel opt opt_fuel =
     {
       C.pipeline = not no_pipeline;
       mve_mode;
@@ -113,10 +136,14 @@ let config_term =
       pipeline_outer = true;
       profit_margin = C.default.C.profit_margin;
       fuel;
+      certifier =
+        (match opt with
+        | `Heur -> None
+        | `Exact -> Some (Sp_opt.Certify.hook ?fuel:opt_fuel ()));
     }
   in
   Term.(const mk $ no_pipeline $ mve $ search $ if_exclusive $ threshold
-        $ fuel)
+        $ fuel $ opt $ opt_fuel)
 
 let inject_conv =
   let parse s =

@@ -53,4 +53,23 @@ echo "== degradation smoke: injected fault still runs and validates"
 $W2C run --validate --verify --inject modsched.place@1 examples/saxpy.w2 \
   >/dev/null
 
+echo "== exact-certifier smoke: bounded --opt exact over the examples"
+for f in examples/*.w2; do
+  echo "   $f"
+  out=$($W2C schedule --opt exact --opt-fuel 200000 "$f")
+  case "$out" in
+  *"{cert:"*) ;;
+  *)
+    echo "FAIL: $f: schedule report carries no certificate"
+    echo "$out"
+    exit 1
+    ;;
+  esac
+done
+$W2C run --validate --verify --opt exact --opt-fuel 200000 \
+  examples/conv1d.w2 >/dev/null
+
+echo "== bench smoke: budget-capped optimality gap table"
+dune exec --no-build bench/main.exe -- --table optimal-quick >/dev/null
+
 echo "CI OK"

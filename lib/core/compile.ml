@@ -25,6 +25,35 @@
 open Sp_ir
 open Sp_machine
 
+(** Verdict of an optional exact-scheduling oracle on a heuristic
+    result (see [Sp_opt.Certify]). [spent] is the oracle's fuel cost. *)
+type certification =
+  | Cert_optimal of { spent : int }
+      (** exact search proved every interval below the heuristic's
+          infeasible — the heuristic result is optimal *)
+  | Cert_improved of { heur_ii : int; spent : int }
+      (** the exact search found (and the compiler adopted) a schedule
+          at a smaller interval than the heuristic's [heur_ii]; the
+          adopted interval is itself proven optimal *)
+  | Cert_unknown of { spent : int; proven_below : int }
+      (** budget exhausted: intervals in [\[mii, proven_below)] are
+          proven infeasible, the rest undecided *)
+
+(** An optimality oracle the compiler can consult after the heuristic
+    interval search succeeds. It receives the pipelining dependence
+    graph, the shared search {!Modsched.analysis}, the interval lower
+    bound and the heuristic schedule, and returns the schedule to adopt
+    (the heuristic's, or a validated better one) with its certificate.
+    Runs inside the per-loop degradation guard: an escaping exception
+    reverts the loop to its serial schedule. *)
+type certifier =
+  Machine.t ->
+  Ddg.t ->
+  analysis:Modsched.analysis ->
+  mii:int ->
+  Modsched.schedule ->
+  Modsched.schedule * certification
+
 type config = {
   pipeline : bool;          (** false = local compaction only (baseline) *)
   mve_mode : Mve.mode;
@@ -44,6 +73,9 @@ type config = {
       (** placement-probe budget per loop for the interval search
           ([Modsched.schedule_with_budget]); exhaustion degrades the
           loop to its serial schedule. [None] = unlimited. *)
+  certifier : certifier option;
+      (** optional optimality oracle consulted on every heuristic
+          success; [None] = heuristic results are reported uncertified *)
 }
 
 let default =
@@ -56,6 +88,7 @@ let default =
     pipeline_outer = true;
     profit_margin = 0.95;
     fuel = None;
+    certifier = None;
   }
 
 (** The Figure 4-2 baseline: individual basic blocks compacted, no
@@ -112,6 +145,11 @@ type loop_report = {
   unroll : int;
   mve_fregs : int;
   mve_iregs : int;
+  probed : int;              (** candidate intervals tried by the search *)
+  fuel_spent : int;          (** placement probes the search cost *)
+  cert : certification option;
+      (** optimality certificate, when a certifier was configured and
+          the loop pipelined *)
   status : status;
 }
 
@@ -122,9 +160,18 @@ let efficiency r =
   | Some ii when ii > 0 -> float_of_int r.mii /. float_of_int ii
   | _ -> 1.0
 
+let cert_to_string = function
+  | Cert_optimal { spent } -> Printf.sprintf "optimal (exact, %d fuel)" spent
+  | Cert_improved { heur_ii; spent } ->
+    Printf.sprintf "improved from heuristic ii=%d (exact, %d fuel)" heur_ii
+      spent
+  | Cert_unknown { spent; proven_below } ->
+    Printf.sprintf "unknown (intervals < %d infeasible, budget out at %d)"
+      proven_below spent
+
 let pp_loop_report ppf r =
   Fmt.pf ppf
-    "loop%d(depth %d): %d units%s%s mii=%d (res %d, rec %d) seq=%d %s%s"
+    "loop%d(depth %d): %d units%s%s mii=%d (res %d, rec %d) seq=%d %s%s%s"
     r.l_id r.l_depth r.n_units
     (if r.has_if then " +if" else "")
     (if r.has_scc then " +rec" else "")
@@ -133,6 +180,9 @@ let pp_loop_report ppf r =
     | Some ii -> Printf.sprintf "ii=%d sc=%d u=%d" ii r.sc r.unroll
     | None -> "not pipelined")
     (Printf.sprintf " [%s]" (status_to_string r.status))
+    (match r.cert with
+    | None -> ""
+    | Some c -> Printf.sprintf " {cert: %s}" (cert_to_string c))
 
 type result = {
   code : Sp_vliw.Prog.t;
@@ -583,9 +633,23 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
         with
         | Modsched.No_interval -> Error Not_profitable
         | Modsched.Fuel_exhausted -> Error Budget_exhausted
-        | Modsched.Scheduled sched -> (
+        | Modsched.Scheduled (sched, stats) -> (
           Sp_util.Log.debug "loop%d: scheduled ii=%d sc=%d span=%d" l_id
             sched.Modsched.s sched.Modsched.sc sched.Modsched.span;
+          (* optimality oracle: may replace the heuristic schedule with
+             a proven-better one; either way the adopted schedule flows
+             through the same MVE / emission / validation path below *)
+          let sched, cert =
+            match ctx.cfg.certifier with
+            | None -> (sched, None)
+            | Some certify ->
+              let sched', c =
+                certify ctx.m g_mve ~analysis ~mii:mii.Mii.mii sched
+              in
+              Sp_util.Log.debug "loop%d: certificate: %s" l_id
+                (cert_to_string c);
+              (sched', Some c)
+          in
           let mve =
             Mve.compute ~mode:ctx.cfg.mve_mode ctx.m g_mve sched
               ~supply:ctx.vregs
@@ -608,7 +672,7 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
               Sp_util.Log.debug "loop%d: frags built" l_id;
               match validate_frags ctx pf with
               | Some msg -> Error (Degraded msg)
-              | None -> Ok (sched, mve, pf)))
+              | None -> Ok (sched, mve, pf, stats, cert)))
       with
       | Sp_util.Fault.Injected site ->
         Error (Degraded ("fault injected at " ^ site))
@@ -692,7 +756,8 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
       barrier = false;
     }
   in
-  let report ~ii ~sc ~unroll ~mf ~mi status =
+  let report ?cert ?(stats = { Modsched.intervals_probed = 0; fuel_spent = 0 })
+      ~ii ~sc ~unroll ~mf ~mi status =
     ctx.reports <-
       {
         l_id;
@@ -709,6 +774,9 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
         unroll;
         mve_fregs = mf;
         mve_iregs = mi;
+        probed = stats.Modsched.intervals_probed;
+        fuel_spent = stats.Modsched.fuel_spent;
+        cert;
         status;
       }
       :: ctx.reports
@@ -726,8 +794,8 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
         }
       in
       mk_unit ~prolog:[||] ~epilog:[||] ~prolog_resv:[] ~epilog_resv:[] ~mid
-    | Ok (sched, mve, pf) ->
-      report
+    | Ok (sched, mve, pf, stats, cert) ->
+      report ?cert ~stats
         ~ii:(Some sched.Modsched.s)
         ~sc:sched.Modsched.sc ~unroll:mve.Mve.unroll ~mf:mve.Mve.fregs
         ~mi:mve.Mve.iregs Pipelined;

@@ -95,16 +95,22 @@ let () = Sp_util.Fault.register "modsched.place"
     spends one unit. Exhausting the budget aborts the whole interval
     search — the degradation machinery in {!Sp_core.Compile} then
     reverts the loop to its serial schedule, so a pathological loop
-    can bound the compiler's work instead of hanging it. *)
+    can bound the compiler's work instead of hanging it. The meter
+    keeps counting even without a budget, so a successful search can
+    report its total cost (the gap table's cost column). *)
 exception Out_of_fuel
 
-let spend = function
-  | None -> ()
-  | Some r ->
-    decr r;
-    if !r < 0 then raise Out_of_fuel
+type meter = { mutable spent : int; budget : int option }
 
-let schedule_component ?fuel (m : Machine.t) (g : Ddg.t) ~s ~members
+let unlimited () = { spent = 0; budget = None }
+
+let spend meter =
+  meter.spent <- meter.spent + 1;
+  match meter.budget with
+  | Some b when meter.spent > b -> raise Out_of_fuel
+  | _ -> ()
+
+let schedule_component ~fuel (m : Machine.t) (g : Ddg.t) ~s ~members
     ~(sp : Spath.t) : int array option =
   ignore m;
   let members = Array.of_list members in
@@ -146,7 +152,7 @@ let schedule_component ?fuel (m : Machine.t) (g : Ddg.t) ~s ~members
     Some off
   with Fail -> None
 
-let try_schedule_fueled ?fuel (m : Machine.t) (g : Ddg.t) ~(scc : Scc.t)
+let try_schedule_fueled ~fuel (m : Machine.t) (g : Ddg.t) ~(scc : Scc.t)
     ~(spaths : Spath.t option array) ~s : int array option =
   let nc = Scc.num_components scc in
   let units = g.Ddg.units in
@@ -159,7 +165,7 @@ let try_schedule_fueled ?fuel (m : Machine.t) (g : Ddg.t) ~(scc : Scc.t)
       match spaths.(c) with
       | None -> offsets.(c) <- Array.make (List.length members) 0
       | Some sp -> (
-        match schedule_component ?fuel m g ~s ~members ~sp with
+        match schedule_component ~fuel m g ~s ~members ~sp with
         | Some off -> offsets.(c) <- off
         | None -> raise Fail)
     done;
@@ -233,14 +239,19 @@ let try_schedule_fueled ?fuel (m : Machine.t) (g : Ddg.t) ~(scc : Scc.t)
 
 let try_schedule (m : Machine.t) (g : Ddg.t) ~(scc : Scc.t)
     ~(spaths : Spath.t option array) ~s : int array option =
-  try_schedule_fueled m g ~scc ~spaths ~s
+  try_schedule_fueled ~fuel:(unlimited ()) m g ~scc ~spaths ~s
 
 (* ------------------------------------------------------------------ *)
 
 type search = Linear | Binary
 
+type stats = {
+  intervals_probed : int;
+  fuel_spent : int;
+}
+
 type outcome =
-  | Scheduled of schedule
+  | Scheduled of schedule * stats
   | No_interval
   | Fuel_exhausted
 
@@ -262,10 +273,13 @@ let schedule_with_budget ?(search = Linear) ?analysis ?fuel (m : Machine.t)
     | None -> analyze ~s_max:(max mii max_ii) g
   in
   let mii = max mii a.a_rec_mii in
-  let fuel = Option.map ref fuel in
+  let meter = { spent = 0; budget = fuel } in
+  let probed = ref 0 in
   let try_s s =
-    try_schedule_fueled ?fuel m g ~scc:a.a_scc ~spaths:a.a_spaths ~s
+    incr probed;
+    try_schedule_fueled ~fuel:meter m g ~scc:a.a_scc ~spaths:a.a_spaths ~s
   in
+  let stats () = { intervals_probed = !probed; fuel_spent = meter.spent } in
   try
     match search with
     | Linear ->
@@ -273,7 +287,7 @@ let schedule_with_budget ?(search = Linear) ?analysis ?fuel (m : Machine.t)
         if s > max_ii then No_interval
         else
           match try_s s with
-          | Some times -> Scheduled (mk_schedule g.Ddg.units ~s times)
+          | Some times -> Scheduled (mk_schedule g.Ddg.units ~s times, stats ())
           | None -> go (s + 1)
       in
       go (max 1 mii)
@@ -286,10 +300,13 @@ let schedule_with_budget ?(search = Linear) ?analysis ?fuel (m : Machine.t)
           let mid = (lo + hi) / 2 in
           match try_s mid with
           | Some times ->
-            go lo (mid - 1) (Scheduled (mk_schedule g.Ddg.units ~s:mid times))
+            go lo (mid - 1)
+              (Some (mk_schedule g.Ddg.units ~s:mid times))
           | None -> go (mid + 1) hi best
       in
-      go (max 1 mii) max_ii No_interval
+      (match go (max 1 mii) max_ii None with
+      | Some sched -> Scheduled (sched, stats ())
+      | None -> No_interval)
   with Out_of_fuel -> Fuel_exhausted
 
 (** Unbudgeted search; [None] when no interval in range is schedulable
@@ -297,5 +314,5 @@ let schedule_with_budget ?(search = Linear) ?analysis ?fuel (m : Machine.t)
 let schedule ?search ?analysis (m : Machine.t) (g : Ddg.t) ~mii ~max_ii :
     schedule option =
   match schedule_with_budget ?search ?analysis m g ~mii ~max_ii with
-  | Scheduled s -> Some s
+  | Scheduled (s, _) -> Some s
   | No_interval | Fuel_exhausted -> None

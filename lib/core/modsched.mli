@@ -41,11 +41,24 @@ type search =
   | Linear  (** the paper's choice: schedulability is not monotonic *)
   | Binary  (** ablation: assumes monotonicity *)
 
+(** Cost of a completed interval search: how many candidate intervals
+    were probed and how many placement probes (fuel units) they cost in
+    total — the raw material of the gap table's cost column. *)
+type stats = {
+  intervals_probed : int;
+  fuel_spent : int;
+}
+
 (** Result of a budgeted interval search. *)
 type outcome =
-  | Scheduled of schedule
+  | Scheduled of schedule * stats
   | No_interval     (** no interval in [\[mii, max_ii\]] is schedulable *)
   | Fuel_exhausted  (** the placement-probe budget ran out mid-search *)
+
+val mk_schedule : Sunit.t array -> s:int -> int array -> schedule
+(** Package issue times at interval [s] into a {!schedule} (span and
+    stage count derived). Used by the exact scheduler in [Sp_opt] to
+    return results in the heuristic's currency. *)
 
 val schedule_with_budget :
   ?search:search ->

@@ -1,0 +1,43 @@
+(** Optimality certification of heuristic modulo schedules: an upward
+    scan of candidate intervals, each decided exactly by
+    {!Exact.solve}, measuring the paper's Section 4.1 near-optimality
+    claim per loop. *)
+
+type certificate =
+  | Optimal
+      (** every interval below the heuristic's is proved infeasible *)
+  | Improved of Sp_core.Modsched.schedule
+      (** a validated schedule at the smallest feasible interval, which
+          is strictly below the heuristic's *)
+  | Unknown of { proven_below : int }
+      (** fuel ran out; intervals [< proven_below] are infeasible *)
+
+type outcome = {
+  cert : certificate;
+  spent : int;      (** total fuel across all intervals probed *)
+  intervals : int;  (** number of intervals decided (or attempted) *)
+}
+
+val default_fuel : int
+(** Budget used when none is given: {m 2\times10^6} fuel units. *)
+
+val run :
+  ?fuel:int ->
+  ?analysis:Sp_core.Modsched.analysis ->
+  Sp_machine.Machine.t ->
+  Sp_core.Ddg.t ->
+  mii:int ->
+  ii:int ->
+  outcome
+(** [run m g ~mii ~ii] certifies a heuristic schedule at interval [ii]
+    against the lower bound [mii], scanning [max mii rec_mii .. ii - 1]
+    upward (first feasible interval is the optimum — exact feasibility
+    is not monotonic, so no binary search). Any schedule returned in
+    {!Improved} has been re-verified against the raw dependence,
+    resource, and wrap constraints. Deterministic under a fixed
+    budget. *)
+
+val hook : ?fuel:int -> unit -> Sp_core.Compile.certifier
+(** Package {!run} as a {!Sp_core.Compile.certifier}, so improved
+    schedules flow through the ordinary modulo variable expansion,
+    emission, and validation path of the compiler. *)

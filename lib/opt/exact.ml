@@ -1,0 +1,270 @@
+(** Exact modulo schedulability at a fixed initiation interval.
+
+    The heuristic scheduler ({!Sp_core.Modsched}) can fail at an
+    interval that is in fact schedulable; this module decides
+    schedulability {e exactly}, with no external solver, by searching a
+    finite constraint space that is provably equivalent to the infinite
+    one over issue times.
+
+    {2 The encoding}
+
+    Write an issue time as [t(v) = s*k(v) + r(v)] with residue
+    [r(v) = t(v) mod s]. The three constraint families of the paper's
+    formulation then split cleanly:
+
+    - {e modulo resources} (Section 2.1): the reservation of [v]
+      occupies slot [(r(v) + off) mod s] — it depends on the residues
+      only;
+    - {e wrap windows}: a reduced construct carrying [no_wrap] must sit
+      strictly inside one s-window, i.e. [r(v) + len(v) <= s - 1] —
+      residues only;
+    - {e dependences}: an edge [(u, v, d, w)] requires
+      [t(v) - t(u) >= d - s*w], which given residues is equivalent to
+      the integer difference constraint
+      [k(v) - k(u) >= ceil((d + r(u) - r(v)) / s) - w].
+
+    Difference constraints are satisfiable iff their constraint graph
+    has no positive-weight cycle — and every cycle of the dependence
+    graph lives inside one strongly connected component. So: a modulo
+    schedule at interval [s] exists iff some residue assignment
+    [r : nodes -> \[0, s)] satisfies resources and wrap windows and
+    leaves every component's [k]-graph free of positive cycles. The
+    residue space is finite ([s^n]); the search below enumerates it
+    with pruning, so an exhausted search is a {e proof} of
+    infeasibility at [s].
+
+    {2 The search}
+
+    Depth-first branch and bound in dominance order (components
+    topologically, members in program order — the heuristic's own
+    traversal, and deterministic):
+
+    - {e residue domains} are cut by the [no_wrap] cap up front;
+    - {e longest-path windows}: for two nodes of one component the
+      symbolic closure ({!Sp_core.Spath}) bounds [t(v) - t(u)] into
+      [\[L(u,v), -L(v,u)\]]; when that window is narrower than [s] it
+      admits exactly one residue difference class, so a candidate
+      residue is checked in O(1) against every placed peer;
+    - {e resource pruning}: candidates are probed against the shared
+      modulo reservation table ({!Sp_core.Mrt.Modulo}), with tentative
+      add/remove on backtrack;
+    - {e cycle check}: when a component's last member is placed, a
+      Bellman–Ford longest-path pass over its internal edges decides
+      the [k]-graph exactly;
+    - {e rotation anchor}: when no unit carries [no_wrap], rotating all
+      residues by a constant is a solution symmetry, so the first
+      node's residue is pinned to 0.
+
+    Every candidate probe and every relaxation edge spends one unit of
+    fuel; exhaustion aborts with {!Out_of_budget} — the same bounded-
+    work discipline as the heuristic's [Fuel_exhausted]. *)
+
+module Ddg = Sp_core.Ddg
+module Scc = Sp_core.Scc
+module Spath = Sp_core.Spath
+module Mrt = Sp_core.Mrt
+module Sunit = Sp_core.Sunit
+module Machine = Sp_machine.Machine
+module Intmath = Sp_util.Intmath
+
+exception Out_of_fuel
+
+type meter = { mutable left : int }
+
+let spend meter n =
+  meter.left <- meter.left - n;
+  if meter.left < 0 then raise Out_of_fuel
+
+type verdict =
+  | Feasible of int array
+      (** least non-negative issue times of a valid schedule at [s] *)
+  | Infeasible
+      (** proof: the whole residue space was covered by the search *)
+  | Out_of_budget
+
+type result = {
+  verdict : verdict;
+  spent : int;  (** fuel units consumed *)
+}
+
+(* [k]-graph weight of an edge under the current residues. *)
+let kweight ~s ~(res : int array) (e : Ddg.edge) =
+  Intmath.ceil_div (e.Ddg.delay + res.(e.Ddg.src) - res.(e.Ddg.dst)) s
+  - e.Ddg.omega
+
+let solve ?fuel (m : Machine.t) (g : Ddg.t) ~(scc : Scc.t)
+    ~(spaths : Spath.t option array) ~s : result =
+  if s <= 0 then invalid_arg "Sp_opt.Exact.solve: s <= 0";
+  let units = g.Ddg.units in
+  let n = Array.length units in
+  let budget = Option.value ~default:max_int fuel in
+  let meter = { left = budget } in
+  (* residue cap: a no_wrap unit must not touch the window boundary
+     (see Modsched.wrap_ok) *)
+  let cap =
+    Array.map
+      (fun (u : Sunit.t) ->
+        if u.Sunit.no_wrap then s - 1 - u.Sunit.len else s - 1)
+      units
+  in
+  (* a self-dependence constrains no residue: ceil(d/s) - w <= 0 must
+     hold outright or no assignment helps *)
+  let self_ok =
+    List.for_all
+      (fun (e : Ddg.edge) ->
+        e.Ddg.src <> e.Ddg.dst
+        || Intmath.ceil_div e.Ddg.delay s - e.Ddg.omega <= 0)
+      g.Ddg.edges
+  in
+  if (not self_ok) || Array.exists (fun c -> c < 0) cap then
+    { verdict = Infeasible; spent = 0 }
+  else begin
+    let nc = Scc.num_components scc in
+    (* dominance order: condensation topologically, members in program
+       order *)
+    let order =
+      Array.of_list
+        (List.concat_map (fun c -> scc.Scc.comps.(c)) (Scc.topo_components scc))
+    in
+    (* does position [p] place the last member of its component? *)
+    let closes =
+      Array.mapi
+        (fun p v ->
+          p = n - 1 || scc.Scc.comp_of.(order.(p + 1)) <> scc.Scc.comp_of.(v))
+        order
+    in
+    let local_of = Array.make n 0 in
+    Array.iter
+      (fun members -> List.iteri (fun k v -> local_of.(v) <- k) members)
+      scc.Scc.comps;
+    (* per node: the component closure and the peers it constrains *)
+    let comp_sp = Array.make n None in
+    let peers = Array.make n [] in
+    Array.iteri
+      (fun c members ->
+        match spaths.(c) with
+        | None -> ()
+        | Some sp ->
+          let idx = List.mapi (fun k v -> (v, k)) members in
+          List.iter
+            (fun (v, k) ->
+              comp_sp.(v) <- Some (sp, k);
+              peers.(v) <- List.filter (fun (w, _) -> w <> v) idx)
+            idx)
+      scc.Scc.comps;
+    let intra = Array.make nc [] in
+    List.iter
+      (fun (e : Ddg.edge) ->
+        let c = scc.Scc.comp_of.(e.Ddg.src) in
+        if e.Ddg.src <> e.Ddg.dst && c = scc.Scc.comp_of.(e.Ddg.dst) then
+          intra.(c) <- e :: intra.(c))
+      g.Ddg.edges;
+    let res = Array.make n (-1) in
+    let table = Mrt.Modulo.create m ~s in
+    let anchored =
+      not (Array.exists (fun (u : Sunit.t) -> u.Sunit.no_wrap) units)
+    in
+    (* residue window from the symbolic longest paths: t(v) - t(w) lies
+       in [L(w,v), -L(v,w)]; a window narrower than s pins the residue
+       difference to one class mod s *)
+    let window_ok v r =
+      match comp_sp.(v) with
+      | None -> true
+      | Some (sp, _) when s < sp.Spath.s_min || s > sp.Spath.s_max ->
+        true (* closure not valid at this interval: skip the pruning *)
+      | Some (sp, lv) ->
+        List.for_all
+          (fun (w, lw) ->
+            res.(w) < 0
+            ||
+            match (Spath.query sp ~s lw lv, Spath.query sp ~s lv lw) with
+            | Some lo, Some neg_up ->
+              let up = -neg_up in
+              up - lo + 1 >= s
+              ||
+              let dm = ((r - res.(w) - lo) mod s + s) mod s in
+              dm <= up - lo
+            | _ -> true)
+          peers.(v)
+    in
+    (* exact feasibility of one component's k-graph: Bellman–Ford
+       longest-path relaxation; any relaxation still possible after
+       |members| sweeps exposes a positive cycle *)
+    let comp_feasible c =
+      match intra.(c) with
+      | [] -> true
+      | edges ->
+        let nl = List.length scc.Scc.comps.(c) in
+        spend meter (List.length edges);
+        let dist = Array.make nl 0 in
+        let changed = ref true and sweeps = ref 0 in
+        while !changed && !sweeps <= nl do
+          changed := false;
+          incr sweeps;
+          List.iter
+            (fun (e : Ddg.edge) ->
+              let nd = dist.(local_of.(e.Ddg.src)) + kweight ~s ~res e in
+              if nd > dist.(local_of.(e.Ddg.dst)) then begin
+                dist.(local_of.(e.Ddg.dst)) <- nd;
+                changed := true
+              end)
+            edges
+        done;
+        not !changed
+    in
+    (* least non-negative solution of the full k-graph (cycles are
+       non-positive once every component passed its check; cross-
+       component edges cannot close a cycle) *)
+    let reconstruct () =
+      let k = Array.make n 0 in
+      let changed = ref true and sweeps = ref 0 in
+      while !changed do
+        changed := false;
+        incr sweeps;
+        if !sweeps > n + 1 then
+          failwith "Sp_opt.Exact: positive cycle escaped the search";
+        List.iter
+          (fun (e : Ddg.edge) ->
+            let nd = k.(e.Ddg.src) + kweight ~s ~res e in
+            if nd > k.(e.Ddg.dst) then begin
+              k.(e.Ddg.dst) <- nd;
+              changed := true
+            end)
+          g.Ddg.edges
+      done;
+      Array.init n (fun v -> (s * k.(v)) + res.(v))
+    in
+    let rec place p =
+      p = n
+      ||
+      let v = order.(p) in
+      let u = units.(v) in
+      let hi = if p = 0 && anchored then 0 else cap.(v) in
+      let rec try_r r =
+        r <= hi
+        &&
+        begin
+          spend meter 1;
+          if window_ok v r && Mrt.Modulo.fits table ~at:r u.Sunit.resv then begin
+            Mrt.Modulo.add table ~at:r u.Sunit.resv;
+            res.(v) <- r;
+            if
+              ((not closes.(p)) || comp_feasible scc.Scc.comp_of.(v))
+              && place (p + 1)
+            then true
+            else begin
+              Mrt.Modulo.remove table ~at:r u.Sunit.resv;
+              res.(v) <- -1;
+              try_r (r + 1)
+            end
+          end
+          else try_r (r + 1)
+        end
+      in
+      try_r 0
+    in
+    match place 0 with
+    | true -> { verdict = Feasible (reconstruct ()); spent = budget - meter.left }
+    | false -> { verdict = Infeasible; spent = budget - meter.left }
+    | exception Out_of_fuel -> { verdict = Out_of_budget; spent = budget }
+  end

@@ -1,0 +1,34 @@
+(** Exact modulo schedulability at a fixed initiation interval [s],
+    decided by branch and bound over the finite space of issue-time
+    residues modulo [s] (see the implementation header for the
+    encoding and its equivalence argument). No external solver. *)
+
+exception Out_of_fuel
+
+type verdict =
+  | Feasible of int array
+      (** least non-negative issue times of a valid schedule at [s] *)
+  | Infeasible
+      (** proof: the search covered the whole residue space *)
+  | Out_of_budget  (** fuel ran out; feasibility at [s] undecided *)
+
+type result = {
+  verdict : verdict;
+  spent : int;  (** fuel units consumed *)
+}
+
+val solve :
+  ?fuel:int ->
+  Sp_machine.Machine.t ->
+  Sp_core.Ddg.t ->
+  scc:Sp_core.Scc.t ->
+  spaths:Sp_core.Spath.t option array ->
+  s:int ->
+  result
+(** [solve ?fuel m g ~scc ~spaths ~s] decides whether a modulo schedule
+    of [g] on [m] exists at initiation interval [s]. [scc] and [spaths]
+    come from {!Sp_core.Modsched.analyze} (the closures are used only
+    for pruning, and only at intervals inside their validity range, so
+    any [s >= 1] may be probed). One unit of [fuel] is spent per
+    candidate residue probed and per Bellman–Ford edge relaxation;
+    unlimited when omitted. Deterministic for fixed inputs. *)

@@ -17,6 +17,7 @@ let () =
       ("modsched", Test_modsched.suite);
       ("mve", Test_mve.suite);
       ("compile", Test_compile.suite);
+      ("opt", Test_opt.suite);
       ("kernels", Test_kernels.suite);
       ("validate", Test_validate.suite);
       ("fault", Test_fault.suite);

@@ -1,0 +1,220 @@
+(** Tests for the exact modulo scheduler and the optimality certifier
+    ([Sp_opt]): the exact interval is bracketed by the lower bound and
+    the heuristic's interval, exact search never refutes an interval
+    the heuristic scheduled, improved schedules survive the full
+    compile–simulate–verify pass, and certification is deterministic
+    under a fixed budget. *)
+
+module C = Sp_core.Compile
+module Ddg = Sp_core.Ddg
+module Mii = Sp_core.Mii
+module Listsched = Sp_core.Listsched
+module Modsched = Sp_core.Modsched
+module Exact = Sp_opt.Exact
+module Certify = Sp_opt.Certify
+module Kernel = Sp_kernels.Kernel
+
+let m = Sp_machine.Machine.warp
+
+(* random DDG with its heuristic scheduling context, shared by the
+   properties below *)
+let setup seed k =
+  let units = Test_modsched.random_units seed k in
+  let g = Ddg.build units in
+  let pl = Listsched.compact m g in
+  let seq_len = Listsched.restart_interval g pl in
+  let analysis = Modsched.analyze ~s_max:seq_len g in
+  let mii = (Mii.compute m units ~rec_mii:analysis.Modsched.a_rec_mii).Mii.mii in
+  (units, g, analysis, mii, seq_len)
+
+let edges_ok (g : Ddg.t) ~s times =
+  List.for_all
+    (fun (e : Ddg.edge) ->
+      times.(e.Ddg.dst) - times.(e.Ddg.src) >= e.Ddg.delay - (s * e.Ddg.omega))
+    g.Ddg.edges
+
+let spec_gen =
+  QCheck2.Gen.(
+    let* seed = int_bound 100_000 in
+    let* k = int_range 1 8 in
+    return (seed, k))
+
+(* certifier budget for the random properties: ample for DDGs of <= 10
+   nodes, and any overrun shows up as Unknown, never as a wrong answer *)
+let prop_fuel = 400_000
+
+let prop_exact_between_bounds =
+  QCheck2.Test.make ~name:"mii <= exact II <= heuristic II" ~count:120 spec_gen
+    (fun (seed, k) ->
+      let units, g, analysis, mii, seq_len = setup seed k in
+      match Modsched.schedule ~analysis m g ~mii ~max_ii:seq_len with
+      | None -> true
+      | Some heur -> (
+        let o = Certify.run ~fuel:prop_fuel ~analysis m g ~mii ~ii:heur.Modsched.s in
+        match o.Certify.cert with
+        | Certify.Optimal -> true (* exact II = heuristic II *)
+        | Certify.Unknown { proven_below } ->
+          proven_below >= mii && proven_below <= heur.Modsched.s
+        | Certify.Improved sched ->
+          (* strictly better, still above the lower bound, and a valid
+             schedule by independent re-checking *)
+          sched.Modsched.s >= mii
+          && sched.Modsched.s < heur.Modsched.s
+          && Array.for_all (fun t -> t >= 0) sched.Modsched.times
+          && edges_ok g ~s:sched.Modsched.s sched.Modsched.times
+          && Test_modsched.resources_ok units sched.Modsched.times
+               ~s:sched.Modsched.s))
+
+let prop_exact_complete =
+  (* completeness: an interval the heuristic scheduled can never be
+     refuted by the exact search *)
+  QCheck2.Test.make ~name:"exact search never refutes a scheduled interval"
+    ~count:120 spec_gen (fun (seed, k) ->
+      let units, g, analysis, mii, seq_len = setup seed k in
+      ignore units;
+      match Modsched.schedule ~analysis m g ~mii ~max_ii:seq_len with
+      | None -> true
+      | Some heur -> (
+        let r =
+          Exact.solve ~fuel:prop_fuel m g ~scc:analysis.Modsched.a_scc
+            ~spaths:analysis.Modsched.a_spaths ~s:heur.Modsched.s
+        in
+        match r.Exact.verdict with
+        | Exact.Infeasible -> false
+        | Exact.Feasible times ->
+          Array.for_all (fun t -> t >= 0) times
+          && edges_ok g ~s:heur.Modsched.s times
+        | Exact.Out_of_budget -> true))
+
+let prop_certify_deterministic =
+  QCheck2.Test.make ~name:"certification is deterministic under a fixed budget"
+    ~count:60 spec_gen (fun (seed, k) ->
+      let _, g, analysis, mii, seq_len = setup seed k in
+      match Modsched.schedule ~analysis m g ~mii ~max_ii:seq_len with
+      | None -> true
+      | Some heur ->
+        let run () =
+          Certify.run ~fuel:10_000 ~analysis m g ~mii ~ii:heur.Modsched.s
+        in
+        let a = run () and b = run () in
+        a.Certify.spent = b.Certify.spent
+        && a.Certify.intervals = b.Certify.intervals
+        &&
+        (match (a.Certify.cert, b.Certify.cert) with
+        | Certify.Optimal, Certify.Optimal -> true
+        | Certify.Unknown { proven_below = x }, Certify.Unknown { proven_below = y }
+          -> x = y
+        | Certify.Improved x, Certify.Improved y ->
+          x.Modsched.s = y.Modsched.s && x.Modsched.times = y.Modsched.times
+        | _ -> false))
+
+let prop_certified_compile_equivalent =
+  (* the central property, with the certifier in the loop: improved
+     schedules flow through MVE and emission and must still compute
+     exactly what the sequential interpreter computes *)
+  QCheck2.Test.make ~name:"certified compilation preserves semantics" ~count:60
+    Gen.spec_gen (fun sp ->
+      let config =
+        { C.default with C.certifier = Some (Certify.hook ~fuel:prop_fuel ()) }
+      in
+      match Gen.check_equivalence ~config m sp with
+      | Ok () -> true
+      | Error e -> QCheck2.Test.fail_reportf "%a: %s" Gen.pp_spec sp e)
+
+(* ---- deterministic cases -------------------------------------------- *)
+
+let cert_of_config config k =
+  let meas = Kernel.run ~config m k in
+  List.filter_map (fun (lr : C.loop_report) -> lr.C.cert) meas.Kernel.loops
+
+let test_optimal_at_bound () =
+  (* a loop the heuristic schedules at mii: the scan range is empty and
+     the certificate is free *)
+  let config = { C.default with C.certifier = Some (Certify.hook ()) } in
+  let k =
+    Kernel.mk "saxpy" ~init:(Kernel.init_all_arrays ~seed:1)
+      (Kernel.W2
+         {|program s;
+var x, y : array [0..127] of float; k : int;
+begin for k := 0 to 127 do y[k] := 2.5 * x[k] + y[k]; end.|})
+  in
+  match cert_of_config config k with
+  | [ C.Cert_optimal { spent } ] ->
+    Alcotest.(check int) "empty scan costs nothing" 0 spent
+  | _ -> Alcotest.fail "expected a single optimal certificate"
+
+let test_improves_lfk16 () =
+  (* LFK16's heuristic interval is above the optimum; the exact
+     certifier closes the gap and the improved kernel still simulates
+     correctly *)
+  let config = { C.default with C.certifier = Some (Certify.hook ()) } in
+  let meas = Kernel.run ~config m Sp_kernels.Livermore.k16_monte_carlo in
+  Alcotest.(check bool) "semantics preserved" true meas.Kernel.sem_ok;
+  Alcotest.(check bool) "resources clean" true meas.Kernel.resource_ok;
+  match
+    List.filter_map (fun (lr : C.loop_report) -> lr.C.cert) meas.Kernel.loops
+  with
+  | [ C.Cert_improved { heur_ii; _ } ] ->
+    let ii =
+      List.find_map (fun (lr : C.loop_report) -> lr.C.ii) meas.Kernel.loops
+    in
+    Alcotest.(check bool) "adopted interval below heuristic" true
+      (match ii with Some s -> s < heur_ii | None -> false)
+  | _ -> Alcotest.fail "expected LFK16 to improve"
+
+let test_unknown_under_tiny_fuel () =
+  (* same kernel, starved certifier: the outcome degrades to Unknown
+     with the infeasibility frontier recorded, never to an error *)
+  let config = { C.default with C.certifier = Some (Certify.hook ~fuel:3 ()) } in
+  match cert_of_config config Sp_kernels.Livermore.k16_monte_carlo with
+  | [ C.Cert_unknown { proven_below; spent } ] ->
+    Alcotest.(check bool) "frontier within scan range" true (proven_below >= 1);
+    Alcotest.(check bool) "spent bounded by budget" true (spent <= 3)
+  | _ -> Alcotest.fail "expected an unknown certificate under tiny fuel"
+
+let test_infeasible_below_mii () =
+  (* resource-bound case: three loads through one port cannot fit in
+     s = 2, and the exact search proves it *)
+  let open Sp_ir in
+  let sup = Vreg.Supply.create () in
+  let ops = Op.Supply.create () in
+  let segs = Memseg.Supply.create () in
+  let seg = Memseg.Supply.fresh segs ~name:"a" ~size:64 () in
+  let iv = Vreg.Supply.fresh sup ~name:"i" Vreg.I in
+  let mk off =
+    Op.Supply.mk ops
+      ~dst:(Vreg.Supply.fresh sup Vreg.F)
+      ~addr:
+        { Op.seg; base = None; idx = Some iv; off;
+          sub = Some (Subscript.of_iv ~off iv) }
+      Sp_machine.Opkind.Load
+  in
+  let units =
+    Array.of_list
+      (List.mapi
+         (fun i op -> Sp_core.Sunit.of_op m ~sid:i op)
+         [ mk 0; mk 1; mk 2 ])
+  in
+  let g = Ddg.build units in
+  let analysis = Modsched.analyze ~s_max:10 g in
+  let r =
+    Exact.solve m g ~scc:analysis.Modsched.a_scc
+      ~spaths:analysis.Modsched.a_spaths ~s:2
+  in
+  match r.Exact.verdict with
+  | Exact.Infeasible -> ()
+  | Exact.Feasible _ -> Alcotest.fail "three loads cannot share two slots"
+  | Exact.Out_of_budget -> Alcotest.fail "unlimited fuel cannot run out"
+
+let suite =
+  let qt = QCheck_alcotest.to_alcotest in
+  [
+    qt prop_exact_between_bounds;
+    qt prop_exact_complete;
+    qt prop_certify_deterministic;
+    qt prop_certified_compile_equivalent;
+    ("optimal certificate at the bound", `Quick, test_optimal_at_bound);
+    ("LFK16 improves and stays correct", `Quick, test_improves_lfk16);
+    ("unknown under tiny fuel", `Quick, test_unknown_under_tiny_fuel);
+    ("exact infeasibility below mii", `Quick, test_infeasible_below_mii);
+  ]
