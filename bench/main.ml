@@ -1,25 +1,82 @@
 (** Benchmark harness: regenerates every table and figure of the
-    paper's evaluation (see DESIGN.md experiment index E0–E10), then
+    paper's evaluation (see DESIGN.md experiment index E0–E14), then
     runs Bechamel microbenchmarks of the compiler passes.
 
     Usage:
       main.exe                  regenerate everything
       main.exe --table 4-1      one artifact (example, 4-1, 4-2,
                                 lower-bound, code-size, mve, hier,
-                                scale, search)
+                                scale, search, unroll, optimal,
+                                optimal-quick, pipeline,
+                                trace-overhead)
       main.exe --figure 4-1     one figure (4-1, 4-2)
-      main.exe --bechamel       scheduler-cost microbenchmarks only *)
+      main.exe --bechamel       scheduler-cost microbenchmarks only
+      ... --emit-json FILE      additionally write every artifact the
+                                invocation produced as one JSON
+                                document with a stable schema *)
 
 open Sp_kernels
 module C = Sp_core.Compile
 module Machine = Sp_machine.Machine
 module Table = Sp_util.Table
 module Histogram = Sp_util.Histogram
+module Json = Sp_obs.Json
 
 let cells = 10.0 (* Warp array size; paper reports array-level MFLOPS *)
 
 let section title =
   Fmt.pr "@.=== %s ===@.@." title
+
+(* ---- JSON artifact collection (--emit-json) ----------------------- *)
+
+(** Artifacts registered by the table/figure generators of this
+    invocation, in generation order. Key order inside each artifact is
+    fixed by construction and row contents are deterministic (no
+    wall-clock values), so emitting the same tables twice yields
+    byte-identical documents — the property the CI schema-stability
+    check diffs for. *)
+let artifacts : (string * Json.t) list ref = ref []
+
+let emit name j = artifacts := (name, j) :: !artifacts
+
+let json_of_table (t : Table.t) : Json.t =
+  Json.Obj
+    [
+      ("headers", Json.List (List.map (fun h -> Json.Str h) t.Table.headers));
+      ( "rows",
+        Json.List
+          (List.rev_map
+             (fun r -> Json.List (List.map (fun c -> Json.Str c) r))
+             !(t.Table.rows)) );
+    ]
+
+let json_of_histogram (h : Histogram.t) : Json.t =
+  Json.Obj
+    [
+      ("lo", Json.Float h.Histogram.lo);
+      ("width", Json.Float h.Histogram.width);
+      ("count", Json.Int (Histogram.count h));
+      ("mean", Json.Float (Histogram.mean h));
+      ( "buckets",
+        Json.List
+          (Array.to_list (Array.map (fun c -> Json.Int c) h.Histogram.counts))
+      );
+    ]
+
+let write_artifacts path =
+  let doc =
+    Json.Obj
+      [
+        ("schema_version", Json.Int 1);
+        ("generator", Json.Str "softpipe-bench");
+        ("artifacts", Json.Obj (List.rev !artifacts));
+      ]
+  in
+  let oc = open_out path in
+  Json.to_channel ~pretty:true oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "@.wrote %s@." path
 
 let check_tag (m : Kernel.measurement) =
   match m.Kernel.failure with
@@ -43,6 +100,16 @@ begin for k := 0 to 99 do a[k] := a[k] + 3.5; end.|}
   let k = Kernel.mk "vadd-toy" ~init:(Kernel.init_all_arrays ~seed:1) (Kernel.W2 src) in
   let factor, piped, local = Kernel.speedup Machine.toy k in
   let lr = List.hd piped.Kernel.loops in
+  emit "example"
+    (Json.Obj
+       [
+         ("ii", match lr.C.ii with Some s -> Json.Int s | None -> Json.Null);
+         ("mii", Json.Int lr.C.mii);
+         ("seq_len", Json.Int lr.C.seq_len);
+         ("cycles_pipelined", Json.Int piped.Kernel.cycles);
+         ("cycles_local", Json.Int local.Kernel.cycles);
+         ("speedup", Json.Float factor);
+       ]);
   Fmt.pr
     "  initiation interval: %s (lower bound %d)@.\
     \  unpipelined restart:  %d cycles per iteration@.\
@@ -116,6 +183,7 @@ let table_4_1 () =
          "79.4";
          "ok";
        ]);
+  emit "table_4_1" (json_of_table t);
   Fmt.pr "%a" Table.pp t;
   Fmt.pr
     "@.  (array MFLOPS = 10 x cell MFLOPS, the paper's own accounting;@.\
@@ -168,6 +236,7 @@ let table_4_2 () =
           (if pipelined then "yes" else "no (" ^ why ^ ")");
         ])
     Livermore.all;
+  emit "table_4_2" (json_of_table t);
   Fmt.pr "%a" Table.pp t;
   Fmt.pr
     "@.  (paper M/e/s = MFLOPS / efficiency lower bound / speed-up for rows@.\
@@ -218,6 +287,7 @@ let figure_4_1 () =
   let rows = compute_suite () in
   let h = Histogram.create ~lo:0.0 ~width:10.0 ~buckets:11 in
   List.iter (fun r -> Histogram.add h (cells *. r.r_cell_mflops)) rows;
+  emit "figure_4_1" (json_of_histogram h);
   Fmt.pr "%a" (Histogram.pp ~bar_unit:1) h;
   Fmt.pr "  programs: %d   mean: %.1f array MFLOPS   invalid: %d@."
     (Histogram.count h) (Histogram.mean h)
@@ -228,6 +298,7 @@ let figure_4_2 () =
   let rows = compute_suite () in
   let h = Histogram.create ~lo:1.0 ~width:0.5 ~buckets:13 in
   List.iter (fun r -> Histogram.add h r.r_speedup) rows;
+  emit "figure_4_2" (json_of_histogram h);
   Fmt.pr "%a" (Histogram.pp ~bar_unit:1) h;
   let avg l =
     List.fold_left (fun a r -> a +. r.r_speedup) 0.0 l
@@ -266,6 +337,15 @@ let table_lower_bound () =
     /. float_of_int (max 1 (List.length rest))
   in
   let pct a b = 100.0 *. float_of_int a /. float_of_int (max 1 b) in
+  emit "lower_bound"
+    (Json.Obj
+       [
+         ("pipelined", Json.Int (List.length pipelined));
+         ("at_bound", Json.Int (List.length at_bound));
+         ("plain", Json.Int (List.length plain));
+         ("plain_at_bound", Json.Int (List.length plain_at_bound));
+         ("above_bound_mean_efficiency", Json.Float rest_eff);
+       ]);
   Fmt.pr
     "  pipelined loops at the theoretical lower bound: %d/%d (%.0f%%)   [paper: 75%%]@.\
     \  loops without conditionals or recurrences at bound: %d/%d (%.0f%%)  [paper: 93%%]@.\
@@ -323,6 +403,7 @@ var x, y : array [0..135] of float; k : int;
 begin for k := 0 to 127 do
   y[k] := 0.25*x[k] + 0.5*x[k+1] + 0.25*x[k+2]; end.|}
     "known" "single version";
+  emit "code_size" (json_of_table t);
   Fmt.pr "%a" Table.pp t;
   Fmt.pr
     "@.  (paper: within 3x for compile-time trip counts, within 4x with@.\
@@ -369,6 +450,7 @@ let table_mve () =
           ("lcm", Sp_core.Mve.Lcm);
           ("off", Sp_core.Mve.Off) ])
     kernels;
+  emit "mve" (json_of_table t);
   Fmt.pr "%a" Table.pp t;
   Fmt.pr
     "@.  (off = carried anti-dependences kept: the II degrades to the@.\
@@ -436,6 +518,7 @@ end.|}
           Printf.sprintf "%.2f" (float_of_int m.Kernel.cycles /. 192.0);
         ])
     [ 192; 96; 48; 24; 12 ];
+  emit "hier" (json_of_table t);
   Fmt.pr "%a" Table.pp t;
   Fmt.pr
     "@.  (same 192 iterations of work; shorter vectors pay relatively more@.\
@@ -497,6 +580,7 @@ let table_scale () =
       Table.add_row t
         [ k.Kernel.name; mflops_at 1; mflops_at 2; mflops_at 4; why ])
     kernels;
+  emit "scale" (json_of_table t);
   Fmt.pr "%a" Table.pp t;
   Fmt.pr
     "@.  (the paper's closing observation: independent-iteration loops scale@.\
@@ -538,6 +622,7 @@ let table_search () =
         ])
     [ Livermore.k1_hydro; Livermore.k5_tridiag; Livermore.k7_eos;
       Livermore.k17_conditional; Livermore.k21_matmul ];
+  emit "search" (json_of_table t);
   Fmt.pr "%a" Table.pp t
 
 (* ------------------------------------------------------------------ *)
@@ -591,6 +676,7 @@ end.|}
     [ 2; 4; 8 ];
   row "software pipelined"
     (measure "pipelined" (Sp_lang.Lower.compile_source src) C.default);
+  emit "unroll" (json_of_table t);
   Fmt.pr "%a" Table.pp t;
   Fmt.pr
     "@.  (unrolling approaches but cannot reach the pipelined throughput:@.\
@@ -670,6 +756,7 @@ let table_optimal ?(quick = false) () =
       let m = Kernel.run ~config Machine.warp k in
       List.iter (loop_rows (m.Kernel.kernel ^ check_tag m)) m.Kernel.loops)
     kernels;
+  emit (if quick then "optimal_quick" else "optimal") (json_of_table t);
   Fmt.pr "%a" Table.pp t;
   let certified = !n_opt + !n_imp + !n_unk in
   Fmt.pr
@@ -704,6 +791,126 @@ let table_optimal ?(quick = false) () =
       (100.0 *. float_of_int !p_opt /. float_of_int (max 1 !p_pip))
       !p_imp !p_unk
   end
+
+(* ------------------------------------------------------------------ *)
+(* E13: pipeline profile over the Livermore kernels                     *)
+(* ------------------------------------------------------------------ *)
+
+(** The schedule-quality profile of every Livermore kernel: achieved
+    interval vs. its lower bounds (with the exact certifier's verdict
+    under a capped budget), plus per-resource utilization of the
+    simulated execution. The JSON artifact of this table is the
+    repo-root BENCH_pipeline.json (EXPERIMENTS.md E13). *)
+let table_pipeline () =
+  section
+    "E13: pipeline profile — achieved II vs bounds and FU utilization \
+     (Livermore)";
+  let config =
+    {
+      C.default with
+      C.certifier = Some (Sp_opt.Certify.hook ~fuel:400_000 ());
+    }
+  in
+  let t =
+    Table.create
+      ~headers:
+        [ "kernel"; "loop"; "II"; "res/rec mii"; "optimal"; "eff";
+          "overhead"; "fadd"; "fmul"; "mem"; "status" ]
+      ~aligns:[ Table.L; R; R; R; R; R; R; R; R; R; L ]
+  in
+  let pct x = Printf.sprintf "%.0f%%" (100. *. x) in
+  let util u name =
+    match List.assoc_opt name u with Some x -> pct x | None -> "-"
+  in
+  let reports =
+    List.map
+      (fun k ->
+        let meas = Kernel.run ~config Machine.warp k in
+        let r = Kernel.profile Machine.warp meas in
+        List.iter
+          (fun (l : Sp_obs.Profile.loop) ->
+            Table.add_row t
+              [
+                meas.Kernel.kernel ^ check_tag meas;
+                string_of_int l.Sp_obs.Profile.lp_id;
+                (match l.Sp_obs.Profile.lp_achieved_ii with
+                | Some ii -> string_of_int ii
+                | None -> "-");
+                Printf.sprintf "%d/%d" l.Sp_obs.Profile.lp_res_mii
+                  l.Sp_obs.Profile.lp_rec_mii;
+                (match l.Sp_obs.Profile.lp_optimal_ii with
+                | Some ii -> string_of_int ii
+                | None -> "?");
+                Printf.sprintf "%.2f" l.Sp_obs.Profile.lp_efficiency;
+                Printf.sprintf "%.2f" l.Sp_obs.Profile.lp_overhead;
+                util r.Sp_obs.Profile.r_utilization "fadd";
+                util r.Sp_obs.Profile.r_utilization "fmul";
+                util r.Sp_obs.Profile.r_utilization "mem";
+                l.Sp_obs.Profile.lp_status;
+              ])
+          r.Sp_obs.Profile.r_loops;
+        r)
+      Livermore.all
+  in
+  emit "pipeline"
+    (Json.Obj
+       [
+         ( "kernels",
+           Json.List (List.map Sp_obs.Profile.to_json reports) );
+       ]);
+  Fmt.pr "%a" Table.pp t;
+  Fmt.pr
+    "@.  (utilization columns are whole-execution busy fractions from the@.\
+    \   cycle-accurate simulator; 'optimal' is the exact certifier's@.\
+    \   verdict under a 400k-fuel budget, '?' = budget exhausted or@.\
+    \   loop not pipelined; see BENCH_pipeline.json for the full per-@.\
+    \   kernel reports including MRT occupancy and register pressure)@."
+
+(* ------------------------------------------------------------------ *)
+(* E14: tracing overhead smoke                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Guard the zero-cost-when-disabled contract: with tracing off a
+    compile records no events, and its time stays within noise of the
+    traced compile (generous bound — this is a smoke against gross
+    regressions such as unconditional attribute allocation, not a
+    microbenchmark). *)
+let table_trace_overhead () =
+  section "E14: tracing overhead smoke (disabled tracing must be free)";
+  let p = Kernel.program Livermore.k7_eos in
+  let compile () = ignore (C.program Machine.warp p) in
+  let time n f =
+    let t0 = Sys.time () in
+    for _ = 1 to n do f () done;
+    Sys.time () -. t0
+  in
+  let iters = 30 in
+  ignore (time 3 compile) (* warm the allocator and caches *);
+  Sp_obs.Trace.enable ();
+  let t_on = time iters compile in
+  let ev_on = List.length (Sp_obs.Trace.events ()) in
+  Sp_obs.Trace.disable ();
+  Sp_obs.Trace.enable ();
+  (* enable clears the buffer *)
+  Sp_obs.Trace.disable ();
+  let t_off = time iters compile in
+  let ev_off = List.length (Sp_obs.Trace.events ()) in
+  let ok = ev_off = 0 && ev_on > 0 && t_off <= (2.0 *. t_on) +. 0.05 in
+  emit "trace_overhead"
+    (Json.Obj
+       [
+         ("iters", Json.Int iters);
+         ("events_enabled", Json.Int ev_on);
+         ("events_disabled", Json.Int ev_off);
+         ("ok", Json.Bool ok);
+       ]);
+  Fmt.pr
+    "  %d compiles traced: %d events, %.3fs@.\
+    \  %d compiles untraced: %d events, %.3fs@.\
+    \  trace-overhead: %s@."
+    iters ev_on t_on iters ev_off t_off
+    (if ok then "ok" else "FAILED");
+  if not ok then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* E10: Bechamel microbenchmarks                                        *)
@@ -780,13 +987,26 @@ let all () =
   table_hier ();
   table_scale ();
   table_optimal ();
+  table_pipeline ();
+  table_trace_overhead ();
   bechamel ()
 
 let () =
-  match Array.to_list Sys.argv with
-  | [ _ ] -> all ()
-  | [ _; "--bechamel" ] -> bechamel ()
-  | [ _; "--table"; t ] -> (
+  (* peel --emit-json FILE out of the argument list; whatever artifacts
+     the selected command registers are then written as one document *)
+  let rec extract acc = function
+    | "--emit-json" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | [ "--emit-json" ] ->
+      Fmt.epr "--emit-json needs a FILE argument@.";
+      exit 1
+    | x :: rest -> extract (x :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let emit_path, args = extract [] (List.tl (Array.to_list Sys.argv)) in
+  (match args with
+  | [] -> all ()
+  | [ "--bechamel" ] -> bechamel ()
+  | [ "--table"; t ] -> (
     match t with
     | "example" -> table_example ()
     | "4-1" -> table_4_1 ()
@@ -800,10 +1020,12 @@ let () =
     | "unroll" -> table_unroll ()
     | "optimal" -> table_optimal ()
     | "optimal-quick" -> table_optimal ~quick:true ()
+    | "pipeline" -> table_pipeline ()
+    | "trace-overhead" -> table_trace_overhead ()
     | _ ->
       Fmt.epr "unknown table %s@." t;
       exit 1)
-  | [ _; "--figure"; f ] -> (
+  | [ "--figure"; f ] -> (
     match f with
     | "4-1" -> figure_4_1 ()
     | "4-2" -> figure_4_2 ()
@@ -811,5 +1033,8 @@ let () =
       Fmt.epr "unknown figure %s@." f;
       exit 1)
   | _ ->
-    Fmt.epr "usage: %s [--table T | --figure F | --bechamel]@." Sys.argv.(0);
-    exit 1
+    Fmt.epr
+      "usage: %s [--table T | --figure F | --bechamel] [--emit-json FILE]@."
+      Sys.argv.(0);
+    exit 1);
+  Option.iter write_artifacts emit_path

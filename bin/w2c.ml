@@ -243,6 +243,65 @@ let pp_degraded ppf (loops : C.loop_report list) =
   if d > 0 then Fmt.pf ppf "  degraded: %d of %d loop(s)@." d
       (List.length loops)
 
+(* ---- observability options ---------------------------------------- *)
+
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Record compiler and simulator spans and write them as \
+               Chrome trace_event JSON (loadable in chrome://tracing \
+               or Perfetto).")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Write the process-wide metric registry (scheduler \
+               search counters, exact-certifier work, simulator \
+               totals) as JSON when the command finishes.")
+
+let profile_arg =
+  Arg.(value & flag & info [ "profile" ]
+         ~doc:"Print the schedule-quality profile: per-loop achieved \
+               initiation interval against its lower bounds (and the \
+               certified optimum when available), modulo-reservation-\
+               table occupancy, prologue/epilogue overhead, and (under \
+               run) per-resource utilization of the simulated \
+               execution.")
+
+(** Run the command body with tracing armed when requested, and dump
+    trace/metrics files afterwards — also on a structured failure, so a
+    degraded compile still leaves its evidence behind. *)
+let with_obs ~trace ~metrics f =
+  if trace <> None then Sp_obs.Trace.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      (match trace with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        Sp_obs.Trace.write_chrome oc;
+        close_out oc);
+      match metrics with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        Sp_obs.Metrics.write oc;
+        close_out oc)
+    f
+
+(** Profile of a compile without a simulation behind it. *)
+let static_profile m (p : Sp_ir.Program.t) (r : C.result) =
+  {
+    Sp_obs.Profile.r_kernel = p.Sp_ir.Program.name;
+    r_machine = m.Machine.name;
+    r_code_size = r.C.code_size;
+    r_loops = List.map (C.profile_loop m) r.C.loops;
+    r_cycles = None;
+    r_flops = None;
+    r_mflops = None;
+    r_dyn_ops = None;
+    r_sem_ok = None;
+    r_utilization = [];
+  }
+
 let cmd_ir =
   let run file =
     or_msg (fun () ->
@@ -269,7 +328,8 @@ let cmd_dot =
     Term.(term_result (const run $ machine_arg $ file_arg))
 
 let cmd_compile =
-  let run m config validate inject unroll file =
+  let run m config validate inject unroll trace metrics profile file =
+    with_obs ~trace ~metrics @@ fun () ->
     let* () = arm_inject inject in
     Fun.protect ~finally:Sp_util.Fault.disarm @@ fun () ->
     let* p = or_msg (fun () -> load ~unroll file) in
@@ -277,6 +337,7 @@ let cmd_compile =
     Fmt.pr "; %s: %d instructions for machine %s@." p.Sp_ir.Program.name
       r.C.code_size m.Machine.name;
     Fmt.pr "%a" Sp_vliw.Prog.pp r.C.code;
+    if profile then Fmt.pr "%a" Sp_obs.Profile.pp (static_profile m p r);
     if validate then do_validate m p.Sp_ir.Program.name r.C.code
     else begin
       (match Sp_vliw.Check.check_prog m r.C.code with
@@ -291,10 +352,12 @@ let cmd_compile =
   Cmd.v (Cmd.info "compile" ~doc:"Compile and print the VLIW code")
     Term.(term_result
             (const run $ machine_arg $ config_term $ validate_arg
-             $ inject_arg $ unroll_arg $ file_arg))
+             $ inject_arg $ unroll_arg $ trace_arg $ metrics_arg
+             $ profile_arg $ file_arg))
 
 let cmd_schedule =
-  let run m config inject file =
+  let run m config inject trace metrics profile file =
+    with_obs ~trace ~metrics @@ fun () ->
     let* () = arm_inject inject in
     Fun.protect ~finally:Sp_util.Fault.disarm @@ fun () ->
     let* p = or_msg (fun () -> load file) in
@@ -303,12 +366,14 @@ let cmd_schedule =
       m.Machine.name r.C.code_size;
     List.iter (fun lr -> Fmt.pr "  %a@." C.pp_loop_report lr) r.C.loops;
     Fmt.pr "%a" pp_degraded r.C.loops;
+    if profile then Fmt.pr "%a" Sp_obs.Profile.pp (static_profile m p r);
     Ok ()
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Print the per-loop scheduling report")
     Term.(term_result
-            (const run $ machine_arg $ config_term $ inject_arg $ file_arg))
+            (const run $ machine_arg $ config_term $ inject_arg $ trace_arg
+             $ metrics_arg $ profile_arg $ file_arg))
 
 let cmd_run =
   let verify =
@@ -321,7 +386,9 @@ let cmd_run =
            ~doc:"Abort simulation after N cycles (reported as a \
                  structured failure, not a crash).")
   in
-  let run m config verify validate max_cycles inject unroll file =
+  let run m config verify validate max_cycles inject unroll trace metrics
+      profile file =
+    with_obs ~trace ~metrics @@ fun () ->
     let* () = arm_inject inject in
     Fun.protect ~finally:Sp_util.Fault.disarm @@ fun () ->
     let* p = or_msg (fun () -> load ~unroll file) in
@@ -335,6 +402,21 @@ let cmd_run =
     List.iter (fun lr -> Fmt.pr "  %a@." C.pp_loop_report lr) r.C.loops;
     Fmt.pr "%a" pp_degraded r.C.loops;
     Fmt.pr "  %a" Sp_vliw.Stats.pp (Sp_vliw.Stats.compute m r.C.code);
+    if profile then begin
+      let report =
+        {
+          (static_profile m p r) with
+          Sp_obs.Profile.r_cycles = Some sim.Sp_vliw.Sim.cycles;
+          r_flops = Some sim.Sp_vliw.Sim.flops;
+          r_mflops = Some (Sp_vliw.Sim.mflops m sim);
+          r_dyn_ops = Some sim.Sp_vliw.Sim.dyn_ops;
+          r_utilization =
+            Sp_vliw.Stats.utilization m ~cycles:sim.Sp_vliw.Sim.cycles
+              ~res_busy:sim.Sp_vliw.Sim.res_busy;
+        }
+      in
+      Fmt.pr "%a" Sp_obs.Profile.pp report
+    end;
     let* () =
       if validate then do_validate m name r.C.code else Ok ()
     in
@@ -355,7 +437,8 @@ let cmd_run =
     (Cmd.info "run" ~doc:"Compile, simulate and report performance")
     Term.(term_result
             (const run $ machine_arg $ config_term $ verify $ validate_arg
-             $ max_cycles $ inject_arg $ unroll_arg $ file_arg))
+             $ max_cycles $ inject_arg $ unroll_arg $ trace_arg
+             $ metrics_arg $ profile_arg $ file_arg))
 
 let () =
   let doc = "software-pipelining compiler for a Warp-like VLIW cell" in

@@ -69,7 +69,51 @@ done
 $W2C run --validate --verify --opt exact --opt-fuel 200000 \
   examples/conv1d.w2 >/dev/null
 
+echo "== observability smoke: --trace/--metrics/--profile artifacts validate"
+JSONV="dune exec --no-build devtools/jsonv.exe --"
+OBS=$(mktemp -d)
+trap 'rm -rf "$OBS"' EXIT
+$W2C run --validate --trace "$OBS/trace.json" --metrics "$OBS/metrics.json" \
+  --profile examples/saxpy.w2 >"$OBS/profile.txt"
+$JSONV "$OBS/trace.json" traceEvents/0/name >/dev/null
+$JSONV "$OBS/metrics.json" schema_version \
+  metrics/modsched.intervals_probed/value \
+  metrics/modsched.fuel_spent/value \
+  metrics/sim.cycles/value >/dev/null
+for phase in compile.parse compile.typecheck compile.lower compile \
+  compile.ddg compile.compact compile.mii compile.modsched compile.mve \
+  compile.emit compile.validate; do
+  grep -q "\"name\":\"$phase\"" "$OBS/trace.json" || {
+    echo "FAIL: trace is missing the $phase span"
+    exit 1
+  }
+done
+grep -q "mrt occupancy" "$OBS/profile.txt" || {
+  echo "FAIL: --profile printed no schedule-quality report"
+  exit 1
+}
+echo "   trace/metrics/profile: ok"
+
 echo "== bench smoke: budget-capped optimality gap table"
 dune exec --no-build bench/main.exe -- --table optimal-quick >/dev/null
+
+echo "== bench smoke: JSON artifacts are schema-stable across runs"
+dune exec --no-build bench/main.exe -- --table optimal-quick \
+  --emit-json "$OBS/a.json" >/dev/null
+dune exec --no-build bench/main.exe -- --table optimal-quick \
+  --emit-json "$OBS/b.json" >/dev/null
+$JSONV "$OBS/a.json" schema_version generator artifacts >/dev/null
+cmp -s "$OBS/a.json" "$OBS/b.json" || {
+  echo "FAIL: bench --emit-json output differs between identical runs"
+  exit 1
+}
+echo "   emit-json stability: ok"
+
+echo "== bench smoke: tracing disabled stays zero-cost"
+dune exec --no-build bench/main.exe -- --table trace-overhead >/dev/null
+
+echo "== committed pipeline profile still parses"
+$JSONV BENCH_pipeline.json schema_version \
+  artifacts/pipeline/kernels/0/loops/0/achieved_ii >/dev/null
 
 echo "CI OK"

@@ -1,0 +1,56 @@
+(** [jsonv FILE [PATH ...]] — validate observability JSON in CI.
+
+    Parses FILE with the strict parser ([Sp_obs.Json.of_string]; exit 1
+    with a message on malformed input), then requires every PATH to
+    resolve to a present, non-null value. Path components are separated
+    by '/' (metric names contain dots, so '.' is not a separator):
+
+    {v jsonv metrics.json metrics/modsched.fuel_spent/value v}
+
+    A numeric component indexes into an array, so
+    [traceEvents/0/name] checks the first event of a Chrome trace. *)
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("jsonv: " ^ m); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let lookup j comp =
+  match (j, int_of_string_opt comp) with
+  | Sp_obs.Json.List l, Some i -> List.nth_opt l i
+  | _ -> Sp_obs.Json.member comp j
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: file :: paths ->
+    let j =
+      match Sp_obs.Json.of_string (read_file file) with
+      | j -> j
+      | exception Sp_obs.Json.Parse_error m -> fail "%s: parse error: %s" file m
+      | exception Sys_error m -> fail "%s" m
+    in
+    List.iter
+      (fun path ->
+        let comps = String.split_on_char '/' path in
+        let v =
+          List.fold_left
+            (fun acc comp ->
+              match acc with
+              | None -> None
+              | Some j -> lookup j comp)
+            (Some j) comps
+        in
+        match v with
+        | None | Some Sp_obs.Json.Null ->
+          fail "%s: required key %s missing or null" file path
+        | Some _ -> ())
+      paths;
+    Printf.printf "jsonv: %s ok (%d key(s) checked)\n" file
+      (List.length paths)
+  | _ ->
+    prerr_endline "usage: jsonv FILE [PATH ...]   (PATH components split on '/')";
+    exit 1

@@ -147,6 +147,9 @@ type loop_report = {
   mve_iregs : int;
   probed : int;              (** candidate intervals tried by the search *)
   fuel_spent : int;          (** placement probes the search cost *)
+  res_use : (string * int) list;
+      (** reservation-slot demand of one iteration per resource
+          ({!Mii.per_resource}) — the numerator of MRT occupancy *)
   cert : certification option;
       (** optimality certificate, when a certifier was configured and
           the loop pipelined *)
@@ -549,24 +552,35 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
     let l = Option.value ~default:0 (Hashtbl.find_opt local_uses r.Vreg.id) in
     g > l
   in
+  let loop_args () = [ ("loop", Sp_obs.Trace.I l_id) ] in
   (* full dependence graph: serial restart interval and fallback body *)
   Sp_util.Log.debug "loop%d: building full ddg" l_id;
-  let g_full = Ddg.build ~mve:false units in
+  let g_full =
+    Sp_obs.Trace.span ~args:loop_args "compile.ddg" (fun () ->
+        Ddg.build ~mve:false units)
+  in
   Sp_util.Log.debug "loop%d: compacting (%d edges)" l_id
     (List.length g_full.Ddg.edges);
-  let pl = Listsched.compact ctx.m g_full in
+  let pl =
+    Sp_obs.Trace.span ~args:loop_args "compile.compact" (fun () ->
+        Listsched.compact ctx.m g_full)
+  in
   let seq_len = Listsched.restart_interval g_full pl in
   Sp_util.Log.debug "loop%d: seq_len=%d" l_id seq_len;
   let seq_body, _ = Emit.seq_frag units pl ~r_len:seq_len in
   (* pipelining graph: carried deps on expandable variables removed *)
   let g_mve =
-    Ddg.build ~mve:(ctx.cfg.mve_mode <> Mve.Off) ~live_out units
+    Sp_obs.Trace.span ~args:loop_args "compile.ddg" (fun () ->
+        Ddg.build ~mve:(ctx.cfg.mve_mode <> Mve.Off) ~live_out units)
   in
   Sp_util.Log.debug "loop%d: analyzing" l_id;
-  let analysis = Modsched.analyze ~s_max:seq_len g_mve in
+  let analysis, mii =
+    Sp_obs.Trace.span ~args:loop_args "compile.mii" (fun () ->
+        let analysis = Modsched.analyze ~s_max:seq_len g_mve in
+        (analysis, Mii.compute ctx.m units ~rec_mii:analysis.Modsched.a_rec_mii))
+  in
   let scc = analysis.Modsched.a_scc in
   Sp_util.Log.debug "loop%d: analysis done" l_id;
-  let mii = Mii.compute ctx.m units ~rec_mii:analysis.Modsched.a_rec_mii in
   (* a reduced control construct must fit strictly inside one s-window
      (see Modsched.wrap_ok), so its length + 1 is a genuine lower bound
      on the initiation interval for this machine *)
@@ -577,6 +591,7 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
       1 units
   in
   let mii = { mii with Mii.mii = max mii.Mii.mii ctl_bound } in
+  let res_use = Mii.per_resource ctx.m units in
   let has_if =
     Array.exists
       (fun (u : Sunit.t) ->
@@ -615,24 +630,26 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
      contract), this loop alone degrades to the serial schedule
      already in hand and compilation continues. *)
   let attempt =
-    if not ctx.cfg.pipeline then Error Disabled
-    else if has_inner_loop && not ctx.cfg.pipeline_outer then Error Disabled
-    else if seq_len > ctx.cfg.threshold then Error Over_threshold
+    if not ctx.cfg.pipeline then Error (Disabled, None)
+    else if has_inner_loop && not ctx.cfg.pipeline_outer then
+      Error (Disabled, None)
+    else if seq_len > ctx.cfg.threshold then Error (Over_threshold, None)
     else if
       float_of_int mii.Mii.mii
       >= ctx.cfg.profit_margin *. float_of_int seq_len
-    then Error Not_profitable
+    then Error (Not_profitable, None)
     else
       try
         Sp_util.Log.debug "loop%d: searching ii in [%d,%d]" l_id mii.Mii.mii
           (seq_len - 1);
         match
-          Modsched.schedule_with_budget ~search:ctx.cfg.search ~analysis
-            ?fuel:ctx.cfg.fuel ctx.m g_mve ~mii:mii.Mii.mii
-            ~max_ii:(seq_len - 1)
+          Sp_obs.Trace.span ~args:loop_args "compile.modsched" (fun () ->
+              Modsched.schedule_with_budget ~search:ctx.cfg.search ~analysis
+                ?fuel:ctx.cfg.fuel ctx.m g_mve ~mii:mii.Mii.mii
+                ~max_ii:(seq_len - 1))
         with
-        | Modsched.No_interval -> Error Not_profitable
-        | Modsched.Fuel_exhausted -> Error Budget_exhausted
+        | Modsched.No_interval stats -> Error (Not_profitable, Some stats)
+        | Modsched.Fuel_exhausted stats -> Error (Budget_exhausted, Some stats)
         | Modsched.Scheduled (sched, stats) -> (
           Sp_util.Log.debug "loop%d: scheduled ii=%d sc=%d span=%d" l_id
             sched.Modsched.s sched.Modsched.sc sched.Modsched.span;
@@ -644,15 +661,17 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
             | None -> (sched, None)
             | Some certify ->
               let sched', c =
-                certify ctx.m g_mve ~analysis ~mii:mii.Mii.mii sched
+                Sp_obs.Trace.span ~args:loop_args "compile.certify" (fun () ->
+                    certify ctx.m g_mve ~analysis ~mii:mii.Mii.mii sched)
               in
               Sp_util.Log.debug "loop%d: certificate: %s" l_id
                 (cert_to_string c);
               (sched', Some c)
           in
           let mve =
-            Mve.compute ~mode:ctx.cfg.mve_mode ctx.m g_mve sched
-              ~supply:ctx.vregs
+            Sp_obs.Trace.span ~args:loop_args "compile.mve" (fun () ->
+                Mve.compute ~mode:ctx.cfg.mve_mode ctx.m g_mve sched
+                  ~supply:ctx.vregs)
           in
           Sp_util.Log.debug "loop%d: mve u=%d" l_id mve.Mve.unroll;
           if has_inner_loop && mve.Mve.unroll > 1 then
@@ -660,26 +679,32 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
                bookkeeping with the inner prolog/epilog; replicating the
                whole inner loop per kernel copy is never worth the code
                size (Section 2.4's concern) *)
-            Error Not_profitable
-          else if not mve.Mve.fits then Error Register_overflow
+            Error (Not_profitable, Some stats)
+          else if not mve.Mve.fits then Error (Register_overflow, Some stats)
           else
             match n with
             | Region.Const k
               when k - (sched.Modsched.sc - 1) < mve.Mve.unroll ->
-              Error Trip_too_small
+              Error (Trip_too_small, Some stats)
             | _ -> (
-              let pf = Emit.pipe_frags units sched mve in
+              let pf =
+                Sp_obs.Trace.span ~args:loop_args "compile.emit" (fun () ->
+                    Emit.pipe_frags units sched mve)
+              in
               Sp_util.Log.debug "loop%d: frags built" l_id;
-              match validate_frags ctx pf with
-              | Some msg -> Error (Degraded msg)
+              match
+                Sp_obs.Trace.span ~args:loop_args "compile.validate"
+                  (fun () -> validate_frags ctx pf)
+              with
+              | Some msg -> Error (Degraded msg, Some stats)
               | None -> Ok (sched, mve, pf, stats, cert)))
       with
       | Sp_util.Fault.Injected site ->
-        Error (Degraded ("fault injected at " ^ site))
-      | e -> Error (Degraded (Printexc.to_string e))
+        Error (Degraded ("fault injected at " ^ site), None)
+      | e -> Error (Degraded (Printexc.to_string e), None)
   in
   (match attempt with
-  | Error ((Degraded _ | Budget_exhausted) as st) ->
+  | Error (((Degraded _ | Budget_exhausted) as st), _) ->
     Sp_util.Log.info "loop%d reverts to its serial schedule [%s]" l_id
       (status_to_string st)
   | _ -> ());
@@ -776,6 +801,7 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
         mve_iregs = mi;
         probed = stats.Modsched.intervals_probed;
         fuel_spent = stats.Modsched.fuel_spent;
+        res_use;
         cert;
         status;
       }
@@ -783,8 +809,8 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
   in
   let loop_unit =
     match attempt with
-    | Error status ->
-      report ~ii:None ~sc:0 ~unroll:1 ~mf:0 ~mi:0 status;
+    | Error (status, stats) ->
+      report ?stats ~ii:None ~sc:0 ~unroll:1 ~mf:0 ~mi:0 status;
       let mid =
         {
           Sunit.emit_mid =
@@ -949,22 +975,83 @@ let innermost_ddgs ?(config = default) (m : Machine.t) (p : Program.t) :
   List.rev !out
 
 let program ?(config = default) (m : Machine.t) (p : Program.t) : result =
+  Sp_obs.Trace.span "compile" @@ fun () ->
   let ctx = make_ctx m config p in
   let units = units_of_region ctx ~depth:0 p.Program.body in
   Sp_util.Log.debug "top: %d units" (List.length units);
   let arr = renumber units in
-  let g = Ddg.build ~mve:false arr in
-  let pl = Listsched.compact ctx.m g in
-  let frag, _ = Emit.seq_frag arr pl ~r_len:pl.Listsched.len in
-  let asm = Sp_vliw.Prog.Asm.create () in
-  Sp_util.Log.debug "top: emitting";
-  Emit.emit_slots asm ~rename:Emit.identity_rename ~depth:0 frag
-    ~extras:Emit.no_extras;
-  Sp_util.Log.debug "top: emitted";
-  Sp_vliw.Prog.Asm.inst asm ~ctl:Sp_vliw.Inst.Halt [];
-  let code = Sp_vliw.Prog.Asm.finish asm in
+  let g = Sp_obs.Trace.span "compile.ddg" (fun () -> Ddg.build ~mve:false arr) in
+  let pl =
+    Sp_obs.Trace.span "compile.compact" (fun () -> Listsched.compact ctx.m g)
+  in
+  let code =
+    Sp_obs.Trace.span "compile.emit" @@ fun () ->
+    let frag, _ = Emit.seq_frag arr pl ~r_len:pl.Listsched.len in
+    let asm = Sp_vliw.Prog.Asm.create () in
+    Sp_util.Log.debug "top: emitting";
+    Emit.emit_slots asm ~rename:Emit.identity_rename ~depth:0 frag
+      ~extras:Emit.no_extras;
+    Sp_util.Log.debug "top: emitted";
+    Sp_vliw.Prog.Asm.inst asm ~ctl:Sp_vliw.Inst.Halt [];
+    Sp_vliw.Prog.Asm.finish asm
+  in
   {
     code;
     loops = List.rev ctx.reports;
     code_size = Sp_vliw.Prog.size code;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Schedule-quality profile                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Convert a loop report into the flat observability currency. MRT
+    occupancy divides the per-iteration reservation-slot demand by the
+    slots available per window: the achieved interval for a pipelined
+    loop, the serial restart interval otherwise. *)
+let profile_loop (m : Machine.t) (r : loop_report) : Sp_obs.Profile.loop =
+  let window = match r.ii with Some ii -> ii | None -> max 1 r.seq_len in
+  let mrt =
+    List.map
+      (fun (name, use) ->
+        let count = (Machine.find_resource m name).Machine.count in
+        (name, float_of_int use /. float_of_int (window * count)))
+      r.res_use
+  in
+  let prolog, kernel, epilog, overhead =
+    match r.ii with
+    | Some ii ->
+      let p = (r.sc - 1) * ii in
+      let k = r.unroll * ii in
+      (p, k, p, if k > 0 then float_of_int (2 * p) /. float_of_int k else 0.)
+    | None -> (0, 0, 0, 0.)
+  in
+  {
+    Sp_obs.Profile.lp_id = r.l_id;
+    lp_depth = r.l_depth;
+    lp_status = status_to_string r.status;
+    lp_n_units = r.n_units;
+    lp_res_mii = r.res_mii;
+    lp_rec_mii = r.rec_mii;
+    lp_mii = r.mii;
+    lp_seq_len = r.seq_len;
+    lp_achieved_ii = r.ii;
+    lp_optimal_ii =
+      (match (r.cert, r.ii) with
+      | Some (Cert_optimal _), Some ii | Some (Cert_improved _), Some ii ->
+        Some ii
+      | _ -> None);
+    lp_efficiency = efficiency r;
+    lp_cert = Option.map cert_to_string r.cert;
+    lp_sc = r.sc;
+    lp_unroll = r.unroll;
+    lp_mve_fregs = r.mve_fregs;
+    lp_mve_iregs = r.mve_iregs;
+    lp_prolog_words = prolog;
+    lp_epilog_words = epilog;
+    lp_kernel_words = kernel;
+    lp_overhead = overhead;
+    lp_probed = r.probed;
+    lp_fuel_spent = r.fuel_spent;
+    lp_mrt = mrt;
   }

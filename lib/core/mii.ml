@@ -31,6 +31,19 @@ let resource_bound (m : Machine.t) (units : Sunit.t array) =
   done;
   !bound
 
+let per_resource (m : Machine.t) (units : Sunit.t array) =
+  let nres = Machine.num_resources m in
+  let total = Array.make nres 0 in
+  Array.iter
+    (fun (u : Sunit.t) ->
+      List.iter (fun (_, rid) -> total.(rid) <- total.(rid) + 1) u.Sunit.resv)
+    units;
+  List.filter_map
+    (fun rid ->
+      if total.(rid) = 0 then None
+      else Some ((Machine.resource m rid).Machine.rname, total.(rid)))
+    (List.init nres Fun.id)
+
 let compute (m : Machine.t) (units : Sunit.t array) ~rec_mii =
   let res_mii = resource_bound m units in
   { res_mii; rec_mii; mii = max 1 (max res_mii rec_mii) }

@@ -10,6 +10,13 @@ val resource_bound : Sp_machine.Machine.t -> Sunit.t array -> int
 (** "The maximum ratio between the total number of times each resource
     is used and the number of available units per instruction." *)
 
+val per_resource :
+  Sp_machine.Machine.t -> Sunit.t array -> (string * int) list
+(** Reservation-slot demand of one iteration, per resource name (used
+    resources only, machine declaration order). Dividing by
+    [interval * count] gives the modulo-reservation-table occupancy the
+    schedule-quality profile reports. *)
+
 val compute : Sp_machine.Machine.t -> Sunit.t array -> rec_mii:int -> t
 (** Combine the resource bound of the units with a recurrence bound
     from {!Modsched.analyze}. *)

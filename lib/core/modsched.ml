@@ -91,6 +91,16 @@ let analyze ~s_max (g : Ddg.t) : analysis =
 
 let () = Sp_util.Fault.register "modsched.place"
 
+(* process-wide scheduler metrics (Sp_obs.Metrics): cumulative over
+   every loop of every compilation in the process; the per-loop figures
+   live in [stats] / [Compile.loop_report] *)
+let m_intervals = Sp_obs.Metrics.counter "modsched.intervals_probed"
+let m_fuel = Sp_obs.Metrics.counter "modsched.fuel_spent"
+let m_placements = Sp_obs.Metrics.counter "modsched.placements"
+let m_backtracks = Sp_obs.Metrics.counter "modsched.backtracks"
+let m_searches = Sp_obs.Metrics.counter "modsched.searches"
+let m_exhausted = Sp_obs.Metrics.counter "modsched.fuel_exhausted"
+
 (** Fuel accounting: every slot probe against a reservation table
     spends one unit. Exhausting the budget aborts the whole interval
     search — the degradation machinery in {!Sp_core.Compile} then
@@ -142,6 +152,7 @@ let schedule_component ~fuel (m : Machine.t) (g : Ddg.t) ~s ~members
         if Mrt.Modulo.fits table ~at:!t u.Sunit.resv then begin
           Mrt.Modulo.add table ~at:!t u.Sunit.resv;
           off.(v) <- !t;
+          Sp_obs.Metrics.incr m_placements;
           Sp_util.Fault.point "modsched.place";
           placed := true
         end
@@ -150,7 +161,9 @@ let schedule_component ~fuel (m : Machine.t) (g : Ddg.t) ~s ~members
       if not !placed then raise Fail
     done;
     Some off
-  with Fail -> None
+  with Fail ->
+    Sp_obs.Metrics.incr m_backtracks;
+    None
 
 let try_schedule_fueled ~fuel (m : Machine.t) (g : Ddg.t) ~(scc : Scc.t)
     ~(spaths : Spath.t option array) ~s : int array option =
@@ -222,6 +235,7 @@ let try_schedule_fueled ~fuel (m : Machine.t) (g : Ddg.t) ~(scc : Scc.t)
           if fits_at !t then begin
             Mrt.Modulo.add table ~at:!t resv;
             start.(c) <- !t;
+            Sp_obs.Metrics.incr m_placements;
             Sp_util.Fault.point "modsched.place";
             placed := true
           end
@@ -235,7 +249,9 @@ let try_schedule_fueled ~fuel (m : Machine.t) (g : Ddg.t) ~(scc : Scc.t)
         units
     in
     Some times
-  with Fail -> None
+  with Fail ->
+    Sp_obs.Metrics.incr m_backtracks;
+    None
 
 let try_schedule (m : Machine.t) (g : Ddg.t) ~(scc : Scc.t)
     ~(spaths : Spath.t option array) ~s : int array option =
@@ -252,8 +268,8 @@ type stats = {
 
 type outcome =
   | Scheduled of schedule * stats
-  | No_interval
-  | Fuel_exhausted
+  | No_interval of stats
+  | Fuel_exhausted of stats
 
 let mk_schedule units ~s times =
   let span =
@@ -279,12 +295,21 @@ let schedule_with_budget ?(search = Linear) ?analysis ?fuel (m : Machine.t)
     incr probed;
     try_schedule_fueled ~fuel:meter m g ~scc:a.a_scc ~spaths:a.a_spaths ~s
   in
-  let stats () = { intervals_probed = !probed; fuel_spent = meter.spent } in
+  let stats () =
+    Sp_obs.Metrics.incr m_searches;
+    Sp_obs.Metrics.incr ~by:!probed m_intervals;
+    Sp_obs.Metrics.incr ~by:meter.spent m_fuel;
+    Sp_obs.Trace.instant "modsched.search"
+      ~args:(fun () ->
+        [ ("intervals_probed", Sp_obs.Trace.I !probed);
+          ("fuel_spent", Sp_obs.Trace.I meter.spent) ]);
+    { intervals_probed = !probed; fuel_spent = meter.spent }
+  in
   try
     match search with
     | Linear ->
       let rec go s =
-        if s > max_ii then No_interval
+        if s > max_ii then No_interval (stats ())
         else
           match try_s s with
           | Some times -> Scheduled (mk_schedule g.Ddg.units ~s times, stats ())
@@ -306,8 +331,10 @@ let schedule_with_budget ?(search = Linear) ?analysis ?fuel (m : Machine.t)
       in
       (match go (max 1 mii) max_ii None with
       | Some sched -> Scheduled (sched, stats ())
-      | None -> No_interval)
-  with Out_of_fuel -> Fuel_exhausted
+      | None -> No_interval (stats ()))
+  with Out_of_fuel ->
+    Sp_obs.Metrics.incr m_exhausted;
+    Fuel_exhausted (stats ())
 
 (** Unbudgeted search; [None] when no interval in range is schedulable
     (the loop is then left unpipelined). *)
@@ -315,4 +342,4 @@ let schedule ?search ?analysis (m : Machine.t) (g : Ddg.t) ~mii ~max_ii :
     schedule option =
   match schedule_with_budget ?search ?analysis m g ~mii ~max_ii with
   | Scheduled (s, _) -> Some s
-  | No_interval | Fuel_exhausted -> None
+  | No_interval _ | Fuel_exhausted _ -> None

@@ -52,8 +52,11 @@ type stats = {
 (** Result of a budgeted interval search. *)
 type outcome =
   | Scheduled of schedule * stats
-  | No_interval     (** no interval in [\[mii, max_ii\]] is schedulable *)
-  | Fuel_exhausted  (** the placement-probe budget ran out mid-search *)
+  | No_interval of stats
+      (** no interval in [\[mii, max_ii\]] is schedulable; the stats say
+          what the failed search cost *)
+  | Fuel_exhausted of stats
+      (** the placement-probe budget ran out mid-search *)
 
 val mk_schedule : Sunit.t array -> s:int -> int array -> schedule
 (** Package issue times at interval [s] into a {!schedule} (span and

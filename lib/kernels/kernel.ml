@@ -55,6 +55,9 @@ type measurement = {
   resource_ok : bool;
   loops : Sp_core.Compile.loop_report list;
   dyn_ops : int;
+  utilization : (string * float) list;
+      (** per-resource busy fraction of the simulated execution
+          ({!Sp_vliw.Stats.utilization}); empty when the run failed *)
   failure : string option;
       (** a simulator trap (cycle limit, write-port conflict) — the
           measurement's numbers are then zero and [sem_ok] false *)
@@ -78,6 +81,7 @@ let run ?(config = Sp_core.Compile.default) ?max_cycles
       resource_ok = Sp_vliw.Check.check_prog m r.Sp_core.Compile.code = [];
       loops = r.Sp_core.Compile.loops;
       dyn_ops = 0;
+      utilization = [];
       failure = None;
     }
   in
@@ -103,6 +107,9 @@ let run ?(config = Sp_core.Compile.default) ?max_cycles
         Machine_state.observably_equal oracle.Interp.state
           sim.Sp_vliw.Sim.state;
       dyn_ops = sim.Sp_vliw.Sim.dyn_ops;
+      utilization =
+        Sp_vliw.Stats.utilization m ~cycles:sim.Sp_vliw.Sim.cycles
+          ~res_busy:sim.Sp_vliw.Sim.res_busy;
     }
 
 (** Speed-up of the pipelined compilation over local compaction only
@@ -115,6 +122,27 @@ let speedup (m : Sp_machine.Machine.t) (k : t) =
     else float_of_int local.cycles /. float_of_int piped.cycles
   in
   (factor, piped, local)
+
+(** A {!measurement} as the flat schedule-quality report the
+    observability layer serializes ([w2c --profile],
+    [bench --emit-json]). Simulation-derived fields are [None] when the
+    run trapped. *)
+let profile (m : Sp_machine.Machine.t) (meas : measurement) :
+    Sp_obs.Profile.report =
+  let ran = meas.failure = None in
+  let opt v = if ran then Some v else None in
+  {
+    Sp_obs.Profile.r_kernel = meas.kernel;
+    r_machine = m.Sp_machine.Machine.name;
+    r_code_size = meas.code_size;
+    r_loops = List.map (Sp_core.Compile.profile_loop m) meas.loops;
+    r_cycles = opt meas.cycles;
+    r_flops = opt meas.flops;
+    r_mflops = opt meas.mflops;
+    r_dyn_ops = opt meas.dyn_ops;
+    r_sem_ok = opt meas.sem_ok;
+    r_utilization = meas.utilization;
+  }
 
 (** Innermost-loop efficiency (achieved lower bound / interval),
     weighted uniformly over pipelined loops; 1.0 when nothing was

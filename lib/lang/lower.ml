@@ -653,6 +653,6 @@ let lower ?(if_convert = false) (p : Ast.program) : Program.t =
 
 (** Front door: parse, check, lower. *)
 let compile_source ?if_convert src =
-  let ast = Parser.parse src in
-  ignore (Typecheck.check ast);
-  lower ?if_convert ast
+  let ast = Sp_obs.Trace.span "compile.parse" (fun () -> Parser.parse src) in
+  Sp_obs.Trace.span "compile.typecheck" (fun () -> ignore (Typecheck.check ast));
+  Sp_obs.Trace.span "compile.lower" (fun () -> lower ?if_convert ast)

@@ -1,0 +1,38 @@
+(** Minimal JSON values with a deterministic serializer and a strict
+    parser.
+
+    Objects preserve insertion order on output — serialization is a
+    pure function of construction order, so two runs that build the
+    same report produce byte-identical files (the benchmark harness
+    diffs its own output for schema stability). No external JSON
+    dependency is used anywhere in the repository. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** must be finite; serialized with a ["."] or exponent *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list  (** key order preserved *)
+
+val to_string : ?pretty:bool -> t -> string
+(** [pretty] indents with two spaces; default is compact. Raises
+    [Invalid_argument] on a non-finite float. *)
+
+val to_channel : ?pretty:bool -> out_channel -> t -> unit
+(** {!to_string} followed by a final newline. *)
+
+exception Parse_error of string
+(** Position-annotated message. *)
+
+val of_string : string -> t
+(** Strict parser for the output of {!to_string} (and ordinary JSON:
+    numbers, strings with escapes including [\uXXXX], arrays, objects).
+    Raises {!Parse_error} on malformed input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** Field lookup in an object; [None] on missing key or non-object. *)
+
+val path : string list -> t -> t option
+(** Nested {!member} lookup. *)

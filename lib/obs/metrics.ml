@@ -1,0 +1,101 @@
+(** Process-wide metric registry; see the interface for the contract. *)
+
+module Histogram = Sp_util.Histogram
+
+type counter = { c_name : string; mutable c : int }
+type gauge = { g_name : string; mutable g : float }
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histo of Histogram.t ref
+      (** a [ref] so {!reset} can swap in a fresh same-shaped histogram
+          while {!histogram} callers keep observing through the
+          registry *)
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let mismatch name =
+  invalid_arg
+    (Printf.sprintf "Sp_obs.Metrics: %S already registered with another type"
+       name)
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> c
+  | Some _ -> mismatch name
+  | None ->
+    let c = { c_name = name; c = 0 } in
+    Hashtbl.replace registry name (Counter c);
+    c
+
+let incr ?(by = 1) c = c.c <- c.c + by
+let counter_value c = c.c
+
+let gauge name =
+  match Hashtbl.find_opt registry name with
+  | Some (Gauge g) -> g
+  | Some _ -> mismatch name
+  | None ->
+    let g = { g_name = name; g = 0. } in
+    Hashtbl.replace registry name (Gauge g);
+    g
+
+let set g x = g.g <- x
+let gauge_value g = g.g
+
+let histogram ?(lo = 0.) ?(width = 1.) ?(buckets = 32) name =
+  match Hashtbl.find_opt registry name with
+  | Some (Histo h) -> !h
+  | Some _ -> mismatch name
+  | None ->
+    let h = Histogram.create ~lo ~width ~buckets in
+    Hashtbl.replace registry name (Histo (ref h));
+    h
+
+(* ---- snapshot ----------------------------------------------------- *)
+
+let json_of_metric = function
+  | Counter c -> Json.Obj [ ("type", Json.Str "counter"); ("value", Json.Int c.c) ]
+  | Gauge g -> Json.Obj [ ("type", Json.Str "gauge"); ("value", Json.Float g.g) ]
+  | Histo h ->
+    let h = !h in
+    let q p =
+      match Histogram.quantile h p with
+      | Some x -> Json.Float x
+      | None -> Json.Null
+    in
+    let extremum v = match v with Some x -> Json.Float x | None -> Json.Null in
+    Json.Obj
+      [
+        ("type", Json.Str "histogram");
+        ("count", Json.Int (Histogram.count h));
+        ("mean", Json.Float (Histogram.mean h));
+        ("min", extremum (Histogram.minimum h));
+        ("max", extremum (Histogram.maximum h));
+        ("p50", q 0.5);
+        ("p90", q 0.9);
+        ("p99", q 0.99);
+      ]
+
+let snapshot () =
+  let entries =
+    Hashtbl.fold (fun name m acc -> (name, json_of_metric m) :: acc) registry []
+  in
+  let entries = List.sort (fun (a, _) (b, _) -> compare a b) entries in
+  Json.Obj [ ("schema_version", Json.Int 1); ("metrics", Json.Obj entries) ]
+
+let write oc = Json.to_channel oc (snapshot ())
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.c <- 0
+      | Gauge g -> g.g <- 0.
+      | Histo h ->
+        let old = !h in
+        h :=
+          Histogram.create ~lo:old.Histogram.lo ~width:old.Histogram.width
+            ~buckets:(Array.length old.Histogram.counts))
+    registry

@@ -1,0 +1,140 @@
+(** Schedule-quality reports; see the interface for field semantics. *)
+
+type loop = {
+  lp_id : int;
+  lp_depth : int;
+  lp_status : string;
+  lp_n_units : int;
+  lp_res_mii : int;
+  lp_rec_mii : int;
+  lp_mii : int;
+  lp_seq_len : int;
+  lp_achieved_ii : int option;
+  lp_optimal_ii : int option;
+  lp_efficiency : float;
+  lp_cert : string option;
+  lp_sc : int;
+  lp_unroll : int;
+  lp_mve_fregs : int;
+  lp_mve_iregs : int;
+  lp_prolog_words : int;
+  lp_epilog_words : int;
+  lp_kernel_words : int;
+  lp_overhead : float;
+  lp_probed : int;
+  lp_fuel_spent : int;
+  lp_mrt : (string * float) list;
+}
+
+type report = {
+  r_kernel : string;
+  r_machine : string;
+  r_code_size : int;
+  r_loops : loop list;
+  r_cycles : int option;
+  r_flops : int option;
+  r_mflops : float option;
+  r_dyn_ops : int option;
+  r_sem_ok : bool option;
+  r_utilization : (string * float) list;
+}
+
+let opt_int = function Some i -> Json.Int i | None -> Json.Null
+let opt_str = function Some s -> Json.Str s | None -> Json.Null
+let opt_float = function Some x -> Json.Float x | None -> Json.Null
+let opt_bool = function Some b -> Json.Bool b | None -> Json.Null
+
+let json_of_named_floats l =
+  Json.Obj (List.map (fun (k, x) -> (k, Json.Float x)) l)
+
+let loop_to_json (l : loop) : Json.t =
+  Json.Obj
+    [
+      ("loop", Json.Int l.lp_id);
+      ("depth", Json.Int l.lp_depth);
+      ("status", Json.Str l.lp_status);
+      ("n_units", Json.Int l.lp_n_units);
+      ("res_mii", Json.Int l.lp_res_mii);
+      ("rec_mii", Json.Int l.lp_rec_mii);
+      ("mii", Json.Int l.lp_mii);
+      ("seq_len", Json.Int l.lp_seq_len);
+      ("achieved_ii", opt_int l.lp_achieved_ii);
+      ("optimal_ii", opt_int l.lp_optimal_ii);
+      ("efficiency", Json.Float l.lp_efficiency);
+      ("certificate", opt_str l.lp_cert);
+      ("sc", Json.Int l.lp_sc);
+      ("unroll", Json.Int l.lp_unroll);
+      ("mve_fregs", Json.Int l.lp_mve_fregs);
+      ("mve_iregs", Json.Int l.lp_mve_iregs);
+      ("prolog_words", Json.Int l.lp_prolog_words);
+      ("epilog_words", Json.Int l.lp_epilog_words);
+      ("kernel_words", Json.Int l.lp_kernel_words);
+      ("overhead", Json.Float l.lp_overhead);
+      ("intervals_probed", Json.Int l.lp_probed);
+      ("fuel_spent", Json.Int l.lp_fuel_spent);
+      ("mrt_occupancy", json_of_named_floats l.lp_mrt);
+    ]
+
+let to_json (r : report) : Json.t =
+  Json.Obj
+    [
+      ("schema_version", Json.Int 1);
+      ("kernel", Json.Str r.r_kernel);
+      ("machine", Json.Str r.r_machine);
+      ("code_size", Json.Int r.r_code_size);
+      ("cycles", opt_int r.r_cycles);
+      ("flops", opt_int r.r_flops);
+      ("mflops", opt_float r.r_mflops);
+      ("dyn_ops", opt_int r.r_dyn_ops);
+      ("sem_ok", opt_bool r.r_sem_ok);
+      ("utilization", json_of_named_floats r.r_utilization);
+      ("loops", Json.List (List.map loop_to_json r.r_loops));
+    ]
+
+(* ---- rendering ---------------------------------------------------- *)
+
+let pp_pct ppf x = Fmt.pf ppf "%3.0f%%" (100. *. x)
+
+let pp_loop ppf (l : loop) =
+  Fmt.pf ppf "loop%d(depth %d) [%s]: " l.lp_id l.lp_depth l.lp_status;
+  (match l.lp_achieved_ii with
+  | Some ii ->
+    Fmt.pf ppf "ii=%d (mii=%d: res %d, rec %d%s) eff=%.2f sc=%d u=%d" ii
+      l.lp_mii l.lp_res_mii l.lp_rec_mii
+      (match l.lp_optimal_ii with
+      | Some o -> Printf.sprintf ", optimal %d" o
+      | None -> "")
+      l.lp_efficiency l.lp_sc l.lp_unroll;
+    Fmt.pf ppf "@.    code: %d prolog + %d kernel + %d epilog words (overhead %.2f)"
+      l.lp_prolog_words l.lp_kernel_words l.lp_epilog_words l.lp_overhead;
+    Fmt.pf ppf "@.    mve: %d fregs, %d iregs" l.lp_mve_fregs l.lp_mve_iregs
+  | None ->
+    Fmt.pf ppf "not pipelined (mii=%d, serial restart %d)" l.lp_mii
+      l.lp_seq_len);
+  (match l.lp_cert with
+  | Some c -> Fmt.pf ppf "@.    certificate: %s" c
+  | None -> ());
+  Fmt.pf ppf "@.    search: %d interval(s), %d fuel" l.lp_probed
+    l.lp_fuel_spent;
+  if l.lp_mrt <> [] then begin
+    Fmt.pf ppf "@.    mrt occupancy:";
+    List.iter (fun (n, x) -> Fmt.pf ppf " %s=%a" n pp_pct x) l.lp_mrt
+  end
+
+let pp ppf (r : report) =
+  Fmt.pf ppf "profile: %s on %s — %d instructions" r.r_kernel r.r_machine
+    r.r_code_size;
+  (match (r.r_cycles, r.r_mflops) with
+  | Some c, Some mf ->
+    Fmt.pf ppf ", %d cycles, %.2f MFLOPS%s" c mf
+      (match r.r_sem_ok with
+      | Some false -> " [SEMANTICS MISMATCH]"
+      | _ -> "")
+  | _ -> ());
+  Fmt.pf ppf "@.";
+  if r.r_utilization <> [] then begin
+    Fmt.pf ppf "  utilization:";
+    List.iter (fun (n, x) -> Fmt.pf ppf " %s=%a" n pp_pct x) r.r_utilization;
+    Fmt.pf ppf "@."
+  end;
+  List.iter (fun l -> Fmt.pf ppf "  %a@." pp_loop l) r.r_loops

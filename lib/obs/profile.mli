@@ -1,0 +1,70 @@
+(** Schedule-quality profiles: the numbers Lam's evaluation argues
+    with (paper Section 4 — achieved initiation interval against the
+    resource/recurrence lower bounds, utilization on real kernels),
+    plus the certification gap from the exact scheduler, as one plain
+    report that serializes to a stable JSON schema.
+
+    The types here are deliberately flat (strings, ints, floats): the
+    observability layer sits {e below} the compiler in the dependency
+    order, so the compiler ([Sp_core.Compile.profile_loop]), simulator
+    statistics ([Sp_vliw.Stats.utilization]) and measurement harness
+    ([Sp_kernels.Kernel.profile]) each convert their own structures
+    into this currency. *)
+
+type loop = {
+  lp_id : int;
+  lp_depth : int;                  (** 0 = innermost *)
+  lp_status : string;              (** [Compile.status_to_string] *)
+  lp_n_units : int;
+  lp_res_mii : int;
+  lp_rec_mii : int;
+  lp_mii : int;
+  lp_seq_len : int;                (** serial restart interval *)
+  lp_achieved_ii : int option;     (** [None] = not pipelined *)
+  lp_optimal_ii : int option;      (** certified optimum, when proven *)
+  lp_efficiency : float;           (** mii / achieved (1.0 unpipelined) *)
+  lp_cert : string option;         (** certificate summary *)
+  lp_sc : int;
+  lp_unroll : int;                 (** MVE unroll factor *)
+  lp_mve_fregs : int;              (** register-lifetime pressure after MVE *)
+  lp_mve_iregs : int;
+  lp_prolog_words : int;           (** (sc-1) * ii *)
+  lp_epilog_words : int;
+  lp_kernel_words : int;           (** unroll * ii *)
+  lp_overhead : float;             (** (prolog+epilog) / kernel; 0 unpipelined *)
+  lp_probed : int;                 (** intervals tried by the search *)
+  lp_fuel_spent : int;
+  lp_mrt : (string * float) list;
+      (** modulo-reservation-table occupancy per resource at the
+          achieved interval (at [seq_len] when unpipelined):
+          used slots / (window * units) *)
+}
+
+type report = {
+  r_kernel : string;
+  r_machine : string;
+  r_code_size : int;
+  r_loops : loop list;
+  r_cycles : int option;           (** simulation results, when run *)
+  r_flops : int option;
+  r_mflops : float option;
+  r_dyn_ops : int option;
+  r_sem_ok : bool option;
+  r_utilization : (string * float) list;
+      (** per-functional-unit busy fraction over the whole simulated
+          execution: issue-slot uses / (cycles * units) *)
+}
+
+val loop_to_json : loop -> Json.t
+(** Keys: [loop], [depth], [status], [n_units], [res_mii], [rec_mii],
+    [mii], [seq_len], [achieved_ii], [optimal_ii], [efficiency],
+    [certificate], [sc], [unroll], [mve_fregs], [mve_iregs],
+    [prolog_words], [epilog_words], [kernel_words], [overhead],
+    [intervals_probed], [fuel_spent], [mrt_occupancy]. *)
+
+val to_json : report -> Json.t
+(** Adds ["schema_version": 1]; key order fixed, so serialized output
+    is byte-stable for identical inputs. *)
+
+val pp : Format.formatter -> report -> unit
+(** Human-readable rendering for [w2c --profile]. *)

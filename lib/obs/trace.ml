@@ -1,0 +1,103 @@
+(** Monotonic-clock spans and instants; see the interface for the
+    zero-cost-when-disabled contract. *)
+
+type value = I of int | F of float | S of string | B of bool
+
+type event =
+  | Span of {
+      name : string;
+      ts : int64;
+      dur : int64;
+      args : (string * value) list;
+    }
+  | Instant of { name : string; ts : int64; args : (string * value) list }
+
+let on = ref false
+let buf : event list ref = ref []   (* newest first *)
+let t0 = ref 0L
+
+let enabled () = !on
+
+let enable () =
+  buf := [];
+  t0 := Monotonic_clock.now ();
+  on := true
+
+let disable () = on := false
+
+let now_rel () = Int64.sub (Monotonic_clock.now ()) !t0
+
+let no_args () = []
+
+let instant ?(args = no_args) name =
+  if !on then buf := Instant { name; ts = now_rel (); args = args () } :: !buf
+
+let span ?(args = no_args) name f =
+  if not !on then f ()
+  else begin
+    let ts = now_rel () in
+    match f () with
+    | v ->
+      buf := Span { name; ts; dur = Int64.sub (now_rel ()) ts; args = args () } :: !buf;
+      v
+    | exception e ->
+      buf :=
+        Span
+          {
+            name;
+            ts;
+            dur = Int64.sub (now_rel ()) ts;
+            args = ("error", S (Printexc.to_string e)) :: args ();
+          }
+        :: !buf;
+      raise e
+  end
+
+let ts_of = function Span { ts; _ } -> ts | Instant { ts; _ } -> ts
+
+let events () =
+  List.stable_sort (fun a b -> Int64.compare (ts_of a) (ts_of b)) (List.rev !buf)
+
+(* ---- emission ----------------------------------------------------- *)
+
+let json_of_value = function
+  | I i -> Json.Int i
+  | F x -> Json.Float x
+  | S s -> Json.Str s
+  | B b -> Json.Bool b
+
+let us ns = Int64.to_float ns /. 1_000.0
+
+let json_of_event e : Json.t =
+  let common name ph ts args rest =
+    Json.Obj
+      ([
+         ("name", Json.Str name);
+         ("cat", Json.Str "softpipe");
+         ("ph", Json.Str ph);
+         ("ts", Json.Float (us ts));
+       ]
+      @ rest
+      @ [
+          ("pid", Json.Int 1);
+          ("tid", Json.Int 1);
+          ("args", Json.Obj (List.map (fun (k, v) -> (k, json_of_value v)) args));
+        ])
+  in
+  match e with
+  | Span { name; ts; dur; args } ->
+    common name "X" ts args [ ("dur", Json.Float (us dur)) ]
+  | Instant { name; ts; args } ->
+    common name "i" ts args [ ("s", Json.Str "t") ]
+
+let to_chrome () =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map json_of_event (events ())));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write_chrome oc = Json.to_channel oc (to_chrome ())
+
+let write_jsonl oc =
+  List.iter (fun e -> Json.to_channel oc (json_of_event e)) (events ())

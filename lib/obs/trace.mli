@@ -1,0 +1,48 @@
+(** Structured tracing: monotonic-clock spans and instant events with
+    key/value attributes, buffered in memory and dumped as Chrome
+    [trace_event] JSON (loadable in [chrome://tracing] / Perfetto) or
+    as one-JSON-object-per-line JSONL.
+
+    Tracing is process-global and {e off} by default. When disabled,
+    {!span} costs one branch and a closure call, and {!instant} one
+    branch — no clock read, no allocation of attribute lists (attribute
+    thunks are only forced while enabled). The compiler hot paths are
+    instrumented unconditionally on this basis. *)
+
+type value = I of int | F of float | S of string | B of bool
+
+type event =
+  | Span of {
+      name : string;
+      ts : int64;   (** start, ns since {!enable} *)
+      dur : int64;  (** ns *)
+      args : (string * value) list;
+    }
+  | Instant of { name : string; ts : int64; args : (string * value) list }
+
+val enabled : unit -> bool
+
+val enable : unit -> unit
+(** Switch tracing on; clears the buffer and rebases the clock. *)
+
+val disable : unit -> unit
+(** Switch tracing off; buffered events are kept until {!enable}. *)
+
+val span : ?args:(unit -> (string * value) list) -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] and, when tracing is enabled, records a
+    complete span covering it. An escaping exception is recorded as an
+    ["error"] attribute and re-raised. [args] is forced only when
+    enabled. *)
+
+val instant : ?args:(unit -> (string * value) list) -> string -> unit
+
+val events : unit -> event list
+(** Buffered events in start-time order. *)
+
+val to_chrome : unit -> Json.t
+(** The buffer as a Chrome [trace_event] document:
+    [{"traceEvents": [...]}] with ["X"] (complete) and ["i"] (instant)
+    phases, timestamps in microseconds. *)
+
+val write_chrome : out_channel -> unit
+val write_jsonl : out_channel -> unit

@@ -69,6 +69,13 @@ module Intmath = Sp_util.Intmath
 
 exception Out_of_fuel
 
+let m_solves = Sp_obs.Metrics.counter "exact.solves"
+let m_nodes = Sp_obs.Metrics.counter "exact.nodes_expanded"
+let m_pruned = Sp_obs.Metrics.counter "exact.pruned"
+let m_cycle_checks = Sp_obs.Metrics.counter "exact.cycle_checks"
+let m_fuel = Sp_obs.Metrics.counter "exact.fuel_spent"
+let m_exhausted = Sp_obs.Metrics.counter "exact.fuel_exhausted"
+
 type meter = { mutable left : int }
 
 let spend meter n =
@@ -95,6 +102,7 @@ let kweight ~s ~(res : int array) (e : Ddg.edge) =
 let solve ?fuel (m : Machine.t) (g : Ddg.t) ~(scc : Scc.t)
     ~(spaths : Spath.t option array) ~s : result =
   if s <= 0 then invalid_arg "Sp_opt.Exact.solve: s <= 0";
+  Sp_obs.Metrics.incr m_solves;
   let units = g.Ddg.units in
   let n = Array.length units in
   let budget = Option.value ~default:max_int fuel in
@@ -191,6 +199,7 @@ let solve ?fuel (m : Machine.t) (g : Ddg.t) ~(scc : Scc.t)
        longest-path relaxation; any relaxation still possible after
        |members| sweeps exposes a positive cycle *)
     let comp_feasible c =
+      Sp_obs.Metrics.incr m_cycle_checks;
       match intra.(c) with
       | [] -> true
       | edges ->
@@ -245,6 +254,7 @@ let solve ?fuel (m : Machine.t) (g : Ddg.t) ~(scc : Scc.t)
         &&
         begin
           spend meter 1;
+          Sp_obs.Metrics.incr m_nodes;
           if window_ok v r && Mrt.Modulo.fits table ~at:r u.Sunit.resv then begin
             Mrt.Modulo.add table ~at:r u.Sunit.resv;
             res.(v) <- r;
@@ -258,13 +268,34 @@ let solve ?fuel (m : Machine.t) (g : Ddg.t) ~(scc : Scc.t)
               try_r (r + 1)
             end
           end
-          else try_r (r + 1)
+          else begin
+            Sp_obs.Metrics.incr m_pruned;
+            try_r (r + 1)
+          end
         end
       in
       try_r 0
     in
+    let finish verdict spent =
+      Sp_obs.Metrics.incr ~by:spent m_fuel;
+      Sp_obs.Trace.instant "exact.solve"
+        ~args:(fun () ->
+          [
+            ("s", Sp_obs.Trace.I s);
+            ("spent", Sp_obs.Trace.I spent);
+            ( "verdict",
+              Sp_obs.Trace.S
+                (match verdict with
+                | Feasible _ -> "feasible"
+                | Infeasible -> "infeasible"
+                | Out_of_budget -> "out-of-budget") );
+          ]);
+      { verdict; spent }
+    in
     match place 0 with
-    | true -> { verdict = Feasible (reconstruct ()); spent = budget - meter.left }
-    | false -> { verdict = Infeasible; spent = budget - meter.left }
-    | exception Out_of_fuel -> { verdict = Out_of_budget; spent = budget }
+    | true -> finish (Feasible (reconstruct ())) (budget - meter.left)
+    | false -> finish Infeasible (budget - meter.left)
+    | exception Out_of_fuel ->
+      Sp_obs.Metrics.incr m_exhausted;
+      finish Out_of_budget budget
   end

@@ -3,7 +3,12 @@
 
     Replaces the ad-hoc [SP_DEBUG] [Printf.eprintf] tracing that used
     to be sprinkled through {!Sp_core.Compile}: one switch, three
-    levels, all output on stderr so it never corrupts report output.
+    levels — and exactly {e one sink}. Every enabled line is formatted
+    to a string first and handed whole to the sink, so concurrent
+    writers of the same [stderr] (tracing dumps, benchmark progress,
+    the test runner) can never interleave with a log line mid-way; the
+    default sink writes the line and flushes in a single call. Tests
+    swap the sink with {!with_capture} instead of scraping [stderr].
 
     The level comes from the [SP_LOG] environment variable ([quiet],
     [info] or [debug]; [SP_DEBUG] being set at all still selects
@@ -30,11 +35,36 @@ let set_level l = current := l
 let level () = !current
 let enabled l = int_of_level l <= int_of_level !current
 
-(** [logf level fmt ...] writes one line to stderr when [level] is
-    enabled; a disabled level costs only the format dispatch. *)
+(* ---- the sink ----------------------------------------------------- *)
+
+(** The single output point: receives one complete line (no trailing
+    newline). The default writes ["line\n"] to stderr in one buffered
+    call and flushes. *)
+let default_sink line = Printf.eprintf "%s\n%!" line
+
+let sink = ref default_sink
+
+let set_sink f = sink := f
+
+(** [with_capture f] runs [f] with the sink replaced by an in-memory
+    collector and returns [f]'s result with the captured lines in
+    emission order. The previous sink is restored even when [f]
+    raises. Intended for tests asserting on diagnostics. *)
+let with_capture f =
+  let captured = ref [] in
+  let prev = !sink in
+  sink := (fun line -> captured := line :: !captured);
+  Fun.protect
+    ~finally:(fun () -> sink := prev)
+    (fun () ->
+      let v = f () in
+      (v, List.rev !captured))
+
+(** [logf level fmt ...] emits one line through the sink when [level]
+    is enabled; a disabled level costs only the format dispatch. *)
 let logf l fmt =
-  if enabled l then Printf.eprintf ("[sp] " ^^ fmt ^^ "\n%!")
-  else Printf.ifprintf stderr fmt
+  if enabled l then Printf.ksprintf (fun s -> !sink ("[sp] " ^ s)) fmt
+  else Printf.ikfprintf (fun () -> ()) () fmt
 
 let info fmt = logf Info fmt
 let debug fmt = logf Debug fmt

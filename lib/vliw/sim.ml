@@ -30,9 +30,16 @@ type result = {
   cycles : int;
   flops : int;
   dyn_ops : int;
+  res_busy : int array;
+      (** issue-slot uses per resource id, accumulated over the whole
+          execution from each issued operation's reservation *)
 }
 
 type pending = { at : int; dst : Vreg.t; v : Semantics.value }
+
+let m_cycles = Sp_obs.Metrics.counter "sim.cycles"
+let m_dyn = Sp_obs.Metrics.counter "sim.dyn_ops"
+let m_runs = Sp_obs.Metrics.counter "sim.runs"
 
 let run ?(channels = 2) ?(inputs = []) ?(max_cycles = 100_000_000)
     ?(ctrs = 16) ?(init = fun (_ : Machine_state.t) -> ())
@@ -42,6 +49,7 @@ let run ?(channels = 2) ?(inputs = []) ?(max_cycles = 100_000_000)
   init st;
   let counters = Array.make ctrs 0 in
   let flops = ref 0 and dyn = ref 0 in
+  let res_busy = Array.make (Sp_machine.Machine.num_resources m) 0 in
   (* pending register writes, keyed by due cycle *)
   let pend : (int, pending list) Hashtbl.t = Hashtbl.create 64 in
   let add_pending at dst v =
@@ -86,6 +94,9 @@ let run ?(channels = 2) ?(inputs = []) ?(max_cycles = 100_000_000)
         (fun (op : Op.t) ->
           incr dyn;
           if Op.is_flop op then incr flops;
+          List.iter
+            (fun (_, rid) -> res_busy.(rid) <- res_busy.(rid) + 1)
+            (Sp_machine.Machine.reservation m op.Op.kind);
           let v = Semantics.exec ctx op in
           match (v, op.dst) with
           | Some v, Some d ->
@@ -130,7 +141,17 @@ let run ?(channels = 2) ?(inputs = []) ?(max_cycles = 100_000_000)
   for t = !cycle to !horizon do
     apply_pending t
   done;
-  { state = st; cycles = !cycle; flops = !flops; dyn_ops = !dyn }
+  Sp_obs.Metrics.incr m_runs;
+  Sp_obs.Metrics.incr ~by:!cycle m_cycles;
+  Sp_obs.Metrics.incr ~by:!dyn m_dyn;
+  Sp_obs.Trace.instant "sim.run"
+    ~args:(fun () ->
+      [
+        ("cycles", Sp_obs.Trace.I !cycle);
+        ("dyn_ops", Sp_obs.Trace.I !dyn);
+        ("flops", Sp_obs.Trace.I !flops);
+      ]);
+  { state = st; cycles = !cycle; flops = !flops; dyn_ops = !dyn; res_busy }
 
 (** MFLOPS achieved by a simulation on machine [m]. *)
 let mflops (m : Sp_machine.Machine.t) (r : result) =

@@ -19,6 +19,10 @@ type result = {
   cycles : int;
   flops : int;
   dyn_ops : int;
+  res_busy : int array;
+      (** issue-slot uses per resource id over the whole execution —
+          each issued operation contributes one use per entry of its
+          reservation. Feed to {!Stats.utilization}. *)
 }
 
 val run :

@@ -46,6 +46,20 @@ let compute (m : Machine.t) (p : Prog.t) : t =
              ((Machine.resource m rid).Machine.rname, per_res.(rid))));
   }
 
+(** Dynamic per-resource busy fraction of a simulated execution:
+    [uses / (cycles * count)] for each resource the machine declares,
+    from {!Sim.result}'s [res_busy]. Resources never used are reported
+    at 0 so a profile shows the idle units too. *)
+let utilization (m : Machine.t) ~cycles ~(res_busy : int array) :
+    (string * float) list =
+  if cycles <= 0 then []
+  else
+    List.init (Machine.num_resources m) (fun rid ->
+        let r = Machine.resource m rid in
+        ( r.Machine.rname,
+          float_of_int res_busy.(rid) /. float_of_int (cycles * r.Machine.count)
+        ))
+
 let pp ppf t =
   Fmt.pf ppf
     "%d words, %d operations (%.2f ops/word, %d empty words, peak %d)@."

@@ -21,4 +21,5 @@ let () =
       ("kernels", Test_kernels.suite);
       ("validate", Test_validate.suite);
       ("fault", Test_fault.suite);
+      ("obs", Test_obs.suite);
     ]

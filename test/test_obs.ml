@@ -1,0 +1,343 @@
+(** Observability-layer tests: the JSON value type round-trips through
+    its own strict parser, tracing is inert when disabled and faithful
+    when enabled, the metrics registry keeps handles stable across
+    resets, and schedule-quality profiles expose the fields the bench
+    harness and CI validators rely on.
+
+    Tracing and metrics are process-global; every test that enables
+    tracing disables it again so the rest of the suite runs with the
+    zero-cost path. *)
+
+open Sp_obs
+module C = Sp_core.Compile
+module Machine = Sp_machine.Machine
+
+(* ---- Json ----------------------------------------------------------- *)
+
+let sample =
+  Json.Obj
+    [
+      ("null", Json.Null);
+      ("flag", Json.Bool true);
+      ("n", Json.Int (-42));
+      ("x", Json.Float 2.5);
+      ("s", Json.Str "hi \"there\"\\ \n\t \x01");
+      ("l", Json.List [ Json.Int 1; Json.Str "two"; Json.Obj [] ]);
+      ("o", Json.Obj [ ("b", Json.Int 2); ("a", Json.Int 1) ]);
+    ]
+
+let rec json_eq a b =
+  match (a, b) with
+  | Json.Null, Json.Null -> true
+  | Json.Bool x, Json.Bool y -> x = y
+  | Json.Int x, Json.Int y -> x = y
+  | Json.Float x, Json.Float y -> Float.abs (x -. y) < 1e-9
+  | Json.Int x, Json.Float y | Json.Float y, Json.Int x ->
+    Float.abs (float_of_int x -. y) < 1e-9
+  | Json.Str x, Json.Str y -> x = y
+  | Json.List x, Json.List y ->
+    List.length x = List.length y && List.for_all2 json_eq x y
+  | Json.Obj x, Json.Obj y ->
+    List.length x = List.length y
+    && List.for_all2 (fun (k, v) (k', v') -> k = k' && json_eq v v') x y
+  | _ -> false
+
+let test_json_roundtrip () =
+  List.iter
+    (fun pretty ->
+      let s = Json.to_string ~pretty sample in
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip pretty=%b" pretty)
+        true
+        (json_eq sample (Json.of_string s)))
+    [ false; true ]
+
+let test_json_ordering () =
+  (* objects serialize in insertion order — the determinism the bench
+     harness relies on for byte-stable artifacts *)
+  Alcotest.(check string)
+    "insertion order" {|{"b":2,"a":1}|}
+    (Json.to_string (Json.Obj [ ("b", Json.Int 2); ("a", Json.Int 1) ]))
+
+let test_json_errors () =
+  let bad = [ ""; "{"; "[1,]"; "{\"a\":}"; "1 x"; "\"\\q\""; "nul" ] in
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | _ -> Alcotest.failf "parser accepted %S" s
+      | exception Json.Parse_error _ -> ())
+    bad;
+  Alcotest.check_raises "non-finite float"
+    (Invalid_argument "Json: non-finite float has no JSON representation")
+    (fun () -> ignore (Json.to_string (Json.Float Float.nan)))
+
+let test_json_member_path () =
+  let j = Json.of_string {|{"a":{"b":[10,20]},"c":3}|} in
+  Alcotest.(check bool)
+    "member c" true
+    (Json.member "c" j = Some (Json.Int 3));
+  Alcotest.(check bool) "member missing" true (Json.member "z" j = None);
+  Alcotest.(check bool)
+    "path a.b" true
+    (match Json.path [ "a"; "b" ] j with Some (Json.List _) -> true | _ -> false);
+  Alcotest.(check bool) "path dead end" true (Json.path [ "c"; "x" ] j = None)
+
+(* ---- Trace ---------------------------------------------------------- *)
+
+let span_name = function
+  | Trace.Span { name; _ } | Trace.Instant { name; _ } -> name
+
+let test_trace_disabled () =
+  Trace.enable ();
+  Trace.disable ();
+  let forced = ref false in
+  let v =
+    Trace.span ~args:(fun () -> forced := true; []) "off" (fun () -> 7)
+  in
+  Trace.instant ~args:(fun () -> forced := true; []) "off2";
+  Alcotest.(check int) "span returns value" 7 v;
+  Alcotest.(check bool) "no events buffered" true (Trace.events () = []);
+  Alcotest.(check bool) "args thunk not forced" false !forced
+
+let test_trace_enabled () =
+  Trace.enable ();
+  let v =
+    Trace.span ~args:(fun () -> [ ("k", Trace.I 1) ]) "outer" (fun () ->
+        Trace.instant "mid";
+        Trace.span "inner" (fun () -> 42))
+  in
+  Trace.disable ();
+  Alcotest.(check int) "nested result" 42 v;
+  let evs = Trace.events () in
+  Alcotest.(check (list string))
+    "start-time order" [ "outer"; "mid"; "inner" ] (List.map span_name evs);
+  (match evs with
+  | Trace.Span { args; dur; _ } :: _ ->
+    Alcotest.(check bool) "args recorded" true (args = [ ("k", Trace.I 1) ]);
+    Alcotest.(check bool) "non-negative duration" true (Int64.compare dur 0L >= 0)
+  | _ -> Alcotest.fail "first event is not the outer span");
+  match Json.member "traceEvents" (Trace.to_chrome ()) with
+  | Some (Json.List l) ->
+    Alcotest.(check int) "chrome event count" 3 (List.length l)
+  | _ -> Alcotest.fail "to_chrome lacks traceEvents"
+
+let test_trace_error_span () =
+  Trace.enable ();
+  (try ignore (Trace.span "boom" (fun () -> failwith "bang")) with
+  | Failure m -> Alcotest.(check string) "re-raised" "bang" m);
+  Trace.disable ();
+  match Trace.events () with
+  | [ Trace.Span { name = "boom"; args; _ } ] ->
+    Alcotest.(check bool)
+      "error attribute" true
+      (List.mem_assoc "error" args)
+  | _ -> Alcotest.fail "escaping exception did not record a span"
+
+let test_trace_compile_coverage () =
+  (* every compile phase shows up as a span — the w2c --trace contract *)
+  Trace.enable ();
+  let b = Sp_ir.Builder.create "cov" in
+  let a = Sp_ir.Builder.farray b "a" 48 in
+  let k = Sp_ir.Builder.fconst b 2.0 in
+  Sp_ir.Builder.for_ b (Sp_ir.Region.Const 40) (fun i ->
+      let x = Sp_ir.Builder.load_iv b a i 0 in
+      Sp_ir.Builder.store_iv b a i 0 (Sp_ir.Builder.fmul b x k));
+  ignore (C.program Machine.warp (Sp_ir.Builder.finish b));
+  Trace.disable ();
+  let names = List.map span_name (Trace.events ()) in
+  List.iter
+    (fun phase ->
+      Alcotest.(check bool)
+        (phase ^ " span present") true (List.mem phase names))
+    [
+      "compile"; "compile.ddg"; "compile.compact"; "compile.mii";
+      "compile.modsched"; "compile.mve"; "compile.emit"; "compile.validate";
+    ]
+
+(* ---- Metrics -------------------------------------------------------- *)
+
+let test_metrics_counter_gauge () =
+  let c = Metrics.counter "test.obs.hits" in
+  let c' = Metrics.counter "test.obs.hits" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c';
+  Alcotest.(check int)
+    "same name, same cell" 5 (Metrics.counter_value c);
+  let g = Metrics.gauge "test.obs.level" in
+  Metrics.set g 2.5;
+  Alcotest.(check (float 1e-9)) "gauge" 2.5 (Metrics.gauge_value g);
+  Alcotest.check_raises "type mismatch"
+    (Invalid_argument
+       "Sp_obs.Metrics: \"test.obs.hits\" already registered with another type")
+    (fun () -> ignore (Metrics.gauge "test.obs.hits"))
+
+let test_metrics_snapshot () =
+  let h = Metrics.histogram ~lo:0. ~width:1. ~buckets:4 "test.obs.dist" in
+  List.iter (Sp_util.Histogram.add h) [ 0.5; 1.5; 3.5 ];
+  let j = Metrics.snapshot () in
+  Alcotest.(check bool)
+    "schema_version" true
+    (Json.member "schema_version" j = Some (Json.Int 1));
+  match Json.member "metrics" j with
+  | Some (Json.Obj kvs) ->
+    let names = List.map fst kvs in
+    Alcotest.(check (list string))
+      "sorted names" (List.sort compare names) names;
+    Alcotest.(check bool)
+      "histogram count serialized" true
+      (Json.path [ "metrics"; "test.obs.dist"; "count" ] j = Some (Json.Int 3))
+  | _ -> Alcotest.fail "snapshot lacks a metrics object"
+
+let test_metrics_reset () =
+  let c = Metrics.counter "test.obs.resettable" in
+  Metrics.incr ~by:9 c;
+  Metrics.reset ();
+  Alcotest.(check int) "zeroed" 0 (Metrics.counter_value c);
+  Metrics.incr c;
+  Alcotest.(check int) "handle survives reset" 1 (Metrics.counter_value c)
+
+(* ---- Profile -------------------------------------------------------- *)
+
+let compiled_report () =
+  let b = Sp_ir.Builder.create "prof" in
+  let a = Sp_ir.Builder.farray b "a" 48 in
+  let k = Sp_ir.Builder.fconst b 1.5 in
+  Sp_ir.Builder.for_ b (Sp_ir.Region.Const 40) (fun i ->
+      let x = Sp_ir.Builder.load_iv b a i 0 in
+      Sp_ir.Builder.store_iv b a i 0 (Sp_ir.Builder.fadd b x k));
+  let r = C.program Machine.warp (Sp_ir.Builder.finish b) in
+  match r.C.loops with
+  | lr :: _ -> lr
+  | [] -> Alcotest.fail "no loop report"
+
+let test_profile_loop () =
+  let lr = compiled_report () in
+  let lp = C.profile_loop Machine.warp lr in
+  Alcotest.(check string) "status" "pipelined" lp.Profile.lp_status;
+  Alcotest.(check bool) "achieved ii" true (lp.Profile.lp_achieved_ii = lr.C.ii);
+  Alcotest.(check bool)
+    "efficiency in (0,1]" true
+    (lp.Profile.lp_efficiency > 0. && lp.Profile.lp_efficiency <= 1.0);
+  Alcotest.(check int)
+    "prolog words = (sc-1)*ii"
+    ((lp.Profile.lp_sc - 1) * Option.get lp.Profile.lp_achieved_ii)
+    lp.Profile.lp_prolog_words;
+  List.iter
+    (fun (rname, occ) ->
+      Alcotest.(check bool)
+        (rname ^ " occupancy in (0,1]") true (occ > 0. && occ <= 1.0))
+    lp.Profile.lp_mrt;
+  let j = Profile.loop_to_json lp in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool)
+        (key ^ " present") true (Json.member key j <> None))
+    [
+      "loop"; "depth"; "status"; "res_mii"; "rec_mii"; "mii"; "seq_len";
+      "achieved_ii"; "optimal_ii"; "efficiency"; "sc"; "unroll";
+      "prolog_words"; "epilog_words"; "kernel_words"; "overhead";
+      "intervals_probed"; "fuel_spent"; "mrt_occupancy";
+    ]
+
+let test_report_json () =
+  let lr = compiled_report () in
+  let report =
+    {
+      Profile.r_kernel = "prof";
+      r_machine = Machine.warp.Machine.name;
+      r_code_size = 10;
+      r_loops = [ C.profile_loop Machine.warp lr ];
+      r_cycles = Some 100;
+      r_flops = Some 40;
+      r_mflops = Some 4.0;
+      r_dyn_ops = Some 120;
+      r_sem_ok = Some true;
+      r_utilization = [ ("fadd", 0.4) ];
+    }
+  in
+  let j = Profile.to_json report in
+  Alcotest.(check bool)
+    "schema_version" true
+    (Json.member "schema_version" j = Some (Json.Int 1));
+  Alcotest.(check bool)
+    "utilization nested" true
+    (Json.path [ "utilization"; "fadd" ] j <> None);
+  (* serialization is deterministic: same report, same bytes *)
+  Alcotest.(check string)
+    "byte-stable" (Json.to_string j)
+    (Json.to_string (Profile.to_json report))
+
+(* ---- degraded-path statistics (the stats formerly dropped) ---------- *)
+
+let test_degraded_stats () =
+  let b = Sp_ir.Builder.create "starved" in
+  let a = Sp_ir.Builder.farray b "a" 48 in
+  let k = Sp_ir.Builder.fconst b 2.0 in
+  Sp_ir.Builder.for_ b (Sp_ir.Region.Const 40) (fun i ->
+      let x = Sp_ir.Builder.load_iv b a i 0 in
+      let y = Sp_ir.Builder.load_iv b a i 1 in
+      Sp_ir.Builder.store_iv b a i 0
+        (Sp_ir.Builder.fadd b (Sp_ir.Builder.fmul b x k) y));
+  let p = Sp_ir.Builder.finish b in
+  let config = { C.default with C.fuel = Some 1 } in
+  let r = C.program ~config Machine.warp p in
+  match r.C.loops with
+  | lr :: _ ->
+    Alcotest.(check string)
+      "status" "budget-exhausted"
+      (C.status_to_string lr.C.status);
+    Alcotest.(check bool) "probed recorded" true (lr.C.probed > 0);
+    Alcotest.(check bool) "fuel recorded" true (lr.C.fuel_spent > 0)
+  | [] -> Alcotest.fail "no loop report"
+
+(* ---- simulator utilization accounting ------------------------------- *)
+
+(** On [Machine.serial] every operation reserves exactly one slot of
+    the single universal resource, so the simulator's per-resource
+    issue-slot uses must total the dynamic operation count — and
+    {!Sp_vliw.Stats.utilization} must invert back to the same total. *)
+let prop_utilization_sums =
+  QCheck2.Test.make ~name:"res_busy sums to dyn_ops (serial)" ~count:40
+    ~print:(Fmt.str "%a" Gen.pp_spec) Gen.spec_gen (fun sp ->
+      let m = Machine.serial in
+      let p, init, inputs = Gen.build sp in
+      let r = C.program m p in
+      let sim = Sp_vliw.Sim.run ~init ~inputs m p r.C.code in
+      let busy = Array.fold_left ( + ) 0 sim.Sp_vliw.Sim.res_busy in
+      if busy <> sim.Sp_vliw.Sim.dyn_ops then
+        QCheck2.Test.fail_reportf "res_busy total %d <> dyn_ops %d" busy
+          sim.Sp_vliw.Sim.dyn_ops;
+      let util =
+        Sp_vliw.Stats.utilization m ~cycles:sim.Sp_vliw.Sim.cycles
+          ~res_busy:sim.Sp_vliw.Sim.res_busy
+      in
+      let recovered =
+        List.fold_left
+          (fun acc (rname, u) ->
+            let res = Machine.find_resource m rname in
+            acc +. (u *. float_of_int (sim.Sp_vliw.Sim.cycles * res.Machine.count)))
+          0. util
+      in
+      Float.abs (recovered -. float_of_int sim.Sp_vliw.Sim.dyn_ops) < 1e-6)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json ordering" `Quick test_json_ordering;
+    Alcotest.test_case "json errors" `Quick test_json_errors;
+    Alcotest.test_case "json member/path" `Quick test_json_member_path;
+    Alcotest.test_case "trace disabled" `Quick test_trace_disabled;
+    Alcotest.test_case "trace enabled" `Quick test_trace_enabled;
+    Alcotest.test_case "trace error span" `Quick test_trace_error_span;
+    Alcotest.test_case "trace compile coverage" `Quick
+      test_trace_compile_coverage;
+    Alcotest.test_case "metrics counter/gauge" `Quick test_metrics_counter_gauge;
+    Alcotest.test_case "metrics snapshot" `Quick test_metrics_snapshot;
+    Alcotest.test_case "metrics reset" `Quick test_metrics_reset;
+    Alcotest.test_case "profile loop" `Quick test_profile_loop;
+    Alcotest.test_case "report json" `Quick test_report_json;
+    Alcotest.test_case "degraded stats" `Quick test_degraded_stats;
+    qt prop_utilization_sums;
+  ]

@@ -104,6 +104,83 @@ let test_histogram () =
   check_int "bucket3" 1 h.Histogram.counts.(3);
   Alcotest.(check (float 1e-9)) "mean" 2.14 (Histogram.mean h)
 
+let test_histogram_quantile () =
+  (* 10 samples, one per unit bucket: quantiles are exact ranks *)
+  let h =
+    Histogram.of_list ~lo:0.0 ~width:1.0 ~buckets:10
+      (List.init 10 (fun i -> float_of_int i +. 0.5))
+  in
+  let q p = Option.get (Histogram.quantile h p) in
+  Alcotest.(check (float 1e-9)) "q0 = min" 0.5 (q 0.0);
+  Alcotest.(check (float 1e-9)) "q1 = max" 9.5 (q 1.0);
+  Alcotest.(check (float 1e-9)) "median" 4.5 (q 0.5);
+  Alcotest.(check (float 1e-9)) "p90" 8.5 (q 0.9);
+  Alcotest.check_raises "q outside [0,1]"
+    (Invalid_argument "Histogram.quantile: q outside [0,1]") (fun () ->
+      ignore (Histogram.quantile h 1.5))
+
+let test_histogram_empty_singleton () =
+  let e = Histogram.create ~lo:0.0 ~width:1.0 ~buckets:4 in
+  Alcotest.(check bool) "empty quantile" true (Histogram.quantile e 0.5 = None);
+  Alcotest.(check bool) "empty min" true (Histogram.minimum e = None);
+  Alcotest.(check bool) "empty max" true (Histogram.maximum e = None);
+  Alcotest.(check (float 1e-9)) "empty mean" 0.0 (Histogram.mean e);
+  let s = Histogram.of_list ~lo:0.0 ~width:1.0 ~buckets:4 [ 2.25 ] in
+  (* extrema-clamping makes every quantile of a singleton exact *)
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "singleton q%.2f" p)
+        2.25
+        (Option.get (Histogram.quantile s p)))
+    [ 0.0; 0.25; 0.5; 1.0 ]
+
+let test_histogram_merge () =
+  let mk xs = Histogram.of_list ~lo:0.0 ~width:2.0 ~buckets:3 xs in
+  let a = mk [ 0.5; 3.0 ] and b = mk [ 1.0; 5.0; -4.0 ] in
+  let m = Histogram.merge a b in
+  check_int "merged count" 5 (Histogram.count m);
+  check_int "merged bucket0" 3 m.Histogram.counts.(0);
+  Alcotest.(check (float 1e-9))
+    "merged min" (-4.0)
+    (Option.get (Histogram.minimum m));
+  Alcotest.(check (float 1e-9))
+    "merged max" 5.0
+    (Option.get (Histogram.maximum m));
+  Alcotest.(check (float 1e-9))
+    "merged mean" (5.5 /. 5.0) (Histogram.mean m);
+  (* merging an empty histogram is the identity *)
+  let id = Histogram.merge a (mk []) in
+  check_int "identity count" (Histogram.count a) (Histogram.count id);
+  Alcotest.check_raises "shape mismatch"
+    (Invalid_argument "Histogram.merge: shape mismatch") (fun () ->
+      ignore
+        (Histogram.merge a (Histogram.create ~lo:0.0 ~width:1.0 ~buckets:3)))
+
+let hist_eq a b =
+  Histogram.same_shape a b
+  && a.Histogram.counts = b.Histogram.counts
+  && Histogram.count a = Histogram.count b
+  && Float.abs (Histogram.mean a -. Histogram.mean b) < 1e-9
+  && Histogram.minimum a = Histogram.minimum b
+  && Histogram.maximum a = Histogram.maximum b
+
+let prop_merge_assoc =
+  QCheck2.Test.make ~name:"histogram merge is associative/commutative"
+    ~count:200
+    QCheck2.Gen.(
+      triple
+        (small_list (float_range (-3.0) 12.0))
+        (small_list (float_range (-3.0) 12.0))
+        (small_list (float_range (-3.0) 12.0)))
+    (fun (xs, ys, zs) ->
+      let mk l = Histogram.of_list ~lo:0.0 ~width:1.5 ~buckets:6 l in
+      let a = mk xs and b = mk ys and c = mk zs in
+      hist_eq
+        (Histogram.merge (Histogram.merge a b) c)
+        (Histogram.merge a (Histogram.merge b c))
+      && hist_eq (Histogram.merge a b) (Histogram.merge b a))
+
 let contains hay needle =
   let n = String.length needle and h = String.length hay in
   let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
@@ -131,7 +208,11 @@ let suite =
     ("smallest_divisor_geq", `Quick, test_smallest_divisor_geq);
     ("range", `Quick, test_range);
     ("histogram", `Quick, test_histogram);
+    ("histogram quantile", `Quick, test_histogram_quantile);
+    ("histogram empty/singleton", `Quick, test_histogram_empty_singleton);
+    ("histogram merge", `Quick, test_histogram_merge);
     ("table", `Quick, test_table);
+    qt prop_merge_assoc;
     qt prop_gcd_divides;
     qt prop_gcd_lcm;
     qt prop_ceil_div;
