@@ -13,7 +13,15 @@
       main.exe --bechamel       scheduler-cost microbenchmarks only
       ... --emit-json FILE      additionally write every artifact the
                                 invocation produced as one JSON
-                                document with a stable schema *)
+                                document with a stable schema
+      main.exe --compare OLD.json NEW.json [--threshold PCT]
+                                regression sentinel: diff two
+                                --emit-json pipeline artifacts per
+                                kernel and loop; exit 1 on any
+                                regression beyond PCT (default 2%)
+      ... --inject SITE\@K       arm deterministic fault injection
+                                while generating (degrades loops, for
+                                exercising the sentinel in CI) *)
 
 open Sp_kernels
 module C = Sp_core.Compile
@@ -895,20 +903,46 @@ let table_trace_overhead () =
   Sp_obs.Trace.disable ();
   let t_off = time iters compile in
   let ev_off = List.length (Sp_obs.Trace.events ()) in
-  let ok = ev_off = 0 && ev_on > 0 && t_off <= (2.0 *. t_on) +. 0.05 in
+  (* same contract for the decision log and the render views: with both
+     disabled (the default above) the compile must record nothing and
+     build no views; enabled, both must produce their artifacts *)
+  let xp_off = List.length (Sp_obs.Explain.events ()) in
+  let r = C.program Machine.warp p in
+  let views_off =
+    List.length (List.filter (fun lr -> lr.C.view <> None) r.C.loops)
+  in
+  Sp_obs.Explain.enable ();
+  Sp_obs.Render.enable ();
+  let r = C.program Machine.warp p in
+  let xp_on = List.length (Sp_obs.Explain.events ()) in
+  let views_on =
+    List.length (List.filter (fun lr -> lr.C.view <> None) r.C.loops)
+  in
+  Sp_obs.Explain.disable ();
+  Sp_obs.Render.disable ();
+  let ok =
+    ev_off = 0 && ev_on > 0
+    && t_off <= (2.0 *. t_on) +. 0.05
+    && xp_off = 0 && xp_on > 0 && views_off = 0 && views_on > 0
+  in
   emit "trace_overhead"
     (Json.Obj
        [
          ("iters", Json.Int iters);
          ("events_enabled", Json.Int ev_on);
          ("events_disabled", Json.Int ev_off);
+         ("explain_enabled", Json.Int xp_on);
+         ("explain_disabled", Json.Int xp_off);
+         ("views_enabled", Json.Int views_on);
+         ("views_disabled", Json.Int views_off);
          ("ok", Json.Bool ok);
        ]);
   Fmt.pr
     "  %d compiles traced: %d events, %.3fs@.\
     \  %d compiles untraced: %d events, %.3fs@.\
+    \  explain events on/off: %d/%d; render views on/off: %d/%d@.\
     \  trace-overhead: %s@."
-    iters ev_on t_on iters ev_off t_off
+    iters ev_on t_on iters ev_off t_off xp_on xp_off views_on views_off
     (if ok then "ok" else "FAILED");
   if not ok then exit 1
 
@@ -972,6 +1006,191 @@ begin for k := 0 to 99 do a[k] := a[k] + 1.5; end.|}
     tests
 
 (* ------------------------------------------------------------------ *)
+(* E15: the regression sentinel — bench --compare                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Diff two [--emit-json] documents that carry the [pipeline]
+    artifact (the E13 per-kernel profiles, e.g. the committed
+    BENCH_pipeline.json against a fresh regeneration). Per kernel:
+    cycles, MFLOPS and code size move at most [threshold] percent in
+    the bad direction; per loop: the achieved initiation interval never
+    increases and a pipelined loop never stops pipelining. Utilization
+    deltas are reported but not gated (a faster schedule can lower a
+    busy fraction legitimately).
+
+    Exit status: 0 clean, 1 any regression, 2 unusable input. *)
+let compare_artifacts ~threshold old_path new_path =
+  let read_file path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let load path =
+    match Json.of_string (read_file path) with
+    | j -> j
+    | exception Json.Parse_error m ->
+      Fmt.epr "compare: %s: parse error: %s@." path m;
+      exit 2
+    | exception Sys_error m ->
+      Fmt.epr "compare: %s@." m;
+      exit 2
+  in
+  let kernels path j =
+    match Json.path [ "artifacts"; "pipeline"; "kernels" ] j with
+    | Some (Json.List l) -> l
+    | _ ->
+      Fmt.epr
+        "compare: %s carries no artifacts/pipeline/kernels (generate it \
+         with --table pipeline --emit-json)@."
+        path;
+      exit 2
+  in
+  let jint k j =
+    match Json.member k j with Some (Json.Int i) -> Some i | _ -> None
+  in
+  let jnum k j =
+    match Json.member k j with
+    | Some (Json.Int i) -> Some (float_of_int i)
+    | Some (Json.Float f) -> Some f
+    | _ -> None
+  in
+  let jstr k j =
+    match Json.member k j with Some (Json.Str s) -> Some s | _ -> None
+  in
+  let old_ks = kernels old_path (load old_path) in
+  let new_ks = kernels new_path (load new_path) in
+  let find_kernel name l =
+    List.find_opt (fun j -> jstr "kernel" j = Some name) l
+  in
+  let regressions = ref [] in
+  let flag fmt = Fmt.kstr (fun m -> regressions := m :: !regressions) fmt in
+  let t =
+    Table.create
+      ~headers:[ "kernel"; "cycles"; "MFLOPS"; "code"; "ii"; "util"; "verdict" ]
+      ~aligns:[ Table.L; R; R; R; R; R; L ]
+  in
+  (* delta of a lower-is-better integer metric, gated at threshold *)
+  let pct_delta o n = 100.0 *. (n -. o) /. (if o = 0.0 then 1.0 else o) in
+  List.iter
+    (fun ko ->
+      let name = Option.value ~default:"?" (jstr "kernel" ko) in
+      match find_kernel name new_ks with
+      | None ->
+        flag "%s: kernel missing from %s" name new_path;
+        Table.add_row t [ name; "-"; "-"; "-"; "-"; "-"; "MISSING" ]
+      | Some kn ->
+        let bad = ref [] in
+        let cell ~higher_is_better key =
+          match (jnum key ko, jnum key kn) with
+          | Some o, Some n ->
+            let d = pct_delta o n in
+            let worse = if higher_is_better then -.d else d in
+            if worse > threshold then begin
+              bad := key :: !bad;
+              flag "%s: %s %s %.6g -> %.6g (%+.1f%%, threshold %.1f%%)" name
+                key
+                (if higher_is_better then "fell" else "rose")
+                o n d threshold
+            end;
+            Printf.sprintf "%+.1f%%" d
+          | _ -> "-"
+        in
+        let c_cycles = cell ~higher_is_better:false "cycles" in
+        let c_mflops = cell ~higher_is_better:true "mflops" in
+        let c_code = cell ~higher_is_better:false "code_size" in
+        (* loops: match by id; achieved_ii may not rise, pipelined may
+           not stop pipelining *)
+        let loops j =
+          match Json.member "loops" j with Some (Json.List l) -> l | _ -> []
+        in
+        let ii_cell =
+          String.concat ","
+            (List.filter_map
+               (fun lo ->
+                 let id = Option.value ~default:(-1) (jint "loop" lo) in
+                 let ln =
+                   List.find_opt (fun l -> jint "loop" l = Some id) (loops kn)
+                 in
+                 match (jint "achieved_ii" lo, ln) with
+                 | None, _ -> None
+                 | Some _, None ->
+                   bad := "loop" :: !bad;
+                   flag "%s: loop %d missing from %s" name id new_path;
+                   Some (Printf.sprintf "l%d:?" id)
+                 | Some o, Some ln -> (
+                   match jint "achieved_ii" ln with
+                   | None ->
+                     bad := "loop" :: !bad;
+                     flag "%s: loop %d no longer pipelines (was ii=%d, now %s)"
+                       name id o
+                       (Option.value ~default:"?" (jstr "status" ln));
+                     Some (Printf.sprintf "l%d:%d->none" id o)
+                   | Some n when n > o ->
+                     bad := "loop" :: !bad;
+                     flag "%s: loop %d initiation interval rose %d -> %d" name
+                       id o n;
+                     Some (Printf.sprintf "l%d:%d->%d" id o n)
+                   | Some n when n < o -> Some (Printf.sprintf "l%d:%d->%d" id o n)
+                   | Some _ -> Some (Printf.sprintf "l%d:+0" id)))
+               (loops ko))
+        in
+        (* utilization: largest absolute move in percentage points,
+           report-only *)
+        let util_cell =
+          let u j =
+            match Json.member "utilization" j with
+            | Some (Json.Obj kvs) ->
+              List.filter_map
+                (fun (k, v) ->
+                  match v with
+                  | Json.Float f -> Some (k, f)
+                  | Json.Int i -> Some (k, float_of_int i)
+                  | _ -> None)
+                kvs
+            | _ -> []
+          in
+          let uo = u ko and un = u kn in
+          let worst =
+            List.fold_left
+              (fun acc (k, o) ->
+                match List.assoc_opt k un with
+                | Some n when abs_float (n -. o) > abs_float (snd acc) ->
+                  (k, n -. o)
+                | _ -> acc)
+              ("", 0.0) uo
+          in
+          if fst worst = "" then "-"
+          else Printf.sprintf "%s%+.1fpp" (fst worst) (100.0 *. snd worst)
+        in
+        Table.add_row t
+          [
+            name;
+            c_cycles;
+            c_mflops;
+            c_code;
+            (if ii_cell = "" then "-" else ii_cell);
+            util_cell;
+            (if !bad = [] then "ok"
+             else "REGRESSED: " ^ String.concat "," (List.sort_uniq compare !bad));
+          ])
+    old_ks;
+  section "E15: regression sentinel";
+  Fmt.pr "%a" Table.pp t;
+  if !regressions = [] then begin
+    Fmt.pr "@.compare: OK — %d kernel(s) within %.1f%% of %s@."
+      (List.length old_ks) threshold old_path;
+    0
+  end
+  else begin
+    Fmt.pr "@.compare: %d regression(s) against %s:@."
+      (List.length !regressions) old_path;
+    List.iter (fun m -> Fmt.pr "  %s@." m) (List.rev !regressions);
+    1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let all () =
   table_example ();
@@ -992,17 +1211,93 @@ let all () =
   bechamel ()
 
 let () =
-  (* peel --emit-json FILE out of the argument list; whatever artifacts
-     the selected command registers are then written as one document *)
-  let rec extract acc = function
-    | "--emit-json" :: path :: rest -> (Some path, List.rev_append acc rest)
-    | [ "--emit-json" ] ->
-      Fmt.epr "--emit-json needs a FILE argument@.";
-      exit 1
-    | x :: rest -> extract (x :: acc) rest
-    | [] -> (None, List.rev acc)
+  (* peel the value-carrying options out of the argument list;
+     whatever artifacts the selected command registers are then
+     written as one document (--emit-json) *)
+  let peel key nvals args =
+    let rec go acc = function
+      | x :: rest when x = key ->
+        if List.length rest < nvals then begin
+          Fmt.epr "%s needs %d argument(s)@." key nvals;
+          exit 2
+        end
+        else
+          let rec take k l =
+            if k = 0 then ([], l)
+            else
+              match l with
+              | x :: tl ->
+                let vs, rest = take (k - 1) tl in
+                (x :: vs, rest)
+              | [] -> assert false
+          in
+          let vals, rest = take nvals rest in
+          (Some vals, List.rev_append acc rest)
+      | x :: rest -> go (x :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    go [] args
   in
-  let emit_path, args = extract [] (List.tl (Array.to_list Sys.argv)) in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let emit_path, args =
+    match peel "--emit-json" 1 args with
+    | Some [ p ], rest -> (Some p, rest)
+    | _, rest -> (None, rest)
+  in
+  let compare_spec, args =
+    match peel "--compare" 2 args with
+    | Some [ o; n ], rest -> (Some (o, n), rest)
+    | _, rest -> (None, rest)
+  in
+  let threshold, args =
+    match peel "--threshold" 1 args with
+    | Some [ p ], rest -> (
+      match float_of_string_opt p with
+      | Some x when x >= 0.0 -> (x, rest)
+      | _ ->
+        Fmt.epr "--threshold needs a non-negative percentage, got %S@." p;
+        exit 2)
+    | _, rest -> (2.0, rest)
+  in
+  let args =
+    match peel "--inject" 1 args with
+    | Some [ spec ], rest -> (
+      match String.rindex_opt spec '@' with
+      | Some i
+        when i > 0
+             && (match
+                   int_of_string_opt
+                     (String.sub spec (i + 1) (String.length spec - i - 1))
+                 with
+                | Some k when k >= 1 -> true
+                | _ -> false) ->
+        let site = String.sub spec 0 i in
+        let k =
+          Option.get
+            (int_of_string_opt
+               (String.sub spec (i + 1) (String.length spec - i - 1)))
+        in
+        if not (List.mem site (Sp_util.Fault.sites ())) then begin
+          Fmt.epr "--inject: unknown fault site %S (available: %s)@." site
+            (String.concat ", " (Sp_util.Fault.sites ()));
+          exit 2
+        end;
+        Sp_util.Fault.arm ~site ~after:k;
+        rest
+      | _ ->
+        Fmt.epr "--inject needs SITE@@K with K >= 1, got %S@." spec;
+        exit 2)
+    | _, rest -> rest
+  in
+  (match compare_spec with
+  | Some (old_path, new_path) ->
+    if args <> [] then begin
+      Fmt.epr "--compare takes no further arguments (got %s)@."
+        (String.concat " " args);
+      exit 2
+    end;
+    exit (compare_artifacts ~threshold old_path new_path)
+  | None -> ());
   (match args with
   | [] -> all ()
   | [ "--bechamel" ] -> bechamel ()

@@ -266,11 +266,40 @@ let profile_arg =
                run) per-resource utilization of the simulated \
                execution.")
 
+let explain_arg =
+  Arg.(value & opt ~vopt:(Some "-") (some string) None
+       & info [ "explain" ] ~docv:"FILE"
+           ~doc:"Record the scheduler's decision log — interval bounds \
+                 and which constraint binds, SCC scheduling order, every \
+                 failed placement with its conflicting resource or \
+                 emptied precedence window, modulo-variable-expansion \
+                 lifetimes and the unroll they force, exact-search prune \
+                 causes — and print the human-readable report to FILE \
+                 (stdout when the flag has no argument).")
+
+let explain_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "explain-json" ] ~docv:"FILE"
+           ~doc:"Write the decision log as a deterministic JSON \
+                 artifact (byte-stable across runs of the same \
+                 compilation).")
+
+let render_arg =
+  Arg.(value & opt (some string) None & info [ "render" ] ~docv:"DIR"
+         ~doc:"Write per-loop visual schedule artifacts into DIR: \
+               kernel Gantt charts, modulo-reservation-table occupancy \
+               grids and register-lifetime diagrams, as plain text and \
+               as one self-contained HTML file (inline SVG, no external \
+               references).")
+
 (** Run the command body with tracing armed when requested, and dump
-    trace/metrics files afterwards — also on a structured failure, so a
-    degraded compile still leaves its evidence behind. *)
-let with_obs ~trace ~metrics f =
+    trace/metrics/explain files afterwards — also on a structured
+    failure, so a degraded compile still leaves its evidence behind. *)
+let with_obs ~trace ~metrics ?(explain = None) ?(explain_json = None)
+    ?(render = None) f =
   if trace <> None then Sp_obs.Trace.enable ();
+  if explain <> None || explain_json <> None then Sp_obs.Explain.enable ();
+  if render <> None then Sp_obs.Render.enable ();
   Fun.protect
     ~finally:(fun () ->
       (match trace with
@@ -279,13 +308,52 @@ let with_obs ~trace ~metrics f =
         let oc = open_out path in
         Sp_obs.Trace.write_chrome oc;
         close_out oc);
-      match metrics with
+      (match metrics with
       | None -> ()
       | Some path ->
         let oc = open_out path in
         Sp_obs.Metrics.write oc;
-        close_out oc)
+        close_out oc);
+      (match explain with
+      | None -> ()
+      | Some "-" -> print_string (Sp_obs.Explain.report ())
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Sp_obs.Explain.report ());
+        close_out oc);
+      (match explain_json with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        Sp_obs.Json.to_channel ~pretty:true oc (Sp_obs.Explain.to_json ());
+        output_char oc '\n';
+        close_out oc);
+      Sp_obs.Explain.disable ();
+      Sp_obs.Render.disable ())
     f
+
+(** Write the visual artifacts of a compilation into [dir]:
+    [NAME.txt] (ASCII, one section per pipelined loop) and [NAME.html]
+    (one self-contained document). *)
+let emit_render dir name (r : C.result) =
+  or_msg (fun () ->
+      let views =
+        List.sort
+          (fun a b ->
+            compare a.Sp_obs.Render.v_loop b.Sp_obs.Render.v_loop)
+          (List.filter_map (fun lr -> lr.C.view) r.C.loops)
+      in
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let write path s =
+        let oc = open_out (Filename.concat dir path) in
+        output_string oc s;
+        close_out oc
+      in
+      write (name ^ ".txt")
+        (String.concat "\n" (List.map Sp_obs.Render.to_ascii views));
+      write (name ^ ".html") (Sp_obs.Render.to_html ~title:name views);
+      Fmt.pr "render: %d pipelined loop(s) -> %s/%s.{txt,html}@."
+        (List.length views) dir name)
 
 (** Profile of a compile without a simulation behind it. *)
 let static_profile m (p : Sp_ir.Program.t) (r : C.result) =
@@ -328,8 +396,9 @@ let cmd_dot =
     Term.(term_result (const run $ machine_arg $ file_arg))
 
 let cmd_compile =
-  let run m config validate inject unroll trace metrics profile file =
-    with_obs ~trace ~metrics @@ fun () ->
+  let run m config validate inject unroll trace metrics explain explain_json
+      render profile file =
+    with_obs ~trace ~metrics ~explain ~explain_json ~render @@ fun () ->
     let* () = arm_inject inject in
     Fun.protect ~finally:Sp_util.Fault.disarm @@ fun () ->
     let* p = or_msg (fun () -> load ~unroll file) in
@@ -338,6 +407,11 @@ let cmd_compile =
       r.C.code_size m.Machine.name;
     Fmt.pr "%a" Sp_vliw.Prog.pp r.C.code;
     if profile then Fmt.pr "%a" Sp_obs.Profile.pp (static_profile m p r);
+    let* () =
+      match render with
+      | None -> Ok ()
+      | Some dir -> emit_render dir p.Sp_ir.Program.name r
+    in
     if validate then do_validate m p.Sp_ir.Program.name r.C.code
     else begin
       (match Sp_vliw.Check.check_prog m r.C.code with
@@ -353,11 +427,13 @@ let cmd_compile =
     Term.(term_result
             (const run $ machine_arg $ config_term $ validate_arg
              $ inject_arg $ unroll_arg $ trace_arg $ metrics_arg
+             $ explain_arg $ explain_json_arg $ render_arg
              $ profile_arg $ file_arg))
 
 let cmd_schedule =
-  let run m config inject trace metrics profile file =
-    with_obs ~trace ~metrics @@ fun () ->
+  let run m config inject trace metrics explain explain_json render profile
+      file =
+    with_obs ~trace ~metrics ~explain ~explain_json ~render @@ fun () ->
     let* () = arm_inject inject in
     Fun.protect ~finally:Sp_util.Fault.disarm @@ fun () ->
     let* p = or_msg (fun () -> load file) in
@@ -367,13 +443,19 @@ let cmd_schedule =
     List.iter (fun lr -> Fmt.pr "  %a@." C.pp_loop_report lr) r.C.loops;
     Fmt.pr "%a" pp_degraded r.C.loops;
     if profile then Fmt.pr "%a" Sp_obs.Profile.pp (static_profile m p r);
+    let* () =
+      match render with
+      | None -> Ok ()
+      | Some dir -> emit_render dir p.Sp_ir.Program.name r
+    in
     Ok ()
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Print the per-loop scheduling report")
     Term.(term_result
             (const run $ machine_arg $ config_term $ inject_arg $ trace_arg
-             $ metrics_arg $ profile_arg $ file_arg))
+             $ metrics_arg $ explain_arg $ explain_json_arg $ render_arg
+             $ profile_arg $ file_arg))
 
 let cmd_run =
   let verify =
@@ -387,13 +469,18 @@ let cmd_run =
                  structured failure, not a crash).")
   in
   let run m config verify validate max_cycles inject unroll trace metrics
-      profile file =
-    with_obs ~trace ~metrics @@ fun () ->
+      explain explain_json render profile file =
+    with_obs ~trace ~metrics ~explain ~explain_json ~render @@ fun () ->
     let* () = arm_inject inject in
     Fun.protect ~finally:Sp_util.Fault.disarm @@ fun () ->
     let* p = or_msg (fun () -> load ~unroll file) in
     let name = p.Sp_ir.Program.name in
     let* r = or_msg (fun () -> C.program ~config m p) in
+    let* () =
+      match render with
+      | None -> Ok ()
+      | Some dir -> emit_render dir name r
+    in
     let init st = Sp_kernels.Kernel.init_all_arrays st p in
     let* sim = sim_run ~name ?max_cycles ~init m p r.C.code in
     Fmt.pr "%s on %s: %d cycles, %d flops, %.2f MFLOPS (cell), %d words@."
@@ -438,7 +525,8 @@ let cmd_run =
     Term.(term_result
             (const run $ machine_arg $ config_term $ verify $ validate_arg
              $ max_cycles $ inject_arg $ unroll_arg $ trace_arg
-             $ metrics_arg $ profile_arg $ file_arg))
+             $ metrics_arg $ explain_arg $ explain_json_arg $ render_arg
+             $ profile_arg $ file_arg))
 
 let () =
   let doc = "software-pipelining compiler for a Warp-like VLIW cell" in

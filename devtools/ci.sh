@@ -94,6 +94,41 @@ grep -q "mrt occupancy" "$OBS/profile.txt" || {
 }
 echo "   trace/metrics/profile: ok"
 
+echo "== explain smoke: decision log names the binding constraint"
+# cmdliner note: --explain takes an optional value, so it must follow
+# the positional FILE argument
+$W2C schedule examples/saxpy.w2 --explain >"$OBS/explain.txt"
+grep -qE "(resource|recurrence|control)-bound" "$OBS/explain.txt" || {
+  echo "FAIL: --explain names no binding constraint"
+  cat "$OBS/explain.txt"
+  exit 1
+}
+$W2C schedule examples/saxpy.w2 --explain-json "$OBS/e1.json" >/dev/null
+$W2C schedule examples/saxpy.w2 --explain-json "$OBS/e2.json" >/dev/null
+$JSONV "$OBS/e1.json" schema_version loops/0/events/0/kind >/dev/null
+cmp -s "$OBS/e1.json" "$OBS/e2.json" || {
+  echo "FAIL: --explain-json output differs between identical runs"
+  exit 1
+}
+echo "   explain report + byte-stable JSON: ok"
+
+echo "== render smoke: visual artifacts are self-contained"
+$W2C run --validate examples/conv1d.w2 --render "$OBS/render" >/dev/null
+name=$(basename examples/conv1d.w2 .w2)
+test -s "$OBS/render/$name.txt" && test -s "$OBS/render/$name.html" || {
+  echo "FAIL: --render wrote no artifacts"
+  exit 1
+}
+grep -q "<svg" "$OBS/render/$name.html" || {
+  echo "FAIL: rendered HTML carries no inline SVG"
+  exit 1
+}
+if grep -qE "https?://|<script src|<link" "$OBS/render/$name.html"; then
+  echo "FAIL: rendered HTML references external resources"
+  exit 1
+fi
+echo "   render artifacts: ok"
+
 echo "== bench smoke: budget-capped optimality gap table"
 dune exec --no-build bench/main.exe -- --table optimal-quick >/dev/null
 
@@ -115,5 +150,24 @@ dune exec --no-build bench/main.exe -- --table trace-overhead >/dev/null
 echo "== committed pipeline profile still parses"
 $JSONV BENCH_pipeline.json schema_version \
   artifacts/pipeline/kernels/0/loops/0/achieved_ii >/dev/null
+
+echo "== regression sentinel: fresh pipeline run vs committed profile"
+BENCH="dune exec --no-build bench/main.exe --"
+$BENCH --table pipeline --emit-json "$OBS/pipe.json" >/dev/null
+$BENCH --compare BENCH_pipeline.json "$OBS/pipe.json" >/dev/null || {
+  echo "FAIL: pipeline profile regressed against BENCH_pipeline.json"
+  $BENCH --compare BENCH_pipeline.json "$OBS/pipe.json" || true
+  exit 1
+}
+echo "   gate vs committed profile: ok"
+
+echo "== regression sentinel: injected fault must trip the gate"
+$BENCH --table pipeline --inject modsched.place@1 \
+  --emit-json "$OBS/pipe-bad.json" >/dev/null
+if $BENCH --compare BENCH_pipeline.json "$OBS/pipe-bad.json" >/dev/null; then
+  echo "FAIL: sentinel did not fire on an injected regression"
+  exit 1
+fi
+echo "   sentinel firing path: ok"
 
 echo "CI OK"

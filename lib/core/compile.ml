@@ -154,6 +154,9 @@ type loop_report = {
       (** optimality certificate, when a certifier was configured and
           the loop pipelined *)
   status : status;
+  view : Sp_obs.Render.loop_view option;
+      (** visual-artifact data (Gantt, MRT grid, lifetimes), populated
+          only when {!Sp_obs.Render} is enabled and the loop pipelined *)
 }
 
 (** Lower bound on pipelining efficiency, the paper's Table 4-2 metric:
@@ -498,10 +501,72 @@ let validate_frags ctx (pf : Emit.pipe_frags) : string option =
     | [] -> None
     | v :: _ -> Some (Fmt.str "%a" Sp_vliw.Validate.pp_violation v)
 
+(** Flat visual-artifact record for {!Sp_obs.Render}: Gantt rows from
+    the flat schedule, MRT occupancy by folding every reservation entry
+    to its residue, lifetimes from the MVE allocations. *)
+let render_view (m : Machine.t) ~l_id (units : Sunit.t array)
+    (sched : Modsched.schedule) (mve : Mve.t) : Sp_obs.Render.loop_view =
+  let s = sched.Modsched.s in
+  let nres = Machine.num_resources m in
+  let grid = Array.make_matrix nres s 0 in
+  Array.iteri
+    (fun i (u : Sunit.t) ->
+      List.iter
+        (fun (off, rid) ->
+          let slot = ((sched.Modsched.times.(i) + off) mod s + s) mod s in
+          grid.(rid).(slot) <- grid.(rid).(slot) + 1)
+        u.Sunit.resv)
+    units;
+  let v_mrt =
+    List.init nres (fun rid ->
+        let r = Machine.resource m rid in
+        {
+          Sp_obs.Render.rr_name = r.Machine.rname;
+          rr_limit = r.Machine.count;
+          rr_counts = grid.(rid);
+        })
+  in
+  let v_ops =
+    Array.to_list
+      (Array.mapi
+         (fun i (u : Sunit.t) ->
+           let t = sched.Modsched.times.(i) in
+           {
+             Sp_obs.Render.op_id = i;
+             op_desc = Fmt.str "%a" Sunit.pp u;
+             op_time = t;
+             op_len = u.Sunit.len;
+             op_stage = t / s;
+           })
+         units)
+  in
+  let v_lifetimes =
+    List.map
+      (fun (a : Mve.alloc) ->
+        {
+          Sp_obs.Render.lf_reg = Vreg.to_string a.Mve.reg;
+          lf_birth = a.Mve.birth;
+          lf_death = a.Mve.death;
+          lf_q = a.Mve.q;
+        })
+      mve.Mve.allocs
+  in
+  {
+    Sp_obs.Render.v_loop = l_id;
+    v_ii = s;
+    v_span = sched.Modsched.span;
+    v_sc = sched.Modsched.sc;
+    v_unroll = mve.Mve.unroll;
+    v_ops;
+    v_mrt;
+    v_lifetimes;
+  }
+
 let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
     (body_units : Sunit.t list) : Sunit.t list =
   let l_id = ctx.next_loop in
   ctx.next_loop <- l_id + 1;
+  if Sp_obs.Explain.enabled () then Sp_obs.Explain.set_loop l_id;
   Sp_util.Log.debug "loop%d: enter, %d units" l_id (List.length body_units);
   (* hoist loop-invariant constants to the enclosing level — but only
      when the destination has no other definition in the body (an inner
@@ -592,6 +657,44 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
   in
   let mii = { mii with Mii.mii = max mii.Mii.mii ctl_bound } in
   let res_use = Mii.per_resource ctx.m units in
+  if Sp_obs.Explain.enabled () then begin
+    Sp_obs.Explain.set_loop l_id;
+    let binding =
+      if mii.Mii.mii = ctl_bound && ctl_bound > mii.Mii.res_mii
+         && ctl_bound > mii.Mii.rec_mii
+      then "control"
+      else if mii.Mii.rec_mii > mii.Mii.res_mii then "recurrence"
+      else "resource"
+    in
+    let critical =
+      (* busiest resource: the one whose per-iteration demand, divided
+         by its unit count, is largest — the numerator of res_mii *)
+      match
+        List.sort (fun (_, a) (_, b) -> compare b a) res_use
+      with
+      | (r, u) :: _ -> Printf.sprintf "%s (%d slots/iter)" r u
+      | [] -> "none"
+    in
+    Sp_obs.Explain.record
+      (Sp_obs.Explain.Bounds
+         {
+           res_mii = mii.Mii.res_mii;
+           rec_mii = mii.Mii.rec_mii;
+           ctl_bound;
+           mii = mii.Mii.mii;
+           seq_len;
+           binding;
+           critical;
+         });
+    let comps =
+      List.filter_map
+        (fun c ->
+          if scc.Scc.nontrivial.(c) then Some scc.Scc.comps.(c) else None)
+        (Scc.topo_components scc)
+    in
+    if comps <> [] then
+      Sp_obs.Explain.record (Sp_obs.Explain.Scc_order { comps })
+  end;
   let has_if =
     Array.exists
       (fun (u : Sunit.t) ->
@@ -781,8 +884,19 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
       barrier = false;
     }
   in
-  let report ?cert ?(stats = { Modsched.intervals_probed = 0; fuel_spent = 0 })
+  let report ?cert ?view
+      ?(stats = { Modsched.intervals_probed = 0; fuel_spent = 0 })
       ~ii ~sc ~unroll ~mf ~mi status =
+    if Sp_obs.Explain.enabled () then begin
+      Sp_obs.Explain.set_loop l_id;
+      Sp_obs.Explain.record
+        (Sp_obs.Explain.Outcome
+           {
+             status = status_to_string status;
+             ii;
+             cert = Option.map cert_to_string cert;
+           })
+    end;
     ctx.reports <-
       {
         l_id;
@@ -804,6 +918,7 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
         res_use;
         cert;
         status;
+        view;
       }
       :: ctx.reports
   in
@@ -821,7 +936,12 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
       in
       mk_unit ~prolog:[||] ~epilog:[||] ~prolog_resv:[] ~epilog_resv:[] ~mid
     | Ok (sched, mve, pf, stats, cert) ->
-      report ?cert ~stats
+      let view =
+        if Sp_obs.Render.enabled () then
+          Some (render_view ctx.m ~l_id units sched mve)
+        else None
+      in
+      report ?cert ?view ~stats
         ~ii:(Some sched.Modsched.s)
         ~sc:sched.Modsched.sc ~unroll:mve.Mve.unroll ~mf:mve.Mve.fregs
         ~mi:mve.Mve.iregs Pipelined;
@@ -929,6 +1049,8 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
   let init_op =
     Op.Supply.mk ctx.ops ~dst:iv ~imm:(Op.Iimm 0) Sp_machine.Opkind.Iconst
   in
+  (* whatever is scheduled next belongs to the enclosing level *)
+  if Sp_obs.Explain.enabled () then Sp_obs.Explain.set_loop (-1);
   List.map (Sunit.of_op ctx.m ~sid:0) [ one_op; init_op ]
   @ hoisted
   @ [ loop_unit ]

@@ -70,6 +70,19 @@ let compact (m : Machine.t) (g : Ddg.t) : placement =
         invalid_arg
           "Listsched.compact: reservation exceeds machine capacity"
     done;
+    if !t > est && Sp_obs.Explain.enabled () then
+      Sp_obs.Explain.record
+        (Sp_obs.Explain.Compact_stall
+           {
+             unit_id = i;
+             unit_desc = Fmt.str "%a" Sunit.pp units.(i);
+             est;
+             placed = !t;
+             resource =
+               (match Mrt.Linear.last_conflict table with
+               | Some (_, rid) -> (Machine.resource m rid).Machine.rname
+               | None -> "?");
+           });
     Mrt.Linear.add table ~at:!t resv;
     times.(i) <- !t;
     List.iter

@@ -120,6 +120,20 @@ let spend meter =
   | Some b when meter.spent > b -> raise Out_of_fuel
   | _ -> ()
 
+(* Explain support: name a resource for the decision log. *)
+let rname (m : Machine.t) rid = (Machine.resource m rid).Machine.rname
+
+let explain_fail (g : Ddg.t) ~s ~unit_id fail =
+  if Sp_obs.Explain.enabled () then
+    Sp_obs.Explain.record
+      (Sp_obs.Explain.Probe_fail
+         {
+           s;
+           unit_id;
+           unit_desc = Fmt.str "%a" Sunit.pp g.Ddg.units.(unit_id);
+           fail;
+         })
+
 let schedule_component ~fuel (m : Machine.t) (g : Ddg.t) ~s ~members
     ~(sp : Spath.t) : int array option =
   ignore m;
@@ -143,7 +157,11 @@ let schedule_component ~fuel (m : Machine.t) (g : Ddg.t) ~s ~members
           | None -> ()
         end
       done;
-      if !lo > !hi then raise Fail;
+      if !lo > !hi then begin
+        explain_fail g ~s ~unit_id:members.(v)
+          (Sp_obs.Explain.Window_empty { lo = !lo; hi = !hi });
+        raise Fail
+      end;
       let u = g.Ddg.units.(members.(v)) in
       let placed = ref false in
       let t = ref !lo in
@@ -158,7 +176,19 @@ let schedule_component ~fuel (m : Machine.t) (g : Ddg.t) ~s ~members
         end
         else incr t
       done;
-      if not !placed then raise Fail
+      if not !placed then begin
+        (if Sp_obs.Explain.enabled () then
+           let hi' = min !hi (!lo + s - 1) in
+           match Mrt.Modulo.last_conflict table with
+           | Some (slot, rid) ->
+             explain_fail g ~s ~unit_id:members.(v)
+               (Sp_obs.Explain.No_slot
+                  { lo = !lo; hi = hi'; resource = rname m rid; slot })
+           | None ->
+             explain_fail g ~s ~unit_id:members.(v)
+               (Sp_obs.Explain.Window_empty { lo = !lo; hi = hi' }));
+        raise Fail
+      end
     done;
     Some off
   with Fail ->
@@ -221,12 +251,22 @@ let try_schedule_fueled ~fuel (m : Machine.t) (g : Ddg.t) ~(scc : Scc.t)
                 units.(v).Sunit.resv)
             members
         in
+        let wrap_failed = ref false in
         let fits_at t =
-          Mrt.Modulo.fits table ~at:t resv
-          && List.for_all
-               (fun v ->
-                 wrap_ok ~s units.(v) ~at:(t + node_off.(v)))
-               members
+          if not (Mrt.Modulo.fits table ~at:t resv) then begin
+            wrap_failed := false;
+            false
+          end
+          else if
+            not
+              (List.for_all
+                 (fun v -> wrap_ok ~s units.(v) ~at:(t + node_off.(v)))
+                 members)
+          then begin
+            wrap_failed := true;
+            false
+          end
+          else true
         in
         let placed = ref false in
         let t = ref est in
@@ -241,7 +281,23 @@ let try_schedule_fueled ~fuel (m : Machine.t) (g : Ddg.t) ~(scc : Scc.t)
           end
           else incr t
         done;
-        if not !placed then raise Fail)
+        if not !placed then begin
+          (if Sp_obs.Explain.enabled () then
+             let unit_id = List.hd members in
+             let lo = est and hi = est + s - 1 in
+             if !wrap_failed then
+               explain_fail g ~s ~unit_id (Sp_obs.Explain.No_wrap { lo; hi })
+             else
+               match Mrt.Modulo.last_conflict table with
+               | Some (slot, rid) ->
+                 explain_fail g ~s ~unit_id
+                   (Sp_obs.Explain.No_slot
+                      { lo; hi; resource = rname m rid; slot })
+               | None ->
+                 explain_fail g ~s ~unit_id
+                   (Sp_obs.Explain.Window_empty { lo; hi }));
+          raise Fail
+        end)
       (Scc.topo_components scc);
     let times =
       Array.mapi
@@ -291,9 +347,18 @@ let schedule_with_budget ?(search = Linear) ?analysis ?fuel (m : Machine.t)
   let mii = max mii a.a_rec_mii in
   let meter = { spent = 0; budget = fuel } in
   let probed = ref 0 in
+  let last_s = ref 0 in
   let try_s s =
     incr probed;
-    try_schedule_fueled ~fuel:meter m g ~scc:a.a_scc ~spaths:a.a_spaths ~s
+    last_s := s;
+    let r = try_schedule_fueled ~fuel:meter m g ~scc:a.a_scc ~spaths:a.a_spaths ~s in
+    (match r with
+    | Some times when Sp_obs.Explain.enabled () ->
+      let sch = mk_schedule g.Ddg.units ~s times in
+      Sp_obs.Explain.record
+        (Sp_obs.Explain.Probe_ok { s; span = sch.span; sc = sch.sc })
+    | _ -> ());
+    r
   in
   let stats () =
     Sp_obs.Metrics.incr m_searches;
@@ -334,6 +399,8 @@ let schedule_with_budget ?(search = Linear) ?analysis ?fuel (m : Machine.t)
       | None -> No_interval (stats ()))
   with Out_of_fuel ->
     Sp_obs.Metrics.incr m_exhausted;
+    if Sp_obs.Explain.enabled () then
+      Sp_obs.Explain.record (Sp_obs.Explain.Fuel_out { s = !last_s });
     Fuel_exhausted (stats ())
 
 (** Unbudgeted search; [None] when no interval in range is schedulable

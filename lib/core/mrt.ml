@@ -4,7 +4,14 @@
     Section 2.1: "the resource usage of time t is mapped to that of
     time [t mod s]". {!Linear} is the unbounded table used when
     compacting straight-line code (no wrap-around). Both support
-    tentative placement (check without committing). *)
+    tentative placement (check without committing).
+
+    A failed [fits] probe additionally records its {e conflict}: the
+    first (slot, resource) pair whose limit the reservation would
+    exceed, scanning the reservation in list order — deterministic, so
+    the explainability layer can name the binding resource. Exactly one
+    conflict is charged per failed probe (the property the qcheck suite
+    checks), accumulated per resource in {!Modulo.conflicts}. *)
 
 open Sp_machine
 
@@ -13,6 +20,8 @@ module Modulo = struct
     s : int;
     counts : int array array; (* [s][num_resources] *)
     limits : int array;
+    conflicts : int array;    (* failed probes charged per resource *)
+    mutable last_conflict : (int * int) option; (* (slot, rid) *)
   }
 
   let create (m : Machine.t) ~s =
@@ -21,23 +30,40 @@ module Modulo = struct
       s;
       counts = Array.make_matrix s (Machine.num_resources m) 0;
       limits = Array.map (fun r -> r.Machine.count) m.resources;
+      conflicts = Array.make (Machine.num_resources m) 0;
+      last_conflict = None;
     }
 
   (* A reservation may use one resource several times at offsets
-     congruent mod s (e.g. a reduced construct), so demand is summed
-     per (slot, resource) before comparing against the limit. *)
+     congruent mod s (e.g. a reduced construct), so demand accumulates
+     per (slot, resource) as the reservation is scanned; the first
+     entry that pushes a pair over its limit is the conflict. The scan
+     tentatively increments the live counters and undoes them before
+     returning, which keeps the check O(|resv|) without a side table. *)
   let fits t ~at resv =
-    let h = Hashtbl.create 8 in
-    List.iter
-      (fun (off, rid) ->
+    let undo added =
+      List.iter
+        (fun (slot, rid) -> t.counts.(slot).(rid) <- t.counts.(slot).(rid) - 1)
+        added
+    in
+    let rec go added = function
+      | [] ->
+        undo added;
+        true
+      | (off, rid) :: rest ->
         let slot = ((at + off) mod t.s + t.s) mod t.s in
-        let k = (slot, rid) in
-        Hashtbl.replace h k (1 + Option.value ~default:0 (Hashtbl.find_opt h k)))
-      resv;
-    Hashtbl.fold
-      (fun (slot, rid) need ok ->
-        ok && t.counts.(slot).(rid) + need <= t.limits.(rid))
-      h true
+        if t.counts.(slot).(rid) < t.limits.(rid) then begin
+          t.counts.(slot).(rid) <- t.counts.(slot).(rid) + 1;
+          go ((slot, rid) :: added) rest
+        end
+        else begin
+          t.conflicts.(rid) <- t.conflicts.(rid) + 1;
+          t.last_conflict <- Some (slot, rid);
+          undo added;
+          false
+        end
+    in
+    go [] resv
 
   let add t ~at resv =
     List.iter
@@ -53,6 +79,8 @@ module Modulo = struct
         t.counts.(slot).(rid) <- t.counts.(slot).(rid) - 1)
       resv
 
+  let conflicts t = Array.copy t.conflicts
+  let last_conflict t = t.last_conflict
 end
 
 module Linear = struct
@@ -60,6 +88,8 @@ module Linear = struct
     mutable counts : int array array; (* grows on demand *)
     limits : int array;
     nres : int;
+    conflicts : int array;
+    mutable last_conflict : (int * int) option; (* (slot, rid) *)
   }
 
   let create (m : Machine.t) =
@@ -67,6 +97,8 @@ module Linear = struct
       counts = Array.make_matrix 16 (Machine.num_resources m) 0;
       limits = Array.map (fun r -> r.Machine.count) m.resources;
       nres = Machine.num_resources m;
+      conflicts = Array.make (Machine.num_resources m) 0;
+      last_conflict = None;
     }
 
   let ensure t len =
@@ -79,20 +111,33 @@ module Linear = struct
     end
 
   let fits t ~at resv =
-    let h = Hashtbl.create 8 in
-    List.iter
-      (fun (off, rid) ->
-        let k = (at + off, rid) in
-        Hashtbl.replace h k (1 + Option.value ~default:0 (Hashtbl.find_opt h k)))
-      resv;
-    Hashtbl.fold
-      (fun (slot, rid) need ok ->
-        ok
-        && slot >= 0
-        &&
-        (ensure t (slot + 1);
-         t.counts.(slot).(rid) + need <= t.limits.(rid)))
-      h true
+    let undo added =
+      List.iter
+        (fun (slot, rid) -> t.counts.(slot).(rid) <- t.counts.(slot).(rid) - 1)
+        added
+    in
+    let rec go added = function
+      | [] ->
+        undo added;
+        true
+      | (off, rid) :: rest ->
+        let slot = at + off in
+        if
+          slot >= 0
+          && (ensure t (slot + 1);
+              t.counts.(slot).(rid) < t.limits.(rid))
+        then begin
+          t.counts.(slot).(rid) <- t.counts.(slot).(rid) + 1;
+          go ((slot, rid) :: added) rest
+        end
+        else begin
+          t.conflicts.(rid) <- t.conflicts.(rid) + 1;
+          t.last_conflict <- Some (max 0 slot, rid);
+          undo added;
+          false
+        end
+    in
+    go [] resv
 
   let add t ~at resv =
     List.iter
@@ -100,4 +145,7 @@ module Linear = struct
         ensure t (at + off + 1);
         t.counts.(at + off).(rid) <- t.counts.(at + off).(rid) + 1)
       resv
+
+  let conflicts t = Array.copy t.conflicts
+  let last_conflict t = t.last_conflict
 end

@@ -1,7 +1,13 @@
 (** Resource reservation tables: the modulo table of the paper's
     Section 2.1 ("the resource usage of time t is mapped to that of
     time t mod s") and the unbounded table used when compacting
-    straight-line code. *)
+    straight-line code.
+
+    Both tables track {e conflicts}: a failed {!Modulo.fits} probe
+    deterministically charges the first resource whose limit the
+    reservation would exceed (scanning the reservation in list order)
+    — exactly one conflict per failed probe, so the per-resource
+    conflict counts sum to the number of failed placement attempts. *)
 
 module Modulo : sig
   type t
@@ -11,10 +17,18 @@ module Modulo : sig
   val fits : t -> at:int -> (int * int) list -> bool
   (** May a reservation (a multiset of [(offset, resource)] pairs) be
       placed with its origin at time [at]? Demand from offsets that are
-      congruent modulo [s] is summed before checking the limit. *)
+      congruent modulo [s] is summed before checking the limit. On
+      failure, records the conflicting (slot, resource). *)
 
   val add : t -> at:int -> (int * int) list -> unit
   val remove : t -> at:int -> (int * int) list -> unit
+
+  val conflicts : t -> int array
+  (** Failed placement probes charged per resource id (a copy). The
+      array sums to the number of [fits] calls that returned false. *)
+
+  val last_conflict : t -> (int * int) option
+  (** [(slot, resource id)] of the most recent failed probe. *)
 end
 
 module Linear : sig
@@ -23,4 +37,7 @@ module Linear : sig
   val create : Sp_machine.Machine.t -> t
   val fits : t -> at:int -> (int * int) list -> bool
   val add : t -> at:int -> (int * int) list -> unit
+
+  val conflicts : t -> int array
+  val last_conflict : t -> (int * int) option
 end

@@ -33,6 +33,8 @@ type alloc = {
   q : int;             (** simultaneously live values *)
   n : int;             (** register locations allocated *)
   copies : Vreg.t array;  (** [copies.(0)] is the original register *)
+  birth : int;         (** first cycle the value occupies the register *)
+  death : int;         (** last read in the flat schedule *)
 }
 
 type t = {
@@ -114,18 +116,28 @@ let compute ?(mode = Max_q) (m : Machine.t) (g : Ddg.t)
             let l =
               if !death = min_int then 0 else max 0 (!death - !birth)
             in
-            Some (r, (l / s) + 1))
+            let q = (l / s) + 1 in
+            if Sp_obs.Explain.enabled () then
+              Sp_obs.Explain.record
+                (Sp_obs.Explain.Mve_lifetime
+                   {
+                     reg = Vreg.to_string r;
+                     birth = !birth;
+                     death = !birth + l;
+                     q;
+                   });
+            Some (r, q, !birth, !birth + l))
         (Vreg.Set.elements g.Ddg.mve_candidates)
     in
     let u =
       match mode with
-      | Max_q -> List.fold_left (fun acc (_, q) -> max acc q) 1 qs
-      | Lcm -> Sp_util.Intmath.lcm_list (List.map snd qs)
+      | Max_q -> List.fold_left (fun acc (_, q, _, _) -> max acc q) 1 qs
+      | Lcm -> Sp_util.Intmath.lcm_list (List.map (fun (_, q, _, _) -> q) qs)
       | Off -> 1
     in
     let allocs =
       List.map
-        (fun ((r : Vreg.t), q) ->
+        (fun ((r : Vreg.t), q, birth, death) ->
           Sp_util.Fault.point "mve.assign";
           let n = Sp_util.Intmath.smallest_divisor_geq ~u ~q in
           let copies =
@@ -136,10 +148,36 @@ let compute ?(mode = Max_q) (m : Machine.t) (g : Ddg.t)
                     ~name:(Printf.sprintf "%s.%d" r.Vreg.name k)
                     r.Vreg.cls)
           in
-          { reg = r; q; n; copies })
+          { reg = r; q; n; copies; birth; death })
         qs
     in
     let fregs, iregs = register_pressure units allocs in
+    if Sp_obs.Explain.enabled () then begin
+      let binding =
+        List.fold_left
+          (fun acc a ->
+            match acc with
+            | Some b when b.q >= a.q -> acc
+            | _ -> Some a)
+          None allocs
+      in
+      Sp_obs.Explain.record
+        (Sp_obs.Explain.Mve_choice
+           {
+             unroll = u;
+             mode =
+               (match mode with
+               | Max_q -> "max-q"
+               | Lcm -> "lcm"
+               | Off -> "off");
+             binding_reg =
+               (match binding with
+               | Some a -> Vreg.to_string a.reg
+               | None -> "");
+             binding_q = (match binding with Some a -> a.q | None -> 1);
+             fits = fregs <= m.Machine.fregs && iregs <= m.Machine.iregs;
+           })
+    end;
     {
       unroll = u;
       allocs;

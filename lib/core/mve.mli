@@ -16,6 +16,9 @@ type alloc = {
   n : int;               (** locations allocated: smallest divisor of
                              the unroll degree that is at least [q] *)
   copies : Vreg.t array; (** [copies.(0)] is the original register *)
+  birth : int;           (** first cycle the value occupies the register *)
+  death : int;           (** last read in the flat schedule (birth for
+                             never-read values) *)
 }
 
 type t = {

@@ -102,7 +102,23 @@ let of_string (s : string) : t =
   let n = String.length s in
   let pos = ref 0 in
   let fail fmt =
-    Printf.ksprintf (fun m -> raise (Parse_error (Printf.sprintf "at %d: %s" !pos m))) fmt
+    Printf.ksprintf
+      (fun m ->
+        (* 1-based line/column of the failure offset, so errors in
+           hand-edited baselines point at the offending line *)
+        let stop = min !pos n in
+        let line = ref 1 and bol = ref 0 in
+        for i = 0 to stop - 1 do
+          if s.[i] = '\n' then begin
+            incr line;
+            bol := i + 1
+          end
+        done;
+        raise
+          (Parse_error
+             (Printf.sprintf "line %d, column %d: %s" !line
+                (stop - !bol + 1) m)))
+      fmt
   in
   let peek () = if !pos < n then Some s.[!pos] else None in
   let advance () = incr pos in

@@ -24,7 +24,8 @@ val to_channel : ?pretty:bool -> out_channel -> t -> unit
 (** {!to_string} followed by a final newline. *)
 
 exception Parse_error of string
-(** Position-annotated message. *)
+(** Position-annotated message, ["line L, column C: ..."] with 1-based
+    line and column of the offending character. *)
 
 val of_string : string -> t
 (** Strict parser for the output of {!to_string} (and ordinary JSON:

@@ -1,0 +1,260 @@
+(** Visual schedule artifacts; see the interface. Views are flat
+    (strings and ints only) for the same layering reason as {!Profile}
+    and {!Explain}. *)
+
+type op_row = {
+  op_id : int;
+  op_desc : string;
+  op_time : int;
+  op_len : int;
+  op_stage : int;
+}
+
+type res_row = { rr_name : string; rr_limit : int; rr_counts : int array }
+type life_row = { lf_reg : string; lf_birth : int; lf_death : int; lf_q : int }
+
+type loop_view = {
+  v_loop : int;
+  v_ii : int;
+  v_span : int;
+  v_sc : int;
+  v_unroll : int;
+  v_ops : op_row list;
+  v_mrt : res_row list;
+  v_lifetimes : life_row list;
+}
+
+let on = ref false
+let enabled () = !on
+let enable () = on := true
+let disable () = on := false
+
+(* ---- ASCII --------------------------------------------------------- *)
+
+let stage_char st =
+  (* iteration (stage) coloring in ASCII: one digit per stage *)
+  Char.chr (Char.code '0' + (st mod 10))
+
+let sorted_ops v =
+  List.sort
+    (fun a b ->
+      match compare a.op_time b.op_time with
+      | 0 -> compare a.op_id b.op_id
+      | c -> c)
+    v.v_ops
+
+let pp_ascii ppf (v : loop_view) =
+  let width = max 1 v.v_span in
+  Fmt.pf ppf "loop %d: II=%d span=%d stages=%d unroll=%d@." v.v_loop v.v_ii
+    v.v_span v.v_sc v.v_unroll;
+  Fmt.pf ppf "  kernel gantt (cycle 0..%d, digit = stage):@." (width - 1);
+  List.iter
+    (fun o ->
+      let line = Bytes.make width '.' in
+      for t = o.op_time to min (width - 1) (o.op_time + o.op_len - 1) do
+        Bytes.set line t (stage_char o.op_stage)
+      done;
+      Fmt.pf ppf "    u%-3d t=%-3d |%s| %s@." o.op_id o.op_time
+        (Bytes.to_string line) o.op_desc)
+    (sorted_ops v);
+  if v.v_mrt <> [] then begin
+    Fmt.pf ppf "  mrt occupancy (residue 0..%d, count of %d):@." (v.v_ii - 1)
+      v.v_ii;
+    List.iter
+      (fun r ->
+        let cells =
+          String.concat ""
+            (Array.to_list
+               (Array.map
+                  (fun c ->
+                    if c = 0 then "."
+                    else if c < 10 then string_of_int c
+                    else "+")
+                  r.rr_counts))
+        in
+        Fmt.pf ppf "    %-6s %d/unit x%d |%s|@." r.rr_name
+          (Array.fold_left max 0 r.rr_counts)
+          r.rr_limit cells)
+      v.v_mrt
+  end;
+  if v.v_lifetimes <> [] then begin
+    Fmt.pf ppf "  mve register lifetimes:@.";
+    List.iter
+      (fun l ->
+        let w = max width (l.lf_death + 1) in
+        let line = Bytes.make w '.' in
+        for t = l.lf_birth to l.lf_death do
+          if t >= 0 && t < w then Bytes.set line t '#'
+        done;
+        Fmt.pf ppf "    %-8s q=%d |%s| [%d..%d]@." l.lf_reg l.lf_q
+          (Bytes.to_string line) l.lf_birth l.lf_death)
+      v.v_lifetimes
+  end
+
+let to_ascii v = Fmt.str "%a" pp_ascii v
+
+(* ---- HTML / SVG ---------------------------------------------------- *)
+
+(* Fixed palette, one color per pipeline stage (wraps after 8). *)
+let palette =
+  [| "#4e79a7"; "#f28e2b"; "#59a14f"; "#e15759"; "#b07aa1"; "#76b7b2";
+     "#edc948"; "#9c755f" |]
+
+let html_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let cell = 14 (* svg pixels per cycle *)
+let row_h = 18
+
+let svg_gantt buf (v : loop_view) =
+  let ops = sorted_ops v in
+  let nrows = List.length ops in
+  let w = (max 1 v.v_span * cell) + 220 in
+  let h = (nrows * row_h) + 24 in
+  Printf.bprintf buf
+    "<svg width=\"%d\" height=\"%d\" role=\"img\" aria-label=\"kernel \
+     gantt\">\n"
+    w h;
+  (* stage boundaries every II cycles *)
+  let x0 = 200 in
+  for k = 0 to (max 1 v.v_span / max 1 v.v_ii) + 1 do
+    let x = x0 + (k * v.v_ii * cell) in
+    if x <= x0 + (v.v_span * cell) then
+      Printf.bprintf buf
+        "<line x1=\"%d\" y1=\"0\" x2=\"%d\" y2=\"%d\" stroke=\"#ccc\"/>\n" x x
+        (nrows * row_h)
+  done;
+  List.iteri
+    (fun i o ->
+      let y = i * row_h in
+      let color = palette.(o.op_stage mod Array.length palette) in
+      Printf.bprintf buf
+        "<text x=\"0\" y=\"%d\" font-size=\"11\" \
+         font-family=\"monospace\">u%d %s</text>\n"
+        (y + 12) o.op_id
+        (html_escape
+           (if String.length o.op_desc > 24 then String.sub o.op_desc 0 24
+            else o.op_desc));
+      Printf.bprintf buf
+        "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"%s\">\
+         <title>u%d t=%d len=%d stage=%d</title></rect>\n"
+        (x0 + (o.op_time * cell))
+        (y + 2)
+        (max 1 o.op_len * cell)
+        (row_h - 4) color o.op_id o.op_time o.op_len o.op_stage)
+    ops;
+  Printf.bprintf buf
+    "<text x=\"%d\" y=\"%d\" font-size=\"10\" fill=\"#666\">cycles 0..%d, \
+     II=%d (colors = stages)</text>\n"
+    x0
+    ((nrows * row_h) + 16)
+    (v.v_span - 1) v.v_ii;
+  Buffer.add_string buf "</svg>\n"
+
+let mrt_table buf (v : loop_view) =
+  Buffer.add_string buf "<table class=\"mrt\"><tr><th>resource</th>";
+  for r = 0 to v.v_ii - 1 do
+    Printf.bprintf buf "<th>%d</th>" r
+  done;
+  Buffer.add_string buf "</tr>\n";
+  List.iter
+    (fun r ->
+      Printf.bprintf buf "<tr><td>%s (x%d)</td>" (html_escape r.rr_name)
+        r.rr_limit;
+      Array.iter
+        (fun c ->
+          let cls =
+            if c = 0 then "z"
+            else if c >= r.rr_limit then "full"
+            else "part"
+          in
+          Printf.bprintf buf "<td class=\"%s\">%d</td>" cls c)
+        r.rr_counts;
+      Buffer.add_string buf "</tr>\n")
+    v.v_mrt;
+  Buffer.add_string buf "</table>\n"
+
+let svg_lifetimes buf (v : loop_view) =
+  let lfs = v.v_lifetimes in
+  let wmax =
+    List.fold_left (fun a l -> max a (l.lf_death + 1)) (max 1 v.v_span) lfs
+  in
+  let nrows = List.length lfs in
+  let w = (wmax * cell) + 220 in
+  let h = (nrows * row_h) + 8 in
+  Printf.bprintf buf
+    "<svg width=\"%d\" height=\"%d\" role=\"img\" aria-label=\"register \
+     lifetimes\">\n"
+    w h;
+  let x0 = 200 in
+  List.iteri
+    (fun i l ->
+      let y = i * row_h in
+      Printf.bprintf buf
+        "<text x=\"0\" y=\"%d\" font-size=\"11\" \
+         font-family=\"monospace\">%s q=%d</text>\n"
+        (y + 12)
+        (html_escape l.lf_reg)
+        l.lf_q;
+      Printf.bprintf buf
+        "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" \
+         fill=\"#59a14f\"><title>%s [%d..%d] q=%d</title></rect>\n"
+        (x0 + (l.lf_birth * cell))
+        (y + 4)
+        (max cell ((l.lf_death - l.lf_birth + 1) * cell))
+        (row_h - 8)
+        (html_escape l.lf_reg)
+        l.lf_birth l.lf_death l.lf_q)
+    lfs;
+  Buffer.add_string buf "</svg>\n"
+
+let style =
+  {|<style>
+body { font-family: sans-serif; margin: 1.5em; color: #222; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.1em; margin-top: 1.4em; }
+h3 { font-size: 0.95em; color: #444; margin-bottom: 0.3em; }
+table.mrt { border-collapse: collapse; font-family: monospace; font-size: 12px; }
+table.mrt th, table.mrt td { border: 1px solid #bbb; padding: 2px 6px; text-align: center; }
+table.mrt td.z { color: #bbb; }
+table.mrt td.part { background: #cfe3f5; }
+table.mrt td.full { background: #f5c6c6; }
+.meta { color: #555; font-size: 0.9em; }
+</style>|}
+
+let to_html ~title (views : loop_view list) : string =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf
+    "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n<title>%s</title>\n%s\n</head><body>\n<h1>%s</h1>\n"
+    (html_escape title) style (html_escape title);
+  if views = [] then
+    Buffer.add_string buf "<p class=\"meta\">no pipelined loops.</p>\n";
+  List.iter
+    (fun v ->
+      Printf.bprintf buf
+        "<h2>loop %d</h2>\n<p class=\"meta\">II=%d, span=%d, %d stages, \
+         unroll %d</p>\n"
+        v.v_loop v.v_ii v.v_span v.v_sc v.v_unroll;
+      Buffer.add_string buf "<h3>kernel gantt</h3>\n";
+      svg_gantt buf v;
+      if v.v_mrt <> [] then begin
+        Buffer.add_string buf
+          "<h3>modulo reservation table occupancy</h3>\n";
+        mrt_table buf v
+      end;
+      if v.v_lifetimes <> [] then begin
+        Buffer.add_string buf "<h3>mve register lifetimes</h3>\n";
+        svg_lifetimes buf v
+      end)
+    views;
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf

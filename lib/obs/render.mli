@@ -1,0 +1,51 @@
+(** Visual schedule artifacts: per-loop kernel Gantt (operation ×
+    cycle, colored by pipeline stage), modulo-reservation-table
+    occupancy grid (functional unit × residue), and
+    modulo-variable-expansion register-lifetime diagrams — in ASCII for
+    the terminal and as self-contained HTML with inline SVG (no
+    external scripts, stylesheets or fonts, so a single file is
+    archivable and diffable).
+
+    Views are flat records built by the compiler driver
+    ([Sp_core.Compile]) from the committed schedule; building them is
+    gated on {!enabled} so the default compile path pays one branch. *)
+
+type op_row = {
+  op_id : int;
+  op_desc : string;
+  op_time : int;   (** issue cycle in the flat schedule *)
+  op_len : int;
+  op_stage : int;  (** [op_time / II] — the pipeline stage *)
+}
+
+type res_row = {
+  rr_name : string;
+  rr_limit : int;          (** units of this resource in the machine *)
+  rr_counts : int array;   (** demand per residue, length = II *)
+}
+
+type life_row = { lf_reg : string; lf_birth : int; lf_death : int; lf_q : int }
+
+type loop_view = {
+  v_loop : int;
+  v_ii : int;
+  v_span : int;
+  v_sc : int;
+  v_unroll : int;
+  v_ops : op_row list;
+  v_mrt : res_row list;
+  v_lifetimes : life_row list;
+}
+
+val enabled : unit -> bool
+(** When false (the default) the compiler skips building views. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+val pp_ascii : Format.formatter -> loop_view -> unit
+val to_ascii : loop_view -> string
+
+val to_html : title:string -> loop_view list -> string
+(** One self-contained HTML document for a program's pipelined loops.
+    Deterministic: a pure function of the views. *)

@@ -169,6 +169,10 @@ let solve ?fuel (m : Machine.t) (g : Ddg.t) ~(scc : Scc.t)
       g.Ddg.edges;
     let res = Array.make n (-1) in
     let table = Mrt.Modulo.create m ~s in
+    (* prune attribution for the decision log *)
+    let pruned_window = ref 0
+    and pruned_resource = ref 0
+    and nodes_expanded = ref 0 in
     let anchored =
       not (Array.exists (fun (u : Sunit.t) -> u.Sunit.no_wrap) units)
     in
@@ -255,7 +259,15 @@ let solve ?fuel (m : Machine.t) (g : Ddg.t) ~(scc : Scc.t)
         begin
           spend meter 1;
           Sp_obs.Metrics.incr m_nodes;
-          if window_ok v r && Mrt.Modulo.fits table ~at:r u.Sunit.resv then begin
+          incr nodes_expanded;
+          if
+            (window_ok v r
+            || (incr pruned_window;
+                false))
+            && (Mrt.Modulo.fits table ~at:r u.Sunit.resv
+               || (incr pruned_resource;
+                   false))
+          then begin
             Mrt.Modulo.add table ~at:r u.Sunit.resv;
             res.(v) <- r;
             if
@@ -278,6 +290,21 @@ let solve ?fuel (m : Machine.t) (g : Ddg.t) ~(scc : Scc.t)
     in
     let finish verdict spent =
       Sp_obs.Metrics.incr ~by:spent m_fuel;
+      if Sp_obs.Explain.enabled () then
+        Sp_obs.Explain.record
+          (Sp_obs.Explain.Exact_probe
+             {
+               s;
+               verdict =
+                 (match verdict with
+                 | Feasible _ -> "feasible"
+                 | Infeasible -> "infeasible"
+                 | Out_of_budget -> "out-of-budget");
+               spent;
+               pruned_window = !pruned_window;
+               pruned_resource = !pruned_resource;
+               nodes = !nodes_expanded;
+             });
       Sp_obs.Trace.instant "exact.solve"
         ~args:(fun () ->
           [

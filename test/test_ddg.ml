@@ -243,6 +243,27 @@ let test_intra_edges_forward () =
         Alcotest.(check bool) "forward" true (e.Ddg.src < e.Ddg.dst))
     g.Ddg.edges
 
+(* ---- Graphviz export ------------------------------------------------ *)
+
+(** Golden-file check of the dot export: the accumulator recurrence is
+    clustered as [scc 0], the carried edge is dashed and labelled with
+    its iteration distance, and the independent multiply stays outside
+    the cluster. Regenerate [golden/dot_recurrence.golden] by pasting
+    the new output when the format changes deliberately. *)
+let test_dot_golden () =
+  let s = setup () in
+  let acc = freg s "acc" and x = freg s "x" in
+  let y = freg s "y" and k = freg s "k" in
+  let mul = Op.Supply.mk s.ops ~dst:y ~srcs:[ x; k ] Opkind.Fmul in
+  let add = Op.Supply.mk s.ops ~dst:acc ~srcs:[ acc; y ] Opkind.Fadd in
+  let g = Ddg.build (units_of [ mul; add ]) in
+  let got = Sp_core.Dot.to_string ~name:"recurrence" g in
+  let ic = open_in "golden/dot_recurrence.golden" in
+  let n = in_channel_length ic in
+  let expected = really_input_string ic n in
+  close_in ic;
+  Alcotest.(check string) "dot export" expected got
+
 let suite =
   [
     ("flow delay", `Quick, test_flow_delay);
@@ -257,4 +278,5 @@ let suite =
     ("independent directive", `Quick, test_independent_directive);
     ("channel ordering", `Quick, test_channel_ordering);
     ("intra edges forward", `Quick, test_intra_edges_forward);
+    ("dot export golden", `Quick, test_dot_golden);
   ]

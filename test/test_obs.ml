@@ -71,6 +71,24 @@ let test_json_errors () =
     (Invalid_argument "Json: non-finite float has no JSON representation")
     (fun () -> ignore (Json.to_string (Json.Float Float.nan)))
 
+let test_json_error_positions () =
+  (* parse errors carry 1-based line and column of the offending byte,
+     so a hand-edited artifact fails with an actionable message *)
+  List.iter
+    (fun (src, msg) ->
+      match Json.of_string src with
+      | _ -> Alcotest.failf "parser accepted %S" src
+      | exception Json.Parse_error got ->
+        Alcotest.(check string) (Printf.sprintf "position for %S" src) msg got)
+    [
+      ("{", "line 1, column 2: expected '\"', found end of input");
+      ("[1,]", "line 1, column 4: unexpected ']'");
+      ("{\n  \"a\": }", "line 2, column 8: unexpected '}'");
+      ("nul", "line 1, column 1: bad literal (wanted null)");
+      ("1 x", "line 1, column 3: trailing garbage");
+      ("{\"a\":1,\n\"b\":[1,\n2,]}", "line 3, column 3: unexpected ']'");
+    ]
+
 let test_json_member_path () =
   let j = Json.of_string {|{"a":{"b":[10,20]},"c":3}|} in
   Alcotest.(check bool)
@@ -290,6 +308,205 @@ let test_degraded_stats () =
     Alcotest.(check bool) "fuel recorded" true (lr.C.fuel_spent > 0)
   | [] -> Alcotest.fail "no loop report"
 
+(* ---- Explain: the scheduler decision log ---------------------------- *)
+
+let pipelined_program () =
+  let b = Sp_ir.Builder.create "xpl" in
+  let a = Sp_ir.Builder.farray b "a" 48 in
+  let k = Sp_ir.Builder.fconst b 1.5 in
+  Sp_ir.Builder.for_ b (Sp_ir.Region.Const 40) (fun i ->
+      let x = Sp_ir.Builder.load_iv b a i 0 in
+      Sp_ir.Builder.store_iv b a i 0 (Sp_ir.Builder.fadd b x k));
+  Sp_ir.Builder.finish b
+
+let test_explain_disabled () =
+  Explain.disable ();
+  ignore (C.program Machine.warp (pipelined_program ()));
+  Alcotest.(check bool) "no events when disabled" true (Explain.events () = [])
+
+let test_explain_compile () =
+  Explain.enable ();
+  ignore (C.program Machine.warp (pipelined_program ()));
+  let evs = Explain.events () in
+  Explain.disable ();
+  let has f = List.exists f evs in
+  Alcotest.(check bool)
+    "bounds recorded with a binding constraint" true
+    (has (function
+      | l, Explain.Bounds { mii; res_mii; rec_mii; binding; critical; _ } ->
+        l = 0 && mii >= res_mii && mii >= rec_mii
+        && List.mem binding [ "resource"; "recurrence"; "control" ]
+        && critical <> ""
+      | _ -> false));
+  Alcotest.(check bool)
+    "probe success recorded" true
+    (has (function
+      | 0, Explain.Probe_ok { s; span; sc } -> s > 0 && span > 0 && sc > 0
+      | _ -> false));
+  Alcotest.(check bool)
+    "mve decision recorded" true
+    (has (function
+      | 0, Explain.Mve_choice { unroll; binding_q; _ } ->
+        unroll >= 1 && binding_q >= 1
+      | _ -> false));
+  Alcotest.(check bool)
+    "outcome recorded" true
+    (has (function
+      | 0, Explain.Outcome { status = "pipelined"; ii = Some _; _ } -> true
+      | _ -> false));
+  (* straight-line code outside the loop is stamped loop -1, never 0 *)
+  Alcotest.(check bool)
+    "loop stamps are -1 or 0 only" true
+    (List.for_all (fun (l, _) -> l = -1 || l = 0) evs)
+
+let test_explain_json_stable () =
+  let run () =
+    Explain.enable ();
+    ignore (C.program Machine.warp (pipelined_program ()));
+    let s = Json.to_string ~pretty:true (Explain.to_json ()) in
+    Explain.disable ();
+    s
+  in
+  let a = run () and b = run () in
+  Alcotest.(check string) "byte-stable across identical runs" a b;
+  (* and the artifact is valid JSON of the parser's own dialect *)
+  match Json.of_string a with
+  | Json.Obj _ -> ()
+  | _ -> Alcotest.fail "explain artifact is not an object"
+
+let test_explain_fuel_out () =
+  Explain.enable ();
+  let config = { C.default with C.fuel = Some 1 } in
+  ignore (C.program ~config Machine.warp (pipelined_program ()));
+  let evs = Explain.events () in
+  Explain.disable ();
+  Alcotest.(check bool)
+    "fuel exhaustion recorded" true
+    (List.exists
+       (function 0, Explain.Fuel_out { s } -> s > 0 | _ -> false)
+       evs);
+  Alcotest.(check bool)
+    "budget-exhausted outcome recorded" true
+    (List.exists
+       (function
+         | 0, Explain.Outcome { status = "budget-exhausted"; _ } -> true
+         | _ -> false)
+       evs)
+
+(* ---- Render: visual schedule artifacts ------------------------------ *)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let test_render_views () =
+  Render.disable ();
+  let r0 = C.program Machine.warp (pipelined_program ()) in
+  Alcotest.(check bool)
+    "no views when disabled" true
+    (List.for_all (fun lr -> lr.C.view = None) r0.C.loops);
+  Render.enable ();
+  let r = C.program Machine.warp (pipelined_program ()) in
+  Render.disable ();
+  match r.C.loops with
+  | [ { C.view = Some v; ii = Some ii; sc; unroll; _ } ] ->
+    Alcotest.(check int) "view ii" ii v.Render.v_ii;
+    Alcotest.(check int) "view sc" sc v.Render.v_sc;
+    Alcotest.(check int) "view unroll" unroll v.Render.v_unroll;
+    Alcotest.(check bool) "ops present" true (v.Render.v_ops <> []);
+    List.iter
+      (fun (o : Render.op_row) ->
+        Alcotest.(check int)
+          "stage = time / ii" (o.Render.op_time / ii) o.Render.op_stage)
+      v.Render.v_ops;
+    (* MRT demand never exceeds the resource limit in a valid schedule,
+       and every row has exactly II residues *)
+    List.iter
+      (fun (rr : Render.res_row) ->
+        Alcotest.(check int) "II residues" ii (Array.length rr.Render.rr_counts);
+        Array.iter
+          (fun c ->
+            Alcotest.(check bool)
+              (rr.Render.rr_name ^ " within limit") true
+              (c >= 0 && c <= rr.Render.rr_limit))
+          rr.Render.rr_counts)
+      v.Render.v_mrt;
+    List.iter
+      (fun (lf : Render.life_row) ->
+        Alcotest.(check bool)
+          "death >= birth" true
+          (lf.Render.lf_death >= lf.Render.lf_birth);
+        Alcotest.(check bool) "q >= 1" true (lf.Render.lf_q >= 1))
+      v.Render.v_lifetimes;
+    let ascii = Render.to_ascii v in
+    List.iter
+      (fun frag ->
+        Alcotest.(check bool)
+          (frag ^ " in ascii") true
+          (contains ~affix:frag ascii))
+      [ "loop 0"; "kernel gantt"; "mrt occupancy" ];
+    let html = Render.to_html ~title:"t" [ v ] in
+    Alcotest.(check bool)
+      "html has inline svg" true
+      (contains ~affix:"<svg" html);
+    (* self-contained: no external fetches of any kind *)
+    List.iter
+      (fun banned ->
+        Alcotest.(check bool)
+          ("no " ^ banned) false
+          (contains ~affix:banned html))
+      [ "http://"; "https://"; "<script src"; "<link" ];
+    Alcotest.(check string)
+      "html deterministic" html
+      (Render.to_html ~title:"t" [ v ])
+  | _ -> Alcotest.fail "expected one pipelined loop with a view"
+
+(* ---- Profile over degraded loops ------------------------------------ *)
+
+module Kernel = Sp_kernels.Kernel
+
+let test_profile_degraded () =
+  (* a fault mid-placement degrades the loop to serial code; profiling
+     the measurement must not raise and must carry the search stats *)
+  let starved = pipelined_program () in
+  Sp_util.Fault.arm ~site:"modsched.place" ~after:1;
+  let meas =
+    Kernel.run Machine.warp
+      (Kernel.mk "deg" ~init:(Kernel.init_all_arrays ~seed:1)
+         (Kernel.Ir (fun () -> starved)))
+  in
+  Sp_util.Fault.disarm ();
+  Alcotest.(check bool) "run completed" true (meas.Kernel.failure = None);
+  let rep = Kernel.profile Machine.warp meas in
+  (match rep.Profile.r_loops with
+  | [ lp ] ->
+    Alcotest.(check bool)
+      "degraded status" true
+      (String.length lp.Profile.lp_status >= 8
+         && String.sub lp.Profile.lp_status 0 8 = "degraded");
+    Alcotest.(check bool)
+      "not pipelined" true
+      (lp.Profile.lp_achieved_ii = None);
+    ignore (Json.to_string (Profile.to_json rep))
+  | _ -> Alcotest.fail "expected one loop profile");
+  (* same contract on the fuel-exhaustion path *)
+  let config = { C.default with C.fuel = Some 1 } in
+  let meas2 =
+    Kernel.run ~config Machine.warp
+      (Kernel.mk "bex" ~init:(Kernel.init_all_arrays ~seed:1)
+         (Kernel.Ir (fun () -> pipelined_program ())))
+  in
+  let rep2 = Kernel.profile Machine.warp meas2 in
+  match rep2.Profile.r_loops with
+  | [ lp ] ->
+    Alcotest.(check string)
+      "budget-exhausted status" "budget-exhausted" lp.Profile.lp_status;
+    Alcotest.(check bool) "probed > 0" true (lp.Profile.lp_probed > 0);
+    Alcotest.(check bool) "fuel spent > 0" true (lp.Profile.lp_fuel_spent > 0);
+    ignore (Json.to_string (Profile.to_json rep2))
+  | _ -> Alcotest.fail "expected one loop profile"
+
 (* ---- simulator utilization accounting ------------------------------- *)
 
 (** On [Machine.serial] every operation reserves exactly one slot of
@@ -327,6 +544,7 @@ let suite =
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
     Alcotest.test_case "json ordering" `Quick test_json_ordering;
     Alcotest.test_case "json errors" `Quick test_json_errors;
+    Alcotest.test_case "json error positions" `Quick test_json_error_positions;
     Alcotest.test_case "json member/path" `Quick test_json_member_path;
     Alcotest.test_case "trace disabled" `Quick test_trace_disabled;
     Alcotest.test_case "trace enabled" `Quick test_trace_enabled;
@@ -339,5 +557,11 @@ let suite =
     Alcotest.test_case "profile loop" `Quick test_profile_loop;
     Alcotest.test_case "report json" `Quick test_report_json;
     Alcotest.test_case "degraded stats" `Quick test_degraded_stats;
+    Alcotest.test_case "explain disabled" `Quick test_explain_disabled;
+    Alcotest.test_case "explain compile" `Quick test_explain_compile;
+    Alcotest.test_case "explain json stable" `Quick test_explain_json_stable;
+    Alcotest.test_case "explain fuel out" `Quick test_explain_fuel_out;
+    Alcotest.test_case "render views" `Quick test_render_views;
+    Alcotest.test_case "profile degraded" `Quick test_profile_degraded;
     qt prop_utilization_sums;
   ]

@@ -303,6 +303,40 @@ let prop_mrt_add_remove =
         (fun at -> Mrt.Modulo.fits t ~at resv)
         (List.init s (fun k -> k)))
 
+let prop_mrt_conflict_accounting =
+  (* per-resource conflict counters charge exactly one conflict per
+     failed probe — the attribution the decision log and the --render
+     occupancy grids rely on *)
+  QCheck2.Test.make ~name:"conflict counters sum to failed probes" ~count:300
+    QCheck2.Gen.(
+      let m = Sp_machine.Machine.warp in
+      let nres = Sp_machine.Machine.num_resources m in
+      let* s = int_range 1 6 in
+      let* acts =
+        list_size (int_range 1 40)
+          (pair (int_bound 11)
+             (list_size (int_range 1 4) (pair (int_bound 6) (int_bound (nres - 1)))))
+      in
+      return (s, acts))
+    (fun (s, acts) ->
+      let m = Sp_machine.Machine.warp in
+      let run fits add conflicts last_conflict =
+        let failed = ref 0 in
+        List.iter
+          (fun (at, resv) -> if fits ~at resv then add ~at resv else incr failed)
+          acts;
+        Array.fold_left ( + ) 0 (conflicts ()) = !failed
+        && (!failed > 0) = (last_conflict () <> None)
+      in
+      let mt = Mrt.Modulo.create m ~s in
+      let lt = Mrt.Linear.create m in
+      run (Mrt.Modulo.fits mt) (Mrt.Modulo.add mt)
+        (fun () -> Mrt.Modulo.conflicts mt)
+        (fun () -> Mrt.Modulo.last_conflict mt)
+      && run (Mrt.Linear.fits lt) (Mrt.Linear.add lt)
+           (fun () -> Mrt.Linear.conflicts lt)
+           (fun () -> Mrt.Linear.last_conflict lt))
+
 let prop_compact_valid =
   (* list scheduling respects every intra-iteration constraint and the
      resource limits, for arbitrary op soups *)
@@ -345,6 +379,7 @@ let suite =
     qt prop_rec_mii_is_threshold;
     qt prop_spath_query_antitone;
     qt prop_mrt_add_remove;
+    qt prop_mrt_conflict_accounting;
     qt prop_compact_valid;
     ("modulo reservation table", `Quick, test_modulo_table);
     ("linear reservation table", `Quick, test_linear_table);
