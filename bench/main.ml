@@ -8,7 +8,8 @@
                                 lower-bound, code-size, mve, hier,
                                 scale, search, unroll, optimal,
                                 optimal-quick, pipeline,
-                                trace-overhead)
+                                trace-overhead, compile-speed,
+                                compile-speed-quick)
       main.exe --figure 4-1     one figure (4-1, 4-2)
       main.exe --bechamel       scheduler-cost microbenchmarks only
       ... --emit-json FILE      additionally write every artifact the
@@ -947,6 +948,134 @@ let table_trace_overhead () =
   if not ok then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* E16: compile throughput — the parallel per-loop driver               *)
+(* ------------------------------------------------------------------ *)
+
+(** Throughput of the compiler itself over a corpus of independent
+    innermost loops (random [Gen] shapes as sibling top-level loops of
+    one program), compiled at increasing [jobs]. Wall-clock times and
+    speedups go to stdout only; the JSON artifact carries the
+    deterministic facts — corpus shape, whether every job count
+    produced byte-identical output, and the [jobs = 1] per-loop
+    results — so the document stays byte-stable across runs and
+    machines. Fails hard (exit 1) if any job count changes the output:
+    parallel compilation must be invisible in the artifacts. *)
+let table_compile_speed ?(quick = false) () =
+  section
+    (if quick then
+       "E16: compile throughput — parallel per-loop driver (quick)"
+     else "E16: compile throughput — parallel per-loop driver");
+  let n_loops = if quick then 16 else 64 in
+  let jobs_list = if quick then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let reps = if quick then 2 else 5 in
+  let spec_of i =
+    {
+      Gen.seed = (7 * i) + 1;
+      trip = [| 17; 40; 61; 5 |].(i mod 4);
+      n_stmts = 6 + (i mod 6);
+      use_if = i mod 3 = 0;
+      use_accum = i mod 2 = 0;
+      use_chan = false;
+      carried_store = i mod 5 = 0;
+    }
+  in
+  let specs = List.init n_loops spec_of in
+  let fingerprint (r : C.result) =
+    Fmt.str "%a|%s" Sp_vliw.Prog.pp r.C.code
+      (String.concat ";"
+         (List.map
+            (fun (lr : C.loop_report) ->
+              Printf.sprintf "%d:%s:%d:%s" lr.C.l_id
+                (match lr.C.ii with Some s -> string_of_int s | None -> "-")
+                lr.C.mii
+                (C.status_to_string lr.C.status))
+            r.C.loops))
+  in
+  (* compiling draws register/op ids from the program's supplies, so
+     every job count gets a freshly built — hence identical — corpus *)
+  let compile ~jobs =
+    let p, _, _ = Gen.build_many specs in
+    let config = { C.default with C.jobs = jobs } in
+    let t0 = Monotonic_clock.now () in
+    let r = C.program ~config Machine.warp p in
+    let t1 = Monotonic_clock.now () in
+    (r, Int64.to_float (Int64.sub t1 t0) /. 1e9)
+  in
+  ignore (compile ~jobs:1) (* warm the allocator *);
+  let t =
+    Table.create
+      ~headers:[ "jobs"; "wall (s)"; "speedup"; "output" ]
+      ~aligns:[ Table.R; R; R; L ]
+  in
+  let base = ref None in
+  let base_time = ref 1.0 in
+  let identical_all = ref true in
+  List.iter
+    (fun jobs ->
+      (* sum compile-only wall time over the repetitions (corpus
+         construction stays outside the clock); every rep's output is
+         checked against the jobs=1 fingerprint *)
+      let secs = ref 0.0 in
+      let same = ref true in
+      for _ = 1 to reps do
+        let r, s = compile ~jobs in
+        secs := !secs +. s;
+        let fp = fingerprint r in
+        match !base with
+        | None -> base := Some (r, fp)
+        | Some (_, fp1) ->
+          if fp <> fp1 then begin
+            identical_all := false;
+            same := false
+          end
+      done;
+      if jobs = 1 then base_time := !secs;
+      Table.add_row t
+        [
+          string_of_int jobs;
+          Printf.sprintf "%.3f" !secs;
+          Printf.sprintf "%.2fx" (!base_time /. !secs);
+          (if !same then "identical" else "DIFFERS");
+        ])
+    jobs_list;
+  let r1 = match !base with Some (r, _) -> r | None -> assert false in
+  emit "compile_speed"
+    (Json.Obj
+       [
+         ("corpus", Json.Int n_loops);
+         ("jobs", Json.List (List.map (fun j -> Json.Int j) jobs_list));
+         ("identical_across_j", Json.Bool !identical_all);
+         ("code_size", Json.Int r1.C.code_size);
+         ( "loops",
+           Json.List
+             (List.map
+                (fun (lr : C.loop_report) ->
+                  Json.Obj
+                    [
+                      ("loop", Json.Int lr.C.l_id);
+                      ( "ii",
+                        match lr.C.ii with
+                        | Some s -> Json.Int s
+                        | None -> Json.Null );
+                      ("mii", Json.Int lr.C.mii);
+                      ("status", Json.Str (C.status_to_string lr.C.status));
+                    ])
+                r1.C.loops) );
+       ]);
+  Fmt.pr "%a" Table.pp t;
+  Fmt.pr
+    "@.  (%d independent loops as one program; speedup is wall-clock vs@.\
+    \   jobs=1 on this host — %d core(s) available; the artifact excludes@.\
+    \   times and records the jobs=1 schedules, which every other job@.\
+    \   count must reproduce byte for byte)@."
+    n_loops
+    (Domain.recommended_domain_count ());
+  if not !identical_all then begin
+    Fmt.pr "@.compile-speed: FAILED — output varies with the job count@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* E10: Bechamel microbenchmarks                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1040,6 +1169,10 @@ let compare_artifacts ~threshold old_path new_path =
   let kernels path j =
     match Json.path [ "artifacts"; "pipeline"; "kernels" ] j with
     | Some (Json.List l) -> l
+    | _ when Json.path [ "artifacts"; "compile_speed" ] j <> None ->
+      (* a compile-speed-only document: nothing to diff per kernel,
+         but the throughput gate below still applies *)
+      []
     | _ ->
       Fmt.epr
         "compare: %s carries no artifacts/pipeline/kernels (generate it \
@@ -1059,8 +1192,10 @@ let compare_artifacts ~threshold old_path new_path =
   let jstr k j =
     match Json.member k j with Some (Json.Str s) -> Some s | _ -> None
   in
-  let old_ks = kernels old_path (load old_path) in
-  let new_ks = kernels new_path (load new_path) in
+  let old_doc = load old_path in
+  let new_doc = load new_path in
+  let old_ks = kernels old_path old_doc in
+  let new_ks = kernels new_path new_doc in
   let find_kernel name l =
     List.find_opt (fun j -> jstr "kernel" j = Some name) l
   in
@@ -1176,8 +1311,57 @@ let compare_artifacts ~threshold old_path new_path =
              else "REGRESSED: " ^ String.concat "," (List.sort_uniq compare !bad));
           ])
     old_ks;
+  (* compile-throughput artifact (E16): gated only when both documents
+     carry it — BENCH_pipeline.json predates it and is not regenerated
+     for this *)
+  let cs_note =
+    match
+      ( Json.path [ "artifacts"; "compile_speed" ] old_doc,
+        Json.path [ "artifacts"; "compile_speed" ] new_doc )
+    with
+    | Some co, Some cn ->
+      (match Json.member "identical_across_j" cn with
+      | Some (Json.Bool true) -> ()
+      | _ ->
+        flag
+          "compile-speed: parallel output no longer identical across job \
+           counts");
+      (match (jnum "code_size" co, jnum "code_size" cn) with
+      | Some o, Some n ->
+        let d = pct_delta o n in
+        if d > threshold then
+          flag "compile-speed: corpus code size rose %.6g -> %.6g (%+.1f%%)"
+            o n d
+      | _ -> ());
+      let loops j =
+        match Json.member "loops" j with Some (Json.List l) -> l | _ -> []
+      in
+      List.iter
+        (fun lo ->
+          let id = Option.value ~default:(-1) (jint "loop" lo) in
+          match
+            ( jint "ii" lo,
+              List.find_opt (fun l -> jint "loop" l = Some id) (loops cn) )
+          with
+          | None, _ -> ()
+          | Some _, None ->
+            flag "compile-speed: loop %d missing from %s" id new_path
+          | Some o, Some ln -> (
+            match jint "ii" ln with
+            | None ->
+              flag "compile-speed: loop %d no longer pipelines (was ii=%d)"
+                id o
+            | Some n when n > o ->
+              flag "compile-speed: loop %d initiation interval rose %d -> %d"
+                id o n
+            | Some _ -> ()))
+        (loops co);
+      "gated"
+    | _ -> "absent (skipped)"
+  in
   section "E15: regression sentinel";
   Fmt.pr "%a" Table.pp t;
+  Fmt.pr "  compile-speed artifact: %s@." cs_note;
   if !regressions = [] then begin
     Fmt.pr "@.compare: OK — %d kernel(s) within %.1f%% of %s@."
       (List.length old_ks) threshold old_path;
@@ -1208,6 +1392,7 @@ let all () =
   table_optimal ();
   table_pipeline ();
   table_trace_overhead ();
+  table_compile_speed ();
   bechamel ()
 
 let () =
@@ -1317,6 +1502,8 @@ let () =
     | "optimal-quick" -> table_optimal ~quick:true ()
     | "pipeline" -> table_pipeline ()
     | "trace-overhead" -> table_trace_overhead ()
+    | "compile-speed" -> table_compile_speed ()
+    | "compile-speed-quick" -> table_compile_speed ~quick:true ()
     | _ ->
       Fmt.epr "unknown table %s@." t;
       exit 1)

@@ -126,7 +126,22 @@ let config_term =
                  --opt exact); exhaustion yields an unknown \
                  certificate, never a failure. Default 2e6.")
   in
-  let mk no_pipeline mve_mode search if_exclusive threshold fuel opt opt_fuel =
+  let jobs =
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Compile independent innermost loops on N domains \
+                 (output is byte-identical for any N). Defaults to \
+                 \\$SP_JOBS, else the core count.")
+  in
+  let mk no_pipeline mve_mode search if_exclusive threshold fuel opt opt_fuel
+      jobs =
+    let jobs =
+      match jobs with
+      | Some n when n >= 1 -> n
+      | Some n ->
+        Printf.eprintf "w2c: --jobs must be >= 1 (got %d)\n%!" n;
+        exit 2
+      | None -> Sp_util.Pool.default_jobs ()
+    in
     {
       C.pipeline = not no_pipeline;
       mve_mode;
@@ -140,10 +155,11 @@ let config_term =
         (match opt with
         | `Heur -> None
         | `Exact -> Some (Sp_opt.Certify.hook ?fuel:opt_fuel ()));
+      jobs;
     }
   in
   Term.(const mk $ no_pipeline $ mve $ search $ if_exclusive $ threshold
-        $ fuel $ opt $ opt_fuel)
+        $ fuel $ opt $ opt_fuel $ jobs)
 
 let inject_conv =
   let parse s =

@@ -147,6 +147,40 @@ echo "   emit-json stability: ok"
 echo "== bench smoke: tracing disabled stays zero-cost"
 dune exec --no-build bench/main.exe -- --table trace-overhead >/dev/null
 
+echo "== parallel smoke: -j 8 output byte-identical to -j 1"
+for f in examples/saxpy.w2 examples/conv1d.w2; do
+  $W2C compile "$f" -j 1 >"$OBS/j1.txt"
+  $W2C compile "$f" -j 8 >"$OBS/j8.txt"
+  cmp -s "$OBS/j1.txt" "$OBS/j8.txt" || {
+    echo "FAIL: $f: compiled output differs between -j 1 and -j 8"
+    exit 1
+  }
+  $W2C schedule "$f" -j 1 --explain-json "$OBS/ej1.json" >/dev/null
+  $W2C schedule "$f" -j 8 --explain-json "$OBS/ej8.json" >/dev/null
+  cmp -s "$OBS/ej1.json" "$OBS/ej8.json" || {
+    echo "FAIL: $f: explain log differs between -j 1 and -j 8"
+    exit 1
+  }
+done
+echo "   -j determinism: ok"
+
+echo "== bench smoke: compile-throughput corpus (quick, parallel driver)"
+# the table itself exits nonzero if any job count changes the output
+dune exec --no-build bench/main.exe -- --table compile-speed-quick \
+  --emit-json "$OBS/cs1.json" >/dev/null
+dune exec --no-build bench/main.exe -- --table compile-speed-quick \
+  --emit-json "$OBS/cs2.json" >/dev/null
+$JSONV "$OBS/cs1.json" schema_version \
+  artifacts/compile_speed/corpus \
+  artifacts/compile_speed/identical_across_j \
+  artifacts/compile_speed/code_size \
+  artifacts/compile_speed/loops/0/status >/dev/null
+cmp -s "$OBS/cs1.json" "$OBS/cs2.json" || {
+  echo "FAIL: compile-speed artifact differs between identical runs"
+  exit 1
+}
+echo "   compile-speed artifact: ok"
+
 echo "== committed pipeline profile still parses"
 $JSONV BENCH_pipeline.json schema_version \
   artifacts/pipeline/kernels/0/loops/0/achieved_ii >/dev/null

@@ -76,6 +76,11 @@ type config = {
   certifier : certifier option;
       (** optional optimality oracle consulted on every heuristic
           success; [None] = heuristic results are reported uncertified *)
+  jobs : int;
+      (** domain-pool width for compiling independent innermost loops
+          concurrently (sibling loops batch; results merge in loop
+          order, so output is byte-identical for any width). [1] =
+          fully sequential, no domain is ever spawned. *)
 }
 
 let default =
@@ -89,6 +94,7 @@ let default =
     profit_margin = 0.95;
     fuel = None;
     certifier = None;
+    jobs = 1;
   }
 
 (** The Figure 4-2 baseline: individual basic blocks compacted, no
@@ -209,6 +215,9 @@ type ctx = {
   seq_rid : int;
   all_resources : (int * int) list;
       (** one entry per resource unit, at offset 0 *)
+  pool : Sp_util.Pool.t option;
+      (** worker domains for the analysis phase of sibling innermost
+          loops; [None] when [cfg.jobs = 1] *)
 }
 
 let count_uses tbl (r : Region.t) =
@@ -229,7 +238,7 @@ let count_uses tbl (r : Region.t) =
   in
   go r
 
-let make_ctx (m : Machine.t) cfg (p : Program.t) =
+let make_ctx ?pool (m : Machine.t) cfg (p : Program.t) =
   let global_uses = Hashtbl.create 256 in
   count_uses global_uses p.Program.body;
   let seq_rid = (Machine.find_resource m "seq").Machine.rid in
@@ -254,6 +263,7 @@ let make_ctx (m : Machine.t) cfg (p : Program.t) =
     next_loop = 0;
     seq_rid;
     all_resources;
+    pool;
   }
 
 let renumber units =
@@ -562,12 +572,58 @@ let render_view (m : Machine.t) ~l_id (units : Sunit.t array)
     v_lifetimes;
   }
 
-let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
-    (body_units : Sunit.t list) : Sunit.t list =
+(* The per-loop pipeline is split into three phases so sibling
+   innermost loops can be analyzed in parallel without perturbing any
+   observable output:
+
+   - {b prelude} (sequential, at discovery): allocate the loop id and
+     the synthesized induction ops — everything that draws from the
+     shared vreg/op supplies before analysis;
+   - {b analysis} ([loop_analyze], parallelizable): dependence graphs,
+     serial compaction, interval bounds, the fueled interval search and
+     the optional certifier — pure with respect to the supplies, so
+     sibling loops can run it on worker domains;
+   - {b finish} (sequential, in loop order): modulo variable expansion
+     (which allocates expanded registers), fragment emission,
+     validation, reporting and unit construction.
+
+   The supplies are only touched in preludes (discovery order) and
+   finishes (loop order), both fixed by the program shape — so
+   register/op numbering, and with it every byte of emitted code and
+   every report, is identical for any pool width. *)
+
+type prelude = {
+  pr_l_id : int;
+  pr_iv : Vreg.t;
+  pr_n : Region.bound;
+  pr_depth : int;
+  pr_units : Sunit.t array;
+  pr_hoisted : Sunit.t list;
+  pr_one_op : Op.t;
+}
+
+(** Outcome of the analysis phase's interval search. *)
+type searched =
+  | S_fail of status * Modsched.stats option
+  | S_sched of Modsched.schedule * Modsched.stats * certification option
+
+(** Everything the finish phase needs from the analysis phase. *)
+type staged = {
+  sg_seq_len : int;
+  sg_seq_body : Sunit.frag;
+  sg_g_mve : Ddg.t;
+  sg_mii : Mii.t;
+  sg_res_use : (string * int) list;
+  sg_has_if : bool;
+  sg_has_scc : bool;
+  sg_has_inner_loop : bool;
+  sg_search : searched;
+}
+
+let loop_prelude ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
+    (body_units : Sunit.t list) : prelude =
   let l_id = ctx.next_loop in
   ctx.next_loop <- l_id + 1;
-  if Sp_obs.Explain.enabled () then Sp_obs.Explain.set_loop l_id;
-  Sp_util.Log.debug "loop%d: enter, %d units" l_id (List.length body_units);
   (* hoist loop-invariant constants to the enclosing level — but only
      when the destination has no other definition in the body (an inner
      loop's counter is initialized by a constant yet redefined by its
@@ -601,7 +657,21 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
   in
   let body_units = body_units @ [ Sunit.of_op ctx.m ~sid:0 upd_op ] in
   let units = renumber body_units in
-  let iv_upd_idx = Array.length units - 1 in
+  {
+    pr_l_id = l_id;
+    pr_iv = iv;
+    pr_n = n;
+    pr_depth = depth;
+    pr_units = units;
+    pr_hoisted = hoisted;
+    pr_one_op = one_op;
+  }
+
+let loop_analyze ctx (pre : prelude) : staged =
+  let l_id = pre.pr_l_id in
+  let units = pre.pr_units in
+  if Sp_obs.Explain.enabled () then Sp_obs.Explain.set_loop l_id;
+  Sp_util.Log.debug "loop%d: enter, %d units" l_id (Array.length units - 1);
   (* live-out test: used more often in the whole program than inside *)
   let local_uses = Hashtbl.create 64 in
   Array.iter
@@ -719,28 +789,28 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
         | _ -> false)
       | _ -> false
     in
-    ignore iv_upd_idx;
     Array.exists2
       (fun nontrivial members ->
         nontrivial && List.exists (fun v -> not (bookkeeping v)) members)
       scc.Scc.nontrivial scc.Scc.comps
   in
-  (* ---- pipelining decision ---------------------------------------- *)
-  (* Every step of the attempt — interval search, modulo variable
-     expansion, fragment expansion, fragment validation — runs inside
-     one guard: whatever goes wrong (an exhausted budget, an injected
-     fault, an internal error, fragments that fail the timing
-     contract), this loop alone degrades to the serial schedule
-     already in hand and compilation continues. *)
-  let attempt =
-    if not ctx.cfg.pipeline then Error (Disabled, None)
+  (* ---- pipelining decision: interval search ----------------------- *)
+  (* Every step of the attempt — interval search, certification, and
+     later modulo variable expansion, fragment expansion and fragment
+     validation in the finish phase — runs inside a guard: whatever
+     goes wrong (an exhausted budget, an injected fault, an internal
+     error, fragments that fail the timing contract), this loop alone
+     degrades to the serial schedule already in hand and compilation
+     continues. *)
+  let search =
+    if not ctx.cfg.pipeline then S_fail (Disabled, None)
     else if has_inner_loop && not ctx.cfg.pipeline_outer then
-      Error (Disabled, None)
-    else if seq_len > ctx.cfg.threshold then Error (Over_threshold, None)
+      S_fail (Disabled, None)
+    else if seq_len > ctx.cfg.threshold then S_fail (Over_threshold, None)
     else if
       float_of_int mii.Mii.mii
       >= ctx.cfg.profit_margin *. float_of_int seq_len
-    then Error (Not_profitable, None)
+    then S_fail (Not_profitable, None)
     else
       try
         Sp_util.Log.debug "loop%d: searching ii in [%d,%d]" l_id mii.Mii.mii
@@ -751,14 +821,15 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
                 ?fuel:ctx.cfg.fuel ctx.m g_mve ~mii:mii.Mii.mii
                 ~max_ii:(seq_len - 1))
         with
-        | Modsched.No_interval stats -> Error (Not_profitable, Some stats)
-        | Modsched.Fuel_exhausted stats -> Error (Budget_exhausted, Some stats)
-        | Modsched.Scheduled (sched, stats) -> (
+        | Modsched.No_interval stats -> S_fail (Not_profitable, Some stats)
+        | Modsched.Fuel_exhausted stats -> S_fail (Budget_exhausted, Some stats)
+        | Modsched.Scheduled (sched, stats) ->
           Sp_util.Log.debug "loop%d: scheduled ii=%d sc=%d span=%d" l_id
             sched.Modsched.s sched.Modsched.sc sched.Modsched.span;
           (* optimality oracle: may replace the heuristic schedule with
              a proven-better one; either way the adopted schedule flows
-             through the same MVE / emission / validation path below *)
+             through the same MVE / emission / validation path in the
+             finish phase *)
           let sched, cert =
             match ctx.cfg.certifier with
             | None -> (sched, None)
@@ -771,40 +842,76 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
                 (cert_to_string c);
               (sched', Some c)
           in
-          let mve =
-            Sp_obs.Trace.span ~args:loop_args "compile.mve" (fun () ->
-                Mve.compute ~mode:ctx.cfg.mve_mode ctx.m g_mve sched
-                  ~supply:ctx.vregs)
-          in
-          Sp_util.Log.debug "loop%d: mve u=%d" l_id mve.Mve.unroll;
-          if has_inner_loop && mve.Mve.unroll > 1 then
-            (* pipelining around an inner loop only overlaps the outer
-               bookkeeping with the inner prolog/epilog; replicating the
-               whole inner loop per kernel copy is never worth the code
-               size (Section 2.4's concern) *)
-            Error (Not_profitable, Some stats)
-          else if not mve.Mve.fits then Error (Register_overflow, Some stats)
-          else
-            match n with
-            | Region.Const k
-              when k - (sched.Modsched.sc - 1) < mve.Mve.unroll ->
-              Error (Trip_too_small, Some stats)
-            | _ -> (
-              let pf =
-                Sp_obs.Trace.span ~args:loop_args "compile.emit" (fun () ->
-                    Emit.pipe_frags units sched mve)
-              in
-              Sp_util.Log.debug "loop%d: frags built" l_id;
-              match
-                Sp_obs.Trace.span ~args:loop_args "compile.validate"
-                  (fun () -> validate_frags ctx pf)
-              with
-              | Some msg -> Error (Degraded msg, Some stats)
-              | None -> Ok (sched, mve, pf, stats, cert)))
+          S_sched (sched, stats, cert)
+      with
+      | Sp_util.Fault.Injected site ->
+        S_fail (Degraded ("fault injected at " ^ site), None)
+      | e -> S_fail (Degraded (Printexc.to_string e), None)
+  in
+  {
+    sg_seq_len = seq_len;
+    sg_seq_body = seq_body;
+    sg_g_mve = g_mve;
+    sg_mii = mii;
+    sg_res_use = res_use;
+    sg_has_if = has_if;
+    sg_has_scc = has_scc;
+    sg_has_inner_loop = has_inner_loop;
+    sg_search = search;
+  }
+
+let loop_finish ctx (pre : prelude) (sg : staged) : Sunit.t list =
+  let l_id = pre.pr_l_id in
+  let units = pre.pr_units in
+  let n = pre.pr_n in
+  let g_mve = sg.sg_g_mve in
+  let mii = sg.sg_mii in
+  let seq_len = sg.sg_seq_len in
+  let seq_body = sg.sg_seq_body in
+  let has_if = sg.sg_has_if in
+  let has_scc = sg.sg_has_scc in
+  let res_use = sg.sg_res_use in
+  if Sp_obs.Explain.enabled () then Sp_obs.Explain.set_loop l_id;
+  let loop_args () = [ ("loop", Sp_obs.Trace.I l_id) ] in
+  (* ---- pipelining decision: expansion and validation --------------- *)
+  let attempt =
+    match sg.sg_search with
+    | S_fail (status, stats) -> Error (status, stats)
+    | S_sched (sched, stats, cert) -> (
+      try
+        let mve =
+          Sp_obs.Trace.span ~args:loop_args "compile.mve" (fun () ->
+              Mve.compute ~mode:ctx.cfg.mve_mode ctx.m g_mve sched
+                ~supply:ctx.vregs)
+        in
+        Sp_util.Log.debug "loop%d: mve u=%d" l_id mve.Mve.unroll;
+        if sg.sg_has_inner_loop && mve.Mve.unroll > 1 then
+          (* pipelining around an inner loop only overlaps the outer
+             bookkeeping with the inner prolog/epilog; replicating the
+             whole inner loop per kernel copy is never worth the code
+             size (Section 2.4's concern) *)
+          Error (Not_profitable, Some stats)
+        else if not mve.Mve.fits then Error (Register_overflow, Some stats)
+        else
+          match n with
+          | Region.Const k when k - (sched.Modsched.sc - 1) < mve.Mve.unroll ->
+            Error (Trip_too_small, Some stats)
+          | _ -> (
+            let pf =
+              Sp_obs.Trace.span ~args:loop_args "compile.emit" (fun () ->
+                  Emit.pipe_frags units sched mve)
+            in
+            Sp_util.Log.debug "loop%d: frags built" l_id;
+            match
+              Sp_obs.Trace.span ~args:loop_args "compile.validate" (fun () ->
+                  validate_frags ctx pf)
+            with
+            | Some msg -> Error (Degraded msg, Some stats)
+            | None -> Ok (sched, mve, pf, stats, cert))
       with
       | Sp_util.Fault.Injected site ->
         Error (Degraded ("fault injected at " ^ site), None)
-      | e -> Error (Degraded (Printexc.to_string e), None)
+      | e -> Error (Degraded (Printexc.to_string e), None))
   in
   (match attempt with
   | Error (((Degraded _ | Budget_exhausted) as st), _) ->
@@ -900,7 +1007,7 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
     ctx.reports <-
       {
         l_id;
-        l_depth = depth;
+        l_depth = pre.pr_depth;
         n_units = Array.length units;
         has_if;
         has_scc;
@@ -1047,31 +1154,100 @@ let reduce_loop ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
   (* the induction variable starts at zero; initialization happens at
      the enclosing level, before the loop node *)
   let init_op =
-    Op.Supply.mk ctx.ops ~dst:iv ~imm:(Op.Iimm 0) Sp_machine.Opkind.Iconst
+    Op.Supply.mk ctx.ops ~dst:pre.pr_iv ~imm:(Op.Iimm 0)
+      Sp_machine.Opkind.Iconst
   in
   (* whatever is scheduled next belongs to the enclosing level *)
   if Sp_obs.Explain.enabled () then Sp_obs.Explain.set_loop (-1);
-  List.map (Sunit.of_op ctx.m ~sid:0) [ one_op; init_op ]
-  @ hoisted
+  List.map (Sunit.of_op ctx.m ~sid:0) [ pre.pr_one_op; init_op ]
+  @ pre.pr_hoisted
   @ [ loop_unit ]
+
+(** Reduce one loop fully inline (prelude, analysis, finish on the
+    calling domain, recording straight into the ambient observability
+    buffers). Used for non-innermost loops — their bodies were already
+    reduced, so there is nothing to overlap them with. *)
+let reduce_loop ctx ~iv ~n ~depth (body_units : Sunit.t list) : Sunit.t list =
+  let pre = loop_prelude ctx ~iv ~n ~depth body_units in
+  loop_finish ctx pre (loop_analyze ctx pre)
 
 (* ------------------------------------------------------------------ *)
 (* Region recursion                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let rec units_of_region ctx ~depth (r : Region.t) : Sunit.t list =
+(* Innermost loops are not reduced at discovery: their prelude runs
+   immediately (fixing the loop id and the supply draw order), and the
+   analysis is deferred into a batch so independent sibling loops can
+   run it concurrently. A batch is flushed — analyses executed, then
+   finishes applied in loop order — whenever an enclosing construct
+   needs the reduced units. *)
+type item = Now of Sunit.t list | Later of prelude
+
+let flush_items ctx (items : item list) : Sunit.t list =
+  let pendings =
+    List.filter_map (function Later p -> Some p | Now _ -> None) items
+  in
+  match pendings with
+  | [] ->
+    List.concat_map (function Now us -> us | Later _ -> assert false) items
+  | _ ->
+    (* Each analysis task runs with captured observability (log lines,
+       trace events, explain events): the captures are re-emitted in
+       loop order below, so the buffers end up byte-identical to a
+       fully sequential run — whether the tasks ran on one domain or
+       many. *)
+    let task (pre : prelude) () =
+      Sp_util.Log.with_local_capture (fun () ->
+          Sp_obs.Trace.collect (fun () ->
+              Sp_obs.Explain.collect (fun () -> loop_analyze ctx pre)))
+    in
+    let tasks = List.map (fun p -> task p) pendings in
+    let staged =
+      match ctx.pool with
+      | Some pool
+        when List.compare_length_with pendings 1 > 0
+             && not (Sp_util.Fault.is_armed ()) ->
+        (* fault injection counts hits globally in call order; keep it
+           deterministic by running armed batches sequentially *)
+        Sp_util.Pool.run pool tasks
+      | _ -> List.map (fun f -> f ()) tasks
+    in
+    let results = Hashtbl.create 8 in
+    List.iter2
+      (fun (p : prelude) r -> Hashtbl.replace results p.pr_l_id r)
+      pendings staged;
+    List.concat_map
+      (function
+        | Now us -> us
+        | Later pre ->
+          let ((sg, explain_evs), trace_evs), log_lines =
+            Hashtbl.find results pre.pr_l_id
+          in
+          Sp_util.Log.replay log_lines;
+          Sp_obs.Trace.inject trace_evs;
+          Sp_obs.Explain.inject explain_evs;
+          loop_finish ctx pre sg)
+      items
+
+let rec items_of_region ctx ~depth (r : Region.t) : item list =
   match r with
-  | Region.Ops ops -> List.map (Sunit.of_op ctx.m ~sid:0) ops
-  | Region.Seq rs -> List.concat_map (units_of_region ctx ~depth) rs
+  | Region.Ops ops -> [ Now (List.map (Sunit.of_op ctx.m ~sid:0) ops) ]
+  | Region.Seq rs -> List.concat_map (items_of_region ctx ~depth) rs
   | Region.If { cond; then_; else_ } ->
-    [
-      reduce_if ctx ~cond
-        ~then_units:(units_of_region ctx ~depth then_)
-        ~else_units:(units_of_region ctx ~depth else_);
-    ]
+    let then_units = flush_items ctx (items_of_region ctx ~depth then_) in
+    let else_units = flush_items ctx (items_of_region ctx ~depth else_) in
+    [ Now [ reduce_if ctx ~cond ~then_units ~else_units ] ]
   | Region.For { iv; n; body } ->
-    let inner = units_of_region ctx ~depth:(depth + 1) body in
-    reduce_loop ctx ~iv ~n ~depth inner
+    let inner_items = items_of_region ctx ~depth:(depth + 1) body in
+    if Region.contains_loop body then
+      [ Now (reduce_loop ctx ~iv ~n ~depth (flush_items ctx inner_items)) ]
+    else
+      (* innermost: bodies hold no pendings (nested Ifs were flushed),
+         so this flush is a plain concatenation *)
+      [ Later (loop_prelude ctx ~iv ~n ~depth (flush_items ctx inner_items)) ]
+
+let units_of_region ctx ~depth (r : Region.t) : Sunit.t list =
+  flush_items ctx (items_of_region ctx ~depth r)
 
 (** Debug/visualization aid: the dependence graph of each innermost
     loop body (without the synthesized induction update — the loops as
@@ -1098,7 +1274,13 @@ let innermost_ddgs ?(config = default) (m : Machine.t) (p : Program.t) :
 
 let program ?(config = default) (m : Machine.t) (p : Program.t) : result =
   Sp_obs.Trace.span "compile" @@ fun () ->
-  let ctx = make_ctx m config p in
+  let pool =
+    if config.jobs > 1 then Some (Sp_util.Pool.create ~jobs:config.jobs)
+    else None
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Sp_util.Pool.shutdown pool)
+  @@ fun () ->
+  let ctx = make_ctx ?pool m config p in
   let units = units_of_region ctx ~depth:0 p.Program.body in
   Sp_util.Log.debug "top: %d units" (List.length units);
   let arr = renumber units in

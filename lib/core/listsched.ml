@@ -46,16 +46,53 @@ let compact (m : Machine.t) (g : Ddg.t) : placement =
       if e.omega = 0 then npreds.(e.dst) <- npreds.(e.dst) + 1)
     g.Ddg.edges;
   let table = Mrt.Linear.create m in
+  (* Ready set as a binary heap keyed (height desc, index asc) — the
+     same total order the former per-step linear scan resolved to
+     (lowest index among the maximum-height ready units), so the
+     schedule is unchanged; extraction drops from O(n) to O(log n). *)
+  let heap = Array.make (max n 1) 0 in
+  let hn = ref 0 in
+  let better a b = h.(a) > h.(b) || (h.(a) = h.(b) && a < b) in
+  let swap a b =
+    let t = heap.(a) in
+    heap.(a) <- heap.(b);
+    heap.(b) <- t
+  in
+  let push i =
+    heap.(!hn) <- i;
+    incr hn;
+    let c = ref (!hn - 1) in
+    while !c > 0 && better heap.(!c) heap.((!c - 1) / 2) do
+      swap !c ((!c - 1) / 2);
+      c := (!c - 1) / 2
+    done
+  in
+  let pop () =
+    let top = heap.(0) in
+    decr hn;
+    heap.(0) <- heap.(!hn);
+    let c = ref 0 in
+    let continue = ref (!hn > 1) in
+    while !continue do
+      let l = (2 * !c) + 1 and r = (2 * !c) + 2 in
+      let m = if l < !hn && better heap.(l) heap.(!c) then l else !c in
+      let m = if r < !hn && better heap.(r) heap.(m) then r else m in
+      if m = !c then continue := false
+      else begin
+        swap !c m;
+        c := m
+      end
+    done;
+    top
+  in
+  for i = 0 to n - 1 do
+    if npreds.(i) = 0 then push i
+  done;
   let scheduled = ref 0 in
   while !scheduled < n do
-    (* pick the ready unit with the greatest height *)
-    let best = ref (-1) in
-    for i = 0 to n - 1 do
-      if times.(i) < 0 && npreds.(i) = 0 then
-        if !best < 0 || h.(i) > h.(!best) then best := i
-    done;
-    let i = !best in
-    if i < 0 then invalid_arg "Listsched.compact: cyclic intra-iteration graph";
+    if !hn = 0 then
+      invalid_arg "Listsched.compact: cyclic intra-iteration graph";
+    let i = pop () in
     let est =
       List.fold_left
         (fun acc (e : Ddg.edge) ->
@@ -87,7 +124,10 @@ let compact (m : Machine.t) (g : Ddg.t) : placement =
     times.(i) <- !t;
     List.iter
       (fun (e : Ddg.edge) ->
-        if e.omega = 0 then npreds.(e.dst) <- npreds.(e.dst) - 1)
+        if e.omega = 0 then begin
+          npreds.(e.dst) <- npreds.(e.dst) - 1;
+          if npreds.(e.dst) = 0 then push e.dst
+        end)
       g.Ddg.succs.(i);
     incr scheduled
   done;

@@ -6,6 +6,17 @@
     compacting straight-line code (no wrap-around). Both support
     tentative placement (check without committing).
 
+    Representation: demand counters live in a flat slot-major int
+    array ([slot * nres + rid] — one cache line covers a whole slot),
+    and each resource additionally keeps a {e bitword occupancy row}
+    with one bit per slot, set exactly when that (slot, resource) pair
+    is at its limit. The conflict test on the scheduler's hot probe
+    path is then a single load-and-mask per reservation entry instead
+    of a counter/limit comparison through two levels of indirection.
+    The counters remain authoritative: bits are maintained on every
+    increment/decrement, so tentative probes and removals keep the
+    invariant [bit set <=> count >= limit].
+
     A failed [fits] probe additionally records its {e conflict}: the
     first (slot, resource) pair whose limit the reservation would
     exceed, scanning the reservation in list order — deterministic, so
@@ -15,24 +26,67 @@
 
 open Sp_machine
 
+(* 63 usable bits per OCaml int word *)
+let bits = 63
+let words_for slots = (slots + bits - 1) / bits
+
 module Modulo = struct
   type t = {
     s : int;
-    counts : int array array; (* [s][num_resources] *)
+    nres : int;
+    counts : int array; (* slot-major: [slot * nres + rid] *)
+    full : int array;   (* per-resource bitword rows: [rid * words + slot/63] *)
+    words : int;        (* bitwords per resource row *)
     limits : int array;
-    conflicts : int array;    (* failed probes charged per resource *)
+    conflicts : int array; (* failed probes charged per resource *)
     mutable last_conflict : (int * int) option; (* (slot, rid) *)
   }
 
   let create (m : Machine.t) ~s =
     if s <= 0 then invalid_arg "Mrt.Modulo.create: s <= 0";
+    let nres = Machine.num_resources m in
+    let words = words_for s in
+    let limits = Array.map (fun r -> r.Machine.count) m.resources in
+    let full = Array.make (nres * words) 0 in
+    (* a zero-limit resource is full from the start *)
+    Array.iteri
+      (fun rid limit ->
+        if limit <= 0 then
+          for w = 0 to words - 1 do
+            full.((rid * words) + w) <- -1
+          done)
+      limits;
     {
       s;
-      counts = Array.make_matrix s (Machine.num_resources m) 0;
-      limits = Array.map (fun r -> r.Machine.count) m.resources;
-      conflicts = Array.make (Machine.num_resources m) 0;
+      nres;
+      counts = Array.make (s * nres) 0;
+      full;
+      words;
+      limits;
+      conflicts = Array.make nres 0;
       last_conflict = None;
     }
+
+  let[@inline] is_full t slot rid =
+    t.full.((rid * t.words) + (slot / bits)) land (1 lsl (slot mod bits)) <> 0
+
+  let[@inline] bump t slot rid =
+    let i = (slot * t.nres) + rid in
+    let v = t.counts.(i) + 1 in
+    t.counts.(i) <- v;
+    if v >= t.limits.(rid) then begin
+      let w = (rid * t.words) + (slot / bits) in
+      t.full.(w) <- t.full.(w) lor (1 lsl (slot mod bits))
+    end
+
+  let[@inline] unbump t slot rid =
+    let i = (slot * t.nres) + rid in
+    let v = t.counts.(i) - 1 in
+    t.counts.(i) <- v;
+    if v < t.limits.(rid) then begin
+      let w = (rid * t.words) + (slot / bits) in
+      t.full.(w) <- t.full.(w) land lnot (1 lsl (slot mod bits))
+    end
 
   (* A reservation may use one resource several times at offsets
      congruent mod s (e.g. a reduced construct), so demand accumulates
@@ -42,9 +96,7 @@ module Modulo = struct
      returning, which keeps the check O(|resv|) without a side table. *)
   let fits t ~at resv =
     let undo added =
-      List.iter
-        (fun (slot, rid) -> t.counts.(slot).(rid) <- t.counts.(slot).(rid) - 1)
-        added
+      List.iter (fun (slot, rid) -> unbump t slot rid) added
     in
     let rec go added = function
       | [] ->
@@ -52,8 +104,8 @@ module Modulo = struct
         true
       | (off, rid) :: rest ->
         let slot = ((at + off) mod t.s + t.s) mod t.s in
-        if t.counts.(slot).(rid) < t.limits.(rid) then begin
-          t.counts.(slot).(rid) <- t.counts.(slot).(rid) + 1;
+        if not (is_full t slot rid) then begin
+          bump t slot rid;
           go ((slot, rid) :: added) rest
         end
         else begin
@@ -69,14 +121,14 @@ module Modulo = struct
     List.iter
       (fun (off, rid) ->
         let slot = ((at + off) mod t.s + t.s) mod t.s in
-        t.counts.(slot).(rid) <- t.counts.(slot).(rid) + 1)
+        bump t slot rid)
       resv
 
   let remove t ~at resv =
     List.iter
       (fun (off, rid) ->
         let slot = ((at + off) mod t.s + t.s) mod t.s in
-        t.counts.(slot).(rid) <- t.counts.(slot).(rid) - 1)
+        unbump t slot rid)
       resv
 
   let conflicts t = Array.copy t.conflicts
@@ -85,36 +137,87 @@ end
 
 module Linear = struct
   type t = {
-    mutable counts : int array array; (* grows on demand *)
+    mutable cap : int;          (* slots allocated *)
+    mutable counts : int array; (* slot-major, grows on demand *)
+    mutable full : int array;   (* per-resource bitword rows *)
+    mutable words : int;        (* bitwords per resource row *)
     limits : int array;
     nres : int;
     conflicts : int array;
     mutable last_conflict : (int * int) option; (* (slot, rid) *)
   }
 
+  let init_cap = 16
+
+  let fill_zero_limit_bits full ~words ~limits =
+    Array.iteri
+      (fun rid limit ->
+        if limit <= 0 then
+          for w = 0 to words - 1 do
+            full.((rid * words) + w) <- -1
+          done)
+      limits
+
   let create (m : Machine.t) =
+    let nres = Machine.num_resources m in
+    let limits = Array.map (fun r -> r.Machine.count) m.resources in
+    let words = words_for init_cap in
+    let full = Array.make (nres * words) 0 in
+    fill_zero_limit_bits full ~words ~limits;
     {
-      counts = Array.make_matrix 16 (Machine.num_resources m) 0;
-      limits = Array.map (fun r -> r.Machine.count) m.resources;
-      nres = Machine.num_resources m;
-      conflicts = Array.make (Machine.num_resources m) 0;
+      cap = init_cap;
+      counts = Array.make (init_cap * nres) 0;
+      full;
+      words;
+      limits;
+      nres;
+      conflicts = Array.make nres 0;
       last_conflict = None;
     }
 
+  (* amortized-doubling growth: never less than twice the current
+     capacity, so n placements cost O(n) total regrowth work *)
   let ensure t len =
-    let cur = Array.length t.counts in
-    if len > cur then begin
-      let n = max len (2 * cur) in
-      let counts = Array.make_matrix n t.nres 0 in
-      Array.blit t.counts 0 counts 0 cur;
-      t.counts <- counts
+    if len > t.cap then begin
+      let cap = max len (2 * t.cap) in
+      let counts = Array.make (cap * t.nres) 0 in
+      Array.blit t.counts 0 counts 0 (t.cap * t.nres);
+      let words = words_for cap in
+      let full = Array.make (t.nres * words) 0 in
+      fill_zero_limit_bits full ~words ~limits:t.limits;
+      for rid = 0 to t.nres - 1 do
+        Array.blit t.full (rid * t.words) full (rid * words) t.words
+      done;
+      t.cap <- cap;
+      t.counts <- counts;
+      t.full <- full;
+      t.words <- words
+    end
+
+  let[@inline] is_full t slot rid =
+    t.full.((rid * t.words) + (slot / bits)) land (1 lsl (slot mod bits)) <> 0
+
+  let[@inline] bump t slot rid =
+    let i = (slot * t.nres) + rid in
+    let v = t.counts.(i) + 1 in
+    t.counts.(i) <- v;
+    if v >= t.limits.(rid) then begin
+      let w = (rid * t.words) + (slot / bits) in
+      t.full.(w) <- t.full.(w) lor (1 lsl (slot mod bits))
+    end
+
+  let[@inline] unbump t slot rid =
+    let i = (slot * t.nres) + rid in
+    let v = t.counts.(i) - 1 in
+    t.counts.(i) <- v;
+    if v < t.limits.(rid) then begin
+      let w = (rid * t.words) + (slot / bits) in
+      t.full.(w) <- t.full.(w) land lnot (1 lsl (slot mod bits))
     end
 
   let fits t ~at resv =
     let undo added =
-      List.iter
-        (fun (slot, rid) -> t.counts.(slot).(rid) <- t.counts.(slot).(rid) - 1)
-        added
+      List.iter (fun (slot, rid) -> unbump t slot rid) added
     in
     let rec go added = function
       | [] ->
@@ -125,9 +228,9 @@ module Linear = struct
         if
           slot >= 0
           && (ensure t (slot + 1);
-              t.counts.(slot).(rid) < t.limits.(rid))
+              not (is_full t slot rid))
         then begin
-          t.counts.(slot).(rid) <- t.counts.(slot).(rid) + 1;
+          bump t slot rid;
           go ((slot, rid) :: added) rest
         end
         else begin
@@ -143,7 +246,7 @@ module Linear = struct
     List.iter
       (fun (off, rid) ->
         ensure t (at + off + 1);
-        t.counts.(at + off).(rid) <- t.counts.(at + off).(rid) + 1)
+        bump t (at + off) rid)
       resv
 
   let conflicts t = Array.copy t.conflicts

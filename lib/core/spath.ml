@@ -19,35 +19,75 @@
     for-all-[s >= 0] order can blow up combinatorially on graphs with
     many parallel incomparable paths.
 
+    Frontiers are stored flat: during the Floyd–Warshall closure each
+    node pair owns a small growable int buffer of interleaved [(d, w)]
+    pairs (no list cells, no per-pair boxing), and the finished closure
+    is packed into one contiguous data array indexed by an offset
+    table. [query] — on the modulo scheduler's per-interval hot path —
+    is then a linear scan over adjacent words.
+
     The recurrence-constrained lower bound on the initiation interval
     (paper Section 2.2.1) is the maximum over closed paths of
-    [ceil(d(c) / p(c))], read off the diagonal of the closure. *)
-
-type pair = { d : int; w : int }
+    [ceil(d(c) / p(c))], computed by Bellman–Ford plus binary search. *)
 
 type t = {
   n : int;
   s_min : int;
   s_max : int;
-  paths : pair list array array; (* paths.(i).(j): Pareto frontier i->j *)
+  off : int array;
+      (* n*n + 1 entries, in pairs: frontier of (i, j) lives at pair
+         indices off.(i*n + j) .. off.(i*n + j + 1) - 1 *)
+  dat : int array; (* interleaved d, w; pair p at dat.(2p), dat.(2p+1) *)
 }
 
-let dominates ~s_min ~s_max a b =
-  a.d - (s_min * a.w) >= b.d - (s_min * b.w)
-  && a.d - (s_max * a.w) >= b.d - (s_max * b.w)
+(* growable frontier used only while computing the closure *)
+type buf = { mutable a : int array; mutable len : int (* in pairs *) }
 
-(** Insert [p] into frontier [l], dropping dominated elements. *)
-let insert ~s_min ~s_max p l =
-  if List.exists (fun q -> dominates ~s_min ~s_max q p) l then l
-  else p :: List.filter (fun q -> not (dominates ~s_min ~s_max p q)) l
+let buf_make () = { a = [||]; len = 0 }
 
-let merge ~s_min ~s_max a b =
-  List.fold_left (fun acc p -> insert ~s_min ~s_max p acc) a b
+let buf_push b d w =
+  let need = 2 * (b.len + 1) in
+  if Array.length b.a < need then begin
+    let a = Array.make (max need (2 * Array.length b.a)) 0 in
+    Array.blit b.a 0 a 0 (2 * b.len);
+    b.a <- a
+  end;
+  b.a.(2 * b.len) <- d;
+  b.a.((2 * b.len) + 1) <- w;
+  b.len <- b.len + 1
 
-let combine a b =
-  List.concat_map
-    (fun p -> List.map (fun q -> { d = p.d + q.d; w = p.w + q.w }) b)
-    a
+let snapshot b = { a = Array.sub b.a 0 (2 * b.len); len = b.len }
+
+(** Insert the pair [(d, w)] into frontier [b], keeping only
+    non-dominated pairs. Dominance is the O(1) two-endpoint test: a
+    pair's constraint value [d - s*w] is linear in [s], so comparing at
+    [s_min] and [s_max] decides the whole range. *)
+let insert ~s_min ~s_max b d w =
+  let v1 = d - (s_min * w) and v2 = d - (s_max * w) in
+  let dominated = ref false in
+  let i = ref 0 in
+  while (not !dominated) && !i < b.len do
+    let qd = b.a.(2 * !i) and qw = b.a.((2 * !i) + 1) in
+    if qd - (s_min * qw) >= v1 && qd - (s_max * qw) >= v2 then
+      dominated := true;
+    incr i
+  done;
+  if not !dominated then begin
+    (* drop pairs the new one dominates, compacting in place *)
+    let keep = ref 0 in
+    for i = 0 to b.len - 1 do
+      let qd = b.a.(2 * i) and qw = b.a.((2 * i) + 1) in
+      if not (v1 >= qd - (s_min * qw) && v2 >= qd - (s_max * qw)) then begin
+        if !keep <> i then begin
+          b.a.(2 * !keep) <- qd;
+          b.a.((2 * !keep) + 1) <- qw
+        end;
+        incr keep
+      end
+    done;
+    b.len <- !keep;
+    buf_push b d w
+  end
 
 (** [compute ~n ~edges ~s_min ~s_max] over node-local indices; edges
     are [(src, dst, delay, omega)]. Queries are valid for initiation
@@ -58,24 +98,46 @@ let combine a b =
 let compute ~n ~edges ~s_min ~s_max =
   let s_min = max 1 s_min in
   let s_max = max s_min s_max in
-  let paths = Array.make_matrix n n [] in
+  let fr = Array.init (n * n) (fun _ -> buf_make ()) in
   List.iter
     (fun (src, dst, delay, omega) ->
-      paths.(src).(dst) <-
-        insert ~s_min ~s_max { d = delay; w = omega } paths.(src).(dst))
+      insert ~s_min ~s_max fr.((src * n) + dst) delay omega)
     edges;
   for k = 0 to n - 1 do
     for i = 0 to n - 1 do
-      if paths.(i).(k) <> [] then
+      let ik = fr.((i * n) + k) in
+      if ik.len > 0 then
         for j = 0 to n - 1 do
-          if paths.(k).(j) <> [] then
-            paths.(i).(j) <-
-              merge ~s_min ~s_max paths.(i).(j)
-                (combine paths.(i).(k) paths.(k).(j))
+          let kj = fr.((k * n) + j) in
+          if kj.len > 0 then begin
+            let tgt = fr.((i * n) + j) in
+            (* on the diagonal passes the target aliases a source;
+               snapshot so the combination reads the pre-merge
+               frontier *)
+            let ik = if j = k then snapshot ik else ik in
+            let kj = if i = k then snapshot kj else kj in
+            for p = 0 to ik.len - 1 do
+              let pd = ik.a.(2 * p) and pw = ik.a.((2 * p) + 1) in
+              for q = 0 to kj.len - 1 do
+                insert ~s_min ~s_max tgt
+                  (pd + kj.a.(2 * q))
+                  (pw + kj.a.((2 * q) + 1))
+              done
+            done
+          end
         done
     done
   done;
-  { n; s_min; s_max; paths }
+  (* pack the finished frontiers contiguously *)
+  let off = Array.make ((n * n) + 1) 0 in
+  for idx = 0 to (n * n) - 1 do
+    off.(idx + 1) <- off.(idx) + fr.(idx).len
+  done;
+  let dat = Array.make (2 * off.(n * n)) 0 in
+  Array.iteri
+    (fun idx b -> Array.blit b.a 0 dat (2 * off.(idx)) (2 * b.len))
+    fr;
+  { n; s_min; s_max; off; dat }
 
 (** Maximum over the frontier of [d - s*w]: the binding precedence
     constraint from [i] to [j] at initiation interval [s]. [None] when
@@ -83,9 +145,17 @@ let compute ~n ~edges ~s_min ~s_max =
 let query t ~s i j =
   if s < t.s_min || s > t.s_max then
     invalid_arg "Spath.query: s out of range";
-  match t.paths.(i).(j) with
-  | [] -> None
-  | l -> Some (List.fold_left (fun m p -> max m (p.d - (s * p.w))) min_int l)
+  let idx = (i * t.n) + j in
+  let lo = t.off.(idx) and hi = t.off.(idx + 1) in
+  if lo = hi then None
+  else begin
+    let m = ref min_int in
+    for p = lo to hi - 1 do
+      let v = t.dat.(2 * p) - (s * t.dat.((2 * p) + 1)) in
+      if v > !m then m := v
+    done;
+    Some !m
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Recurrence bound, computed independently of the closure              *)

@@ -6,15 +6,20 @@
     constrains [sigma(dst) - sigma(src) >= d - s*w] for initiation
     interval [s]. The closure is computed {e once}, with [s] symbolic:
     per node pair, the Pareto frontier of [(d, w)] pairs under
-    dominance over the interval range actually searched. *)
-
-type pair = { d : int; w : int }
+    dominance over the interval range actually searched. Dominance is
+    an O(1) test at the two range endpoints (both constraint values are
+    linear in [s]), and the finished closure is packed into one
+    contiguous pair array behind an offset table so [query] — the
+    per-candidate-interval hot path — scans adjacent words. *)
 
 type t = {
   n : int;
   s_min : int;
   s_max : int;
-  paths : pair list array array;
+  off : int array;
+      (** [n*n + 1] entries, in pairs: the frontier of [(i, j)] spans
+          pair indices [off.(i*n + j)] to [off.(i*n + j + 1) - 1] *)
+  dat : int array;  (** interleaved [d, w] per pair *)
 }
 
 val compute :

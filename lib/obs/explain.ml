@@ -51,6 +51,17 @@ let on = ref false
 let buf : (int * event) list ref = ref [] (* newest first *)
 let cur_loop = ref (-1)
 
+(* Domain-local redirection for parallel compilation tasks: under
+   {!collect} both the buffer and the loop stamp are private to the
+   running task, so worker domains never race on the shared state and
+   a task's [set_loop] cannot leak into other loops. The shared [on]
+   flag is written before tasks are submitted (visibility via the
+   pool's queue mutex). *)
+type local = { l_buf : (int * event) list ref; l_loop : int ref }
+
+let local : local option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
 let enabled () = !on
 
 let enable () =
@@ -60,8 +71,34 @@ let enable () =
 
 let disable () = on := false
 let clear () = buf := []
-let set_loop l = cur_loop := l
-let record e = if !on then buf := (!cur_loop, e) :: !buf
+
+let set_loop l =
+  match !(Domain.DLS.get local) with
+  | Some { l_loop; _ } -> l_loop := l
+  | None -> cur_loop := l
+
+let record e =
+  if !on then
+    match !(Domain.DLS.get local) with
+    | Some { l_buf; l_loop } -> l_buf := (!l_loop, e) :: !l_buf
+    | None -> buf := (!cur_loop, e) :: !buf
+
+let collect f =
+  let cell = Domain.DLS.get local in
+  let prev = !cell in
+  let b = { l_buf = ref []; l_loop = ref (-1) } in
+  cell := Some b;
+  Fun.protect
+    ~finally:(fun () -> cell := prev)
+    (fun () ->
+      let v = f () in
+      (v, List.rev !(b.l_buf)))
+
+let inject evs =
+  match !(Domain.DLS.get local) with
+  | Some { l_buf; _ } -> List.iter (fun p -> l_buf := p :: !l_buf) evs
+  | None -> List.iter (fun p -> buf := p :: !buf) evs
+
 let events () = List.rev !buf
 
 (* ---- JSON ---------------------------------------------------------- *)

@@ -91,6 +91,16 @@ val record : event -> unit
     Call sites on hot paths must guard with {!enabled} so the event is
     never constructed when the log is off. *)
 
+val collect : (unit -> 'a) -> 'a * (int * event) list
+(** [collect f] runs [f] with this domain's recording (and loop stamp)
+    redirected into a private buffer; returns [f]'s result and the
+    stamped events it recorded, oldest first. Safe to run concurrently
+    on several domains; the parallel compilation driver {!inject}s each
+    task's events back in deterministic loop order. *)
+
+val inject : (int * event) list -> unit
+(** Append previously collected stamped events, preserving order. *)
+
 val events : unit -> (int * event) list
 (** [(loop, event)] pairs in recording order. *)
 

@@ -16,6 +16,20 @@ let on = ref false
 let buf : event list ref = ref []   (* newest first *)
 let t0 = ref 0L
 
+(* Domain-local redirection: a parallel compilation task runs inside
+   {!collect}, which points this cell at a private buffer so worker
+   domains never touch the shared [buf]. The driver {!inject}s each
+   task's events back in deterministic loop order. Cross-domain
+   visibility of [on]/[t0] is provided by the pool's queue mutex
+   ([Sp_util.Pool]): both are written before tasks are submitted. *)
+let local_buf : event list ref option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let push e =
+  match !(Domain.DLS.get local_buf) with
+  | Some b -> b := e :: !b
+  | None -> buf := e :: !buf
+
 let enabled () = !on
 
 let enable () =
@@ -30,7 +44,7 @@ let now_rel () = Int64.sub (Monotonic_clock.now ()) !t0
 let no_args () = []
 
 let instant ?(args = no_args) name =
-  if !on then buf := Instant { name; ts = now_rel (); args = args () } :: !buf
+  if !on then push (Instant { name; ts = now_rel (); args = args () })
 
 let span ?(args = no_args) name f =
   if not !on then f ()
@@ -38,20 +52,32 @@ let span ?(args = no_args) name f =
     let ts = now_rel () in
     match f () with
     | v ->
-      buf := Span { name; ts; dur = Int64.sub (now_rel ()) ts; args = args () } :: !buf;
+      push (Span { name; ts; dur = Int64.sub (now_rel ()) ts; args = args () });
       v
     | exception e ->
-      buf :=
-        Span
-          {
-            name;
-            ts;
-            dur = Int64.sub (now_rel ()) ts;
-            args = ("error", S (Printexc.to_string e)) :: args ();
-          }
-        :: !buf;
+      push
+        (Span
+           {
+             name;
+             ts;
+             dur = Int64.sub (now_rel ()) ts;
+             args = ("error", S (Printexc.to_string e)) :: args ();
+           });
       raise e
   end
+
+let collect f =
+  let cell = Domain.DLS.get local_buf in
+  let prev = !cell in
+  let b = ref [] in
+  cell := Some b;
+  Fun.protect
+    ~finally:(fun () -> cell := prev)
+    (fun () ->
+      let v = f () in
+      (v, List.rev !b))
+
+let inject evs = List.iter push evs
 
 let ts_of = function Span { ts; _ } -> ts | Instant { ts; _ } -> ts
 

@@ -36,6 +36,19 @@ val span : ?args:(unit -> (string * value) list) -> string -> (unit -> 'a) -> 'a
 
 val instant : ?args:(unit -> (string * value) list) -> string -> unit
 
+val collect : (unit -> 'a) -> 'a * event list
+(** [collect f] runs [f] with this domain's recording redirected into a
+    private buffer and returns [f]'s result with the events it recorded
+    (oldest first). The shared buffer is untouched, so concurrent
+    domains may each run under [collect] safely; re-entrant. Used by
+    the parallel compilation driver, which {!inject}s each task's
+    events back in deterministic loop order. *)
+
+val inject : event list -> unit
+(** Append previously collected events to the current buffer (the
+    shared one, or the enclosing {!collect}'s), preserving their
+    order. *)
+
 val events : unit -> event list
 (** Buffered events in start-time order. *)
 

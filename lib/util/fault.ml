@@ -49,6 +49,13 @@ let hits site = Option.value ~default:0 (Hashtbl.find_opt hit_counts site)
 (** The armed site, if it has fired since arming. *)
 let fired () = !fired_site
 
+(** Whether any site is currently armed. Hit counting is global and
+    call-sequence-dependent, so parallel drivers (the batch scheduler
+    in {!Sp_core.Compile}) check this and fall back to sequential
+    execution while a fault is armed — keeping injection
+    deterministic. *)
+let is_armed () = !armed <> None
+
 (** Mark a failure site. When any site is armed, counts the hit and
     raises {!Injected} on the armed site's [after]-th execution; when
     nothing is armed it costs a single [ref] read. *)

@@ -46,6 +46,42 @@ let sink = ref default_sink
 
 let set_sink f = sink := f
 
+(* Domain-local sink overlay. Parallel compilation tasks (see
+   [Sp_util.Pool] and [Sp_core.Compile]) run with a private collector
+   installed here, so their diagnostics never interleave with other
+   domains' lines; the driver replays each task's lines through the
+   process-wide sink afterwards, in deterministic loop order. The
+   overlay also makes [set_sink] swaps safe under concurrency: worker
+   domains only ever write through their own overlay. *)
+let local_sink : (string -> unit) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+(** Emit one complete line through the domain-local sink when one is
+    installed, else through the process-wide sink. *)
+let emit line =
+  match !(Domain.DLS.get local_sink) with
+  | Some f -> f line
+  | None -> !sink line
+
+(** [with_local_capture f] runs [f] with a domain-local collector
+    overlaying the sink (on this domain only) and returns [f]'s result
+    with the captured lines in emission order. Nestable and safe to
+    run concurrently on several domains. *)
+let with_local_capture f =
+  let captured = ref [] in
+  let cell = Domain.DLS.get local_sink in
+  let prev = !cell in
+  cell := Some (fun line -> captured := line :: !captured);
+  Fun.protect
+    ~finally:(fun () -> cell := prev)
+    (fun () ->
+      let v = f () in
+      (v, List.rev !captured))
+
+(** Re-emit previously captured lines, in order, through the current
+    sink (honoring any local overlay). *)
+let replay lines = List.iter emit lines
+
 (** [with_capture f] runs [f] with the sink replaced by an in-memory
     collector and returns [f]'s result with the captured lines in
     emission order. The previous sink is restored even when [f]
@@ -63,7 +99,7 @@ let with_capture f =
 (** [logf level fmt ...] emits one line through the sink when [level]
     is enabled; a disabled level costs only the format dispatch. *)
 let logf l fmt =
-  if enabled l then Printf.ksprintf (fun s -> !sink ("[sp] " ^ s)) fmt
+  if enabled l then Printf.ksprintf (fun s -> emit ("[sp] " ^ s)) fmt
   else Printf.ikfprintf (fun () -> ()) () fmt
 
 let info fmt = logf Info fmt

@@ -1,0 +1,155 @@
+(** A reusable fixed-size domain pool for deterministic fork/join
+    batches.
+
+    [create ~jobs:n] spawns [n - 1] worker domains (none at all for
+    [n = 1], so a sequential pool is literally free — no domain is
+    ever spawned and {!run} degenerates to [List.map]); the calling
+    domain itself works through the queue during {!run}, so a pool of
+    [n] applies [n] domains' worth of parallelism. Workers are parked
+    on a condition variable between batches, which makes the pool
+    cheap to reuse across many small batches — the per-loop
+    compilation driver in [Sp_core.Compile] submits one batch per
+    group of sibling innermost loops.
+
+    Determinism contract: {!run} returns results in submission order
+    regardless of completion order. If any task raises, every task is
+    still run to completion and the exception of the {e
+    lowest-indexed} failing task is re-raised (with its backtrace) on
+    the calling domain — the same exception a sequential [List.map]
+    would have surfaced first.
+
+    Memory model: all task hand-off goes through the pool's mutex, so
+    everything the submitting domain wrote before {!run} is visible to
+    the workers, and everything the workers wrote is visible to the
+    submitter when {!run} returns. Callers need no further
+    synchronization for data that is only touched before submission or
+    inside a task. *)
+
+type t = {
+  jobs : int;
+  mutable domains : unit Domain.t list;
+  m : Mutex.t;
+  work_ready : Condition.t; (* queue gained work, or [stop] flipped *)
+  batch_done : Condition.t; (* a batch's remaining-count reached 0 *)
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+}
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(* Pop-and-run jobs until the queue is empty and (for workers) the pool
+   is stopped. Runs with the mutex held between jobs; released while a
+   job executes. *)
+let worker t =
+  Mutex.lock t.m;
+  let rec loop () =
+    match Queue.take_opt t.queue with
+    | Some job ->
+      Mutex.unlock t.m;
+      job ();
+      Mutex.lock t.m;
+      loop ()
+    | None ->
+      if not t.stop then begin
+        Condition.wait t.work_ready t.m;
+        loop ()
+      end
+  in
+  loop ();
+  Mutex.unlock t.m
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      domains = [];
+      m = Mutex.create ();
+      work_ready = Condition.create ();
+      batch_done = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+    }
+  in
+  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  let ds =
+    locked t (fun () ->
+        t.stop <- true;
+        Condition.broadcast t.work_ready;
+        let ds = t.domains in
+        t.domains <- [];
+        ds)
+  in
+  List.iter Domain.join ds
+
+exception Task_error of int * exn * Printexc.raw_backtrace
+
+let run (type a) t (fs : (unit -> a) list) : a list =
+  if t.jobs <= 1 then List.map (fun f -> f ()) fs
+  else begin
+    let fs = Array.of_list fs in
+    let n = Array.length fs in
+    if n = 0 then []
+    else begin
+      let results : a option array = Array.make n None in
+      let first_error : (int * exn * Printexc.raw_backtrace) option ref =
+        ref None
+      in
+      let remaining = ref n in
+      let job i () =
+        (try results.(i) <- Some (fs.(i) ())
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           locked t (fun () ->
+               match !first_error with
+               | Some (j, _, _) when j < i -> ()
+               | _ -> first_error := Some (i, e, bt)));
+        locked t (fun () ->
+            decr remaining;
+            if !remaining = 0 then Condition.broadcast t.batch_done)
+      in
+      locked t (fun () ->
+          for i = 0 to n - 1 do
+            Queue.add (job i) t.queue
+          done;
+          Condition.broadcast t.work_ready);
+      (* The calling domain works through the queue too, then waits for
+         the stragglers executing on worker domains. *)
+      Mutex.lock t.m;
+      let rec drain () =
+        match Queue.take_opt t.queue with
+        | Some job ->
+          Mutex.unlock t.m;
+          job ();
+          Mutex.lock t.m;
+          drain ()
+        | None -> if !remaining > 0 then (Condition.wait t.batch_done t.m; drain ())
+      in
+      drain ();
+      Mutex.unlock t.m;
+      (match !first_error with
+      | Some (i, e, bt) ->
+        Printexc.raise_with_backtrace (Task_error (i, e, bt)) bt
+      | None -> ());
+      Array.to_list (Array.map Option.get results)
+    end
+  end
+
+let run t fs =
+  match run t fs with
+  | vs -> vs
+  | exception Task_error (_, e, bt) -> Printexc.raise_with_backtrace e bt
+
+(** Pool width for the CLI default: [SP_JOBS] when set to a positive
+    integer, else the runtime's recommendation for this machine. *)
+let default_jobs () =
+  match Option.bind (Sys.getenv_opt "SP_JOBS") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | _ -> Domain.recommended_domain_count ()

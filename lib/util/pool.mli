@@ -1,0 +1,34 @@
+(** Reusable fixed-size domain pool for deterministic fork/join batches.
+
+    A pool of width [n] uses the calling domain plus [n - 1] spawned
+    worker domains; [~jobs:1] spawns nothing and {!run} is a plain
+    sequential [List.map]. Workers park between batches, so one pool
+    can serve many small batches cheaply. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] builds a pool of width [max 1 jobs], spawning
+    [jobs - 1] worker domains. With [~jobs:1] no domain is ever
+    spawned. *)
+
+val jobs : t -> int
+(** Width the pool was created with (after clamping to [>= 1]). *)
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** [run t tasks] executes every task (on the pool's domains plus the
+    calling domain) and returns their results in submission order.
+    Every task runs to completion even if some raise; if any raised,
+    the exception of the lowest-indexed failing task is re-raised with
+    its backtrace — matching what a sequential [List.map] would have
+    surfaced first. All hand-off is mutex-synchronized: writes made by
+    the caller before [run] are visible to tasks, and task writes are
+    visible to the caller afterwards. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. The pool must not be used after.
+    Safe to call on a [~jobs:1] pool (a no-op). *)
+
+val default_jobs : unit -> int
+(** CLI default width: [SP_JOBS] when set to a positive integer, else
+    [Domain.recommended_domain_count ()]. *)

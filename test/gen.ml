@@ -42,18 +42,16 @@ let next rng n =
   rng.s <- ((rng.s * 1103515245) + 12345) land 0x3FFFFFFF;
   rng.s mod n
 
-(** Build a single-loop program from a spec. The loop body references
-    arrays at small offsets from the induction variable (kept in
-    bounds by array padding), mixes multiplies/adds/compares, and
-    optionally contains an accumulator, a conditional and channel
-    traffic. *)
-let build (sp : spec) : Program.t * (Machine_state.t -> unit) * float list list =
+let pad = 8
+
+(** Add one spec's loop to an open builder; array names take [suffix]
+    so several loops can coexist in one program. Returns the loop's
+    arrays for initialization. *)
+let add_loop (b : Builder.t) ~suffix (sp : spec) =
   let rng = { s = sp.seed + 1 } in
-  let b = Builder.create "gen" in
-  let pad = 8 in
   let size = sp.trip + (2 * pad) in
-  let xs = Builder.farray b "xs" (max 1 size) in
-  let ys = Builder.farray b "ys" (max 1 size) in
+  let xs = Builder.farray b ("xs" ^ suffix) (max 1 size) in
+  let ys = Builder.farray b ("ys" ^ suffix) (max 1 size) in
   let c1 = Builder.fconst b 1.25 in
   let c2 = Builder.fconst b 0.5 in
   let acc = if sp.use_accum then Some (Builder.fmov b c1) else None in
@@ -102,18 +100,48 @@ let build (sp : spec) : Program.t * (Machine_state.t -> unit) * float list list 
   (match acc with
   | Some a -> Builder.store b ~off:0 xs a (* keep the accumulator live-out *)
   | None -> ());
+  (xs, ys)
+
+let init_arrays st (xs, ys) =
+  Machine_state.init_farray st xs (fun i ->
+      1.0 +. (0.01 *. float_of_int ((i * 7) mod 83)));
+  Machine_state.init_farray st ys (fun i ->
+      2.0 +. (0.02 *. float_of_int ((i * 5) mod 71)))
+
+let chan_stream (sp : spec) =
+  if sp.use_chan then
+    Some
+      (List.init (max 1 sp.trip) (fun i ->
+           0.5 +. (0.125 *. float_of_int (i mod 17))))
+  else None
+
+(** Build a single-loop program from a spec. The loop body references
+    arrays at small offsets from the induction variable (kept in
+    bounds by array padding), mixes multiplies/adds/compares, and
+    optionally contains an accumulator, a conditional and channel
+    traffic. *)
+let build (sp : spec) : Program.t * (Machine_state.t -> unit) * float list list =
+  let b = Builder.create "gen" in
+  let arrs = add_loop b ~suffix:"" sp in
   let p = Builder.finish b in
-  let init st =
-    Machine_state.init_farray st xs (fun i ->
-        1.0 +. (0.01 *. float_of_int ((i * 7) mod 83)));
-    Machine_state.init_farray st ys (fun i ->
-        2.0 +. (0.02 *. float_of_int ((i * 5) mod 71)))
+  let init st = init_arrays st arrs in
+  let inputs = match chan_stream sp with Some s -> [ s ] | None -> [] in
+  (p, init, inputs)
+
+(** Build one program holding every spec's loop as independent
+    top-level siblings (distinct arrays per loop) — the corpus shape
+    the compile-throughput benchmark feeds to the parallel per-loop
+    driver. Channel reads drain one shared stream in loop order. *)
+let build_many (sps : spec list) :
+    Program.t * (Machine_state.t -> unit) * float list list =
+  let b = Builder.create "gen" in
+  let arrs =
+    List.mapi (fun i sp -> (sp, add_loop b ~suffix:(string_of_int i) sp)) sps
   in
-  let inputs =
-    if sp.use_chan then
-      [ List.init (max 1 sp.trip) (fun i -> 0.5 +. (0.125 *. float_of_int (i mod 17))) ]
-    else []
-  in
+  let p = Builder.finish b in
+  let init st = List.iter (fun (_, a) -> init_arrays st a) arrs in
+  let chunks = List.filter_map chan_stream sps in
+  let inputs = if chunks = [] then [] else [ List.concat chunks ] in
   (p, init, inputs)
 
 (** The central property: compile under [config], simulate, compare

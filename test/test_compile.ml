@@ -312,6 +312,63 @@ let prop_equivalence_config =
           { C.default with C.if_exclusive = true };
         ])
 
+(* ---- parallel compilation determinism ------------------------------- *)
+
+(** Everything the compiler externalizes for a program, as one
+    comparable value: emitted code, per-loop reports, and the explain
+    log. [build] must construct a {e fresh} program per call —
+    compiling draws register and op ids from the program's supplies. *)
+let compile_fingerprint ~jobs (build : unit -> Program.t) =
+  let p = build () in
+  Sp_obs.Explain.enable ();
+  (* the log is process-global and [disable] keeps it; clear so later
+     suites observe the empty-when-disabled contract *)
+  Fun.protect ~finally:(fun () ->
+      Sp_obs.Explain.disable ();
+      Sp_obs.Explain.clear ())
+  @@ fun () ->
+  let r = C.program ~config:{ C.default with C.jobs } warp p in
+  ( Fmt.str "%a" Sp_vliw.Prog.pp r.C.code,
+    r.C.code_size,
+    List.map
+      (fun (lr : C.loop_report) ->
+        ( lr.C.l_id,
+          lr.C.ii,
+          lr.C.mii,
+          C.status_to_string lr.C.status,
+          lr.C.seq_len,
+          lr.C.unroll ))
+      r.C.loops,
+    Sp_obs.Explain.report () )
+
+let prop_parallel_determinism =
+  QCheck2.Test.make
+    ~name:"compile: jobs=8 byte-identical to jobs=1 (random programs)"
+    ~count:40 ~print:(fun (sp, extra) ->
+      Fmt.str "%a + %d sibling(s)" Gen.pp_spec sp extra)
+    QCheck2.Gen.(pair Gen.spec_gen (int_range 0 3))
+    (fun (sp, extra) ->
+      (* several sibling innermost loops exercise the batched parallel
+         analysis path; varied seeds give each sibling its own shape *)
+      let specs =
+        List.init (1 + extra) (fun i -> { sp with Gen.seed = sp.Gen.seed + i })
+      in
+      let build () =
+        let p, _, _ = Gen.build_many specs in
+        p
+      in
+      compile_fingerprint ~jobs:1 build = compile_fingerprint ~jobs:8 build)
+
+let test_parallel_livermore () =
+  List.iter
+    (fun k ->
+      let build () = Sp_kernels.Kernel.program k in
+      Alcotest.(check bool)
+        (k.Sp_kernels.Kernel.name ^ ": jobs=8 = jobs=1")
+        true
+        (compile_fingerprint ~jobs:1 build = compile_fingerprint ~jobs:8 build))
+    Sp_kernels.Livermore.all
+
 let suite =
   let qt = QCheck_alcotest.to_alcotest in
   [
@@ -330,7 +387,9 @@ let suite =
     ("runtime prolog/kernel seam", `Quick, test_runtime_seam);
     ("dot export", `Quick, test_dot_export);
     ("profit margin (LFK20)", `Quick, test_profit_margin);
+    ("parallel determinism (Livermore)", `Quick, test_parallel_livermore);
     qt prop_equivalence_default;
     qt prop_equivalence_toy;
     qt prop_equivalence_config;
+    qt prop_parallel_determinism;
   ]

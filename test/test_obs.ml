@@ -539,6 +539,28 @@ let prop_utilization_sums =
 
 let qt = QCheck_alcotest.to_alcotest
 
+(* ---- metrics under parallelism -------------------------------------- *)
+
+let prop_metrics_parallel_increments =
+  QCheck2.Test.make
+    ~name:"metrics: concurrent counter increments never lose updates"
+    ~count:20
+    QCheck2.Gen.(pair (int_range 2 4) (int_range 100 2_000))
+    (fun (domains, n) ->
+      let c = Metrics.counter "test.parallel.incr" in
+      let before = Metrics.counter_value c in
+      let ds =
+        List.init domains (fun _ ->
+            Domain.spawn (fun () ->
+                for _ = 1 to n do
+                  Metrics.incr c
+                done))
+      in
+      List.iter Domain.join ds;
+      (* the merged total equals what the same increments would have
+         produced sequentially *)
+      Metrics.counter_value c - before = domains * n)
+
 let suite =
   [
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
@@ -564,4 +586,5 @@ let suite =
     Alcotest.test_case "render views" `Quick test_render_views;
     Alcotest.test_case "profile degraded" `Quick test_profile_degraded;
     qt prop_utilization_sums;
+    qt prop_metrics_parallel_increments;
   ]

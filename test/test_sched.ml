@@ -195,6 +195,33 @@ let test_linear_table () =
   (* grows on demand *)
   Alcotest.(check bool) "far future" true (Mrt.Linear.fits t ~at:5000 resv)
 
+let test_linear_growth_boundary () =
+  let m = Sp_machine.Machine.warp in
+  let t = Mrt.Linear.create m in
+  let mem = (Sp_machine.Machine.find_resource m "mem").Sp_machine.Machine.rid in
+  let resv = [ (0, mem) ] in
+  (* fill every slot straight across the initial 16-slot capacity:
+     occupancy (counters and bitword rows alike) must survive the
+     amortized-doubling regrowth *)
+  for at = 0 to 40 do
+    Mrt.Linear.add t ~at resv
+  done;
+  for at = 0 to 40 do
+    Alcotest.(check bool)
+      (Printf.sprintf "slot %d occupied after growth" at)
+      false
+      (Mrt.Linear.fits t ~at resv)
+  done;
+  Alcotest.(check bool) "first free slot past the filled range" true
+    (Mrt.Linear.fits t ~at:41 resv);
+  (* a distant placement forces a second, larger regrowth *)
+  Mrt.Linear.add t ~at:1000 resv;
+  Alcotest.(check bool) "distant slot occupied" false
+    (Mrt.Linear.fits t ~at:1000 resv);
+  Alcotest.(check bool) "old-boundary slot still occupied" false
+    (Mrt.Linear.fits t ~at:16 resv);
+  Alcotest.(check bool) "gap stays free" true (Mrt.Linear.fits t ~at:999 resv)
+
 (* ---- Listsched -------------------------------------------------------- *)
 
 let test_compact_respects_dependences () =
@@ -383,6 +410,7 @@ let suite =
     qt prop_compact_valid;
     ("modulo reservation table", `Quick, test_modulo_table);
     ("linear reservation table", `Quick, test_linear_table);
+    ("linear table growth boundary", `Quick, test_linear_growth_boundary);
     ("compact: dependences", `Quick, test_compact_respects_dependences);
     ("compact: resources", `Quick, test_compact_resource_serialization);
     ("restart interval", `Quick, test_restart_interval);

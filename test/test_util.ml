@@ -197,6 +197,60 @@ let test_table () =
     (Invalid_argument "Table.add_row: wrong arity") (fun () ->
       Table.add_row t [ "only-one" ])
 
+(* ---- Pool --------------------------------------------------------- *)
+
+let test_pool_order_and_reuse () =
+  let pool = Pool.create ~jobs:4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  check_int "width" 4 (Pool.jobs pool);
+  Alcotest.(check (list int))
+    "results in submission order"
+    (List.init 20 (fun i -> i * i))
+    (Pool.run pool (List.init 20 (fun i () -> i * i)));
+  (* the same pool serves further batches — workers park, not exit *)
+  Alcotest.(check (list int))
+    "second batch on the same pool" [ 10; 20 ]
+    (Pool.run pool [ (fun () -> 10); (fun () -> 20) ]);
+  Alcotest.(check (list int)) "empty batch" [] (Pool.run pool [])
+
+let test_pool_exception_propagation () =
+  let pool = Pool.create ~jobs:3 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let ran = Array.make 6 false in
+  (match
+     Pool.run pool
+       (List.init 6 (fun i () ->
+            ran.(i) <- true;
+            if i = 4 then failwith "late";
+            if i = 2 then failwith "early";
+            i))
+   with
+  | _ -> Alcotest.fail "expected the batch to raise"
+  | exception Failure m ->
+    (* the lowest-indexed failure is surfaced — what a sequential
+       List.map would have raised first *)
+    Alcotest.(check string) "lowest-index error wins" "early" m);
+  Alcotest.(check bool)
+    "every task still ran to completion" true
+    (Array.for_all Fun.id ran)
+
+let test_pool_sequential_bypass () =
+  (* ~jobs:1 must never spawn: every task runs on the calling domain
+     (the zero-cost guarantee the E14 overhead smoke relies on) *)
+  let pool = Pool.create ~jobs:1 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  check_int "clamped width" 1 (Pool.jobs pool);
+  let self = Domain.self () in
+  Alcotest.(check bool)
+    "tasks run on the calling domain" true
+    (List.for_all
+       (fun d -> d = self)
+       (Pool.run pool (List.init 3 (fun _ () -> Domain.self ()))));
+  (* clamping: non-positive widths behave like 1 *)
+  let p0 = Pool.create ~jobs:0 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p0) @@ fun () ->
+  check_int "jobs:0 clamps to 1" 1 (Pool.jobs p0)
+
 let suite =
   let qt = QCheck_alcotest.to_alcotest in
   [
@@ -212,6 +266,9 @@ let suite =
     ("histogram empty/singleton", `Quick, test_histogram_empty_singleton);
     ("histogram merge", `Quick, test_histogram_merge);
     ("table", `Quick, test_table);
+    ("pool order and reuse", `Quick, test_pool_order_and_reuse);
+    ("pool exception propagation", `Quick, test_pool_exception_propagation);
+    ("pool sequential bypass", `Quick, test_pool_sequential_bypass);
     qt prop_merge_assoc;
     qt prop_gcd_divides;
     qt prop_gcd_lcm;
