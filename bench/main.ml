@@ -9,7 +9,15 @@
                                 scale, search, unroll, optimal,
                                 optimal-quick, pipeline,
                                 trace-overhead, compile-speed,
-                                compile-speed-quick)
+                                compile-speed-quick, campaign,
+                                campaign-quick, campaign-sweep)
+      main.exe --table campaign [--seeds LO..HI] [--jobs N]
+                                [--bank DIR] [--inject SITE\@K]
+                                streaming differential fuzzing
+                                campaign over generated W2 programs;
+                                failing seeds are delta-minimized and
+                                banked as replayable .w2 regressions
+                                under DIR; exits 1 on any failure
       main.exe --figure 4-1     one figure (4-1, 4-2)
       main.exe --bechamel       scheduler-cost microbenchmarks only
       ... --emit-json FILE      additionally write every artifact the
@@ -977,20 +985,12 @@ let table_compile_speed ?(quick = false) () =
       use_accum = i mod 2 = 0;
       use_chan = false;
       carried_store = i mod 5 = 0;
+      empty_body = false;
+      maxlat = i mod 7 = 0;
     }
   in
   let specs = List.init n_loops spec_of in
-  let fingerprint (r : C.result) =
-    Fmt.str "%a|%s" Sp_vliw.Prog.pp r.C.code
-      (String.concat ";"
-         (List.map
-            (fun (lr : C.loop_report) ->
-              Printf.sprintf "%d:%s:%d:%s" lr.C.l_id
-                (match lr.C.ii with Some s -> string_of_int s | None -> "-")
-                lr.C.mii
-                (C.status_to_string lr.C.status))
-            r.C.loops))
-  in
+  let fingerprint = C.fingerprint in
   (* compiling draws register/op ids from the program's supplies, so
      every job count gets a freshly built — hence identical — corpus *)
   let compile ~jobs =
@@ -1375,6 +1375,196 @@ let compare_artifacts ~threshold old_path new_path =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E17: the differential fuzzing campaign                              *)
+(* ------------------------------------------------------------------ *)
+
+module Campaign = Sp_camp.Campaign
+
+(** Campaign failures must fail the invocation, but artifacts are
+    written at the very end of [main] — so campaign tables record the
+    failure here and the driver exits with it after [write_artifacts]. *)
+let exit_status = ref 0
+
+let json_of_campaign (s : Campaign.summary) : Json.t =
+  Json.Obj
+    [
+      ("total", Json.Int s.Campaign.total);
+      ("pass", Json.Int s.Campaign.pass);
+      ( "verdicts",
+        Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) s.Campaign.verdicts)
+      );
+      ( "statuses",
+        Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) s.Campaign.statuses)
+      );
+      ("gap", json_of_histogram s.Campaign.gap);
+      ("eff", json_of_histogram s.Campaign.eff);
+      ("code_size", json_of_histogram s.Campaign.csize);
+      ( "failures",
+        Json.List
+          (List.map
+             (fun (f : Campaign.failure) ->
+               Json.Obj
+                 [
+                   ("seed", Json.Int f.Campaign.f_seed);
+                   ("kind", Json.Str f.Campaign.f_kind);
+                   ("detail", Json.Str f.Campaign.f_detail);
+                   ("nodes_before", Json.Int f.Campaign.f_nodes_before);
+                   ("nodes_after", Json.Int f.Campaign.f_nodes_after);
+                   ("evals", Json.Int f.Campaign.f_evals);
+                   ( "file",
+                     match f.Campaign.f_file with
+                     | Some p -> Json.Str p
+                     | None -> Json.Null );
+                 ])
+             s.Campaign.failures) );
+      ("unminimized", Json.Int s.Campaign.unminimized);
+    ]
+
+let print_campaign_summary (s : Campaign.summary) =
+  let t =
+    Table.create ~headers:[ "verdict"; "count" ] ~aligns:[ Table.L; R ]
+  in
+  List.iter
+    (fun (k, n) -> Table.add_row t [ k; string_of_int n ])
+    s.Campaign.verdicts;
+  Fmt.pr "%a@." Table.pp t;
+  if s.Campaign.statuses <> [] then begin
+    let st =
+      Table.create ~headers:[ "loop status"; "count" ] ~aligns:[ Table.L; R ]
+    in
+    List.iter
+      (fun (k, n) -> Table.add_row st [ k; string_of_int n ])
+      s.Campaign.statuses;
+    Fmt.pr "%a@." Table.pp st
+  end;
+  Fmt.pr "  ii - mii gap : %d pipelined loops, mean %.3f@."
+    (Histogram.count s.Campaign.gap)
+    (Histogram.mean s.Campaign.gap);
+  Fmt.pr "  efficiency   : mean %.3f@." (Histogram.mean s.Campaign.eff);
+  Fmt.pr "  code size    : mean %.1f instruction words@."
+    (Histogram.mean s.Campaign.csize);
+  List.iter
+    (fun (f : Campaign.failure) ->
+      Fmt.pr "  FAIL seed %d: %s (%s) minimized %d -> %d nodes in %d evals%s@."
+        f.Campaign.f_seed f.Campaign.f_kind f.Campaign.f_detail
+        f.Campaign.f_nodes_before f.Campaign.f_nodes_after f.Campaign.f_evals
+        (match f.Campaign.f_file with
+        | Some p -> " banked " ^ p
+        | None -> ""))
+    s.Campaign.failures;
+  if s.Campaign.unminimized > 0 then
+    Fmt.pr "  (+%d failure(s) beyond the bank cap, not minimized)@."
+      s.Campaign.unminimized
+
+(** E17: stream a seed range of generated programs through the
+    differential oracle. A global [--inject SITE\@K] switches to
+    inject mode: the fault is re-armed around every program (and the
+    campaign runs single-domain), so the armed site must be detected,
+    minimized and banked — the CI must-fire case. *)
+let table_campaign ?(quick = false) ~seeds ~bank ~jobs () =
+  let name = if quick then "campaign-quick" else "campaign" in
+  let lo, hi =
+    match seeds with
+    | Some (lo, hi) -> (lo, hi)
+    | None -> if quick then (1, 250) else (1, 10_000)
+  in
+  let mode =
+    match Sp_util.Fault.armed_spec () with
+    | Some (site, k) ->
+      (* the campaign re-arms per program; the global arming from the
+         driver would otherwise double-count hits *)
+      Sp_util.Fault.disarm ();
+      Campaign.Inject (site, k)
+    | None -> Campaign.Clean
+  in
+  section
+    (Fmt.str "E17: differential fuzzing campaign (seeds %d..%d%s)" lo hi
+       (match mode with
+       | Campaign.Clean -> ""
+       | Campaign.Inject (site, k) -> Fmt.str ", inject %s@%d" site k));
+  let cfg =
+    { Campaign.default with Campaign.lo; hi; jobs; mode; bank_dir = bank }
+  in
+  let total = hi - lo + 1 in
+  let t0 = Monotonic_clock.now () in
+  let last = ref 0 in
+  let s =
+    Campaign.run
+      ~on_progress:(fun n ->
+        if n - !last >= 2000 || n = total then begin
+          last := n;
+          Fmt.pr "  %d/%d programs@." n total
+        end)
+      cfg
+  in
+  let dt = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9 in
+  Fmt.pr "@.";
+  print_campaign_summary s;
+  (* throughput goes to stdout only — artifacts carry no wall-clock *)
+  Fmt.pr "  throughput   : %.0f programs/s (%.1f s wall, %d job(s))@."
+    (float_of_int total /. dt)
+    dt
+    (match mode with Campaign.Clean -> max 1 jobs | Campaign.Inject _ -> 1);
+  emit name (json_of_campaign s);
+  let failures = Campaign.failure_count s in
+  if failures > 0 then begin
+    Fmt.pr "@.campaign: %d failing seed(s) out of %d@." failures s.Campaign.total;
+    exit_status := 1
+  end
+  else
+    Fmt.pr "@.campaign: OK — %d programs, every verdict pass@."
+      s.Campaign.total
+
+(** E17b: graceful-degradation sweep — every registered compiler fault
+    site armed across the population; loops must fall back cleanly
+    (degradation is graceful here), anything worse fails. *)
+let table_campaign_sweep ~seeds ~bank ~jobs () =
+  let lo, hi = match seeds with Some r -> r | None -> (1, 200) in
+  Sp_util.Fault.disarm () (* the sweep arms every site itself *);
+  section (Fmt.str "E17b: fault-site sweep (seeds %d..%d)" lo hi);
+  let cfg =
+    { Campaign.default with Campaign.lo; hi; jobs; bank_dir = bank }
+  in
+  let results = Campaign.sweep cfg in
+  let t =
+    Table.create
+      ~headers:[ "armed site"; "programs"; "pass"; "degraded loops"; "failures" ]
+      ~aligns:[ Table.L; R; R; R; R ]
+  in
+  let bad = ref 0 in
+  List.iter
+    (fun ((site, k), (s : Campaign.summary)) ->
+      let degraded =
+        List.fold_left
+          (fun acc (tag, n) -> if tag = "degraded" then acc + n else acc)
+          0 s.Campaign.statuses
+      in
+      let failures = Campaign.failure_count s in
+      bad := !bad + failures;
+      Table.add_row t
+        [
+          Fmt.str "%s@%d" site k;
+          string_of_int s.Campaign.total;
+          string_of_int s.Campaign.pass;
+          string_of_int degraded;
+          string_of_int failures;
+        ])
+    results;
+  Fmt.pr "%a@." Table.pp t;
+  emit "campaign-sweep"
+    (Json.Obj
+       (List.map
+          (fun ((site, k), s) ->
+            (Fmt.str "%s@%d" site k, json_of_campaign s))
+          results));
+  if !bad > 0 then begin
+    Fmt.pr "@.sweep: %d non-graceful failure(s)@." !bad;
+    exit_status := 1
+  end
+  else
+    Fmt.pr "@.sweep: OK — every armed site degraded gracefully@."
+
+(* ------------------------------------------------------------------ *)
 
 let all () =
   table_example ();
@@ -1444,6 +1634,34 @@ let () =
         exit 2)
     | _, rest -> (2.0, rest)
   in
+  let seeds, args =
+    match peel "--seeds" 1 args with
+    | Some [ spec ], rest -> (
+      match
+        try Scanf.sscanf spec "%d..%d%!" (fun lo hi -> Some (lo, hi))
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+      with
+      | Some (lo, hi) when lo <= hi -> (Some (lo, hi), rest)
+      | _ ->
+        Fmt.epr "--seeds needs LO..HI with LO <= HI, got %S@." spec;
+        exit 2)
+    | _, rest -> (None, rest)
+  in
+  let bank, args =
+    match peel "--bank" 1 args with
+    | Some [ d ], rest -> (Some d, rest)
+    | _, rest -> (None, rest)
+  in
+  let jobs, args =
+    match peel "--jobs" 1 args with
+    | Some [ j ], rest -> (
+      match int_of_string_opt j with
+      | Some n when n >= 1 -> (n, rest)
+      | _ ->
+        Fmt.epr "--jobs needs a positive integer, got %S@." j;
+        exit 2)
+    | _, rest -> (1, rest)
+  in
   let args =
     match peel "--inject" 1 args with
     | Some [ spec ], rest -> (
@@ -1504,6 +1722,9 @@ let () =
     | "trace-overhead" -> table_trace_overhead ()
     | "compile-speed" -> table_compile_speed ()
     | "compile-speed-quick" -> table_compile_speed ~quick:true ()
+    | "campaign" -> table_campaign ~seeds ~bank ~jobs ()
+    | "campaign-quick" -> table_campaign ~quick:true ~seeds ~bank ~jobs ()
+    | "campaign-sweep" -> table_campaign_sweep ~seeds ~bank ~jobs ()
     | _ ->
       Fmt.epr "unknown table %s@." t;
       exit 1)
@@ -1519,4 +1740,5 @@ let () =
       "usage: %s [--table T | --figure F | --bechamel] [--emit-json FILE]@."
       Sys.argv.(0);
     exit 1);
-  Option.iter write_artifacts emit_path
+  Option.iter write_artifacts emit_path;
+  if !exit_status <> 0 then exit !exit_status

@@ -204,4 +204,50 @@ if $BENCH --compare BENCH_pipeline.json "$OBS/pipe-bad.json" >/dev/null; then
 fi
 echo "   sentinel firing path: ok"
 
+echo "== campaign smoke: clean quick sweep, byte-stable artifact"
+$BENCH --table campaign-quick --emit-json "$OBS/camp1.json" >/dev/null || {
+  echo "FAIL: campaign-quick reported failing seeds on a clean tree"
+  $BENCH --table campaign-quick || true
+  exit 1
+}
+$BENCH --table campaign-quick --emit-json "$OBS/camp2.json" >/dev/null
+$JSONV "$OBS/camp1.json" schema_version \
+  artifacts/campaign-quick/total \
+  artifacts/campaign-quick/pass \
+  artifacts/campaign-quick/verdicts/pass \
+  artifacts/campaign-quick/gap/count \
+  artifacts/campaign-quick/eff/count \
+  artifacts/campaign-quick/code_size/count \
+  artifacts/campaign-quick/unminimized >/dev/null
+cmp -s "$OBS/camp1.json" "$OBS/camp2.json" || {
+  echo "FAIL: campaign artifact differs between identical runs"
+  exit 1
+}
+echo "   clean campaign + byte-stable artifact: ok"
+
+echo "== campaign sentinel: injected fault must be caught, minimized, banked"
+mkdir -p "$OBS/bank"
+if $BENCH --table campaign --seeds 1..30 --inject modsched.place@1 \
+  --bank "$OBS/bank" --emit-json "$OBS/camp-bad.json" >/dev/null 2>&1; then
+  echo "FAIL: campaign did not fire on an injected scheduler fault"
+  exit 1
+fi
+banked=$(ls "$OBS/bank"/degraded_s*.w2 2>/dev/null | head -1)
+test -n "$banked" || {
+  echo "FAIL: campaign banked no minimized degraded_s*.w2 regression"
+  ls -l "$OBS/bank" || true
+  exit 1
+}
+grep -q -- "-- camp: inject=modsched.place@1" "$banked" || {
+  echo "FAIL: banked regression does not record its trigger header"
+  cat "$banked"
+  exit 1
+}
+# the banked reproducer is a valid program: trigger-less it must pass
+$W2C run --validate --verify "$banked" >/dev/null || {
+  echo "FAIL: banked regression $banked does not run clean without the fault"
+  exit 1
+}
+echo "   inject -> minimize -> bank -> replay: ok"
+
 echo "CI OK"

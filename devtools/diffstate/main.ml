@@ -1,0 +1,30 @@
+let () =
+  let file = Sys.argv.(1) in
+  let src = In_channel.with_open_text file In_channel.input_all in
+  let p = Sp_lang.Lower.compile_source src in
+  let m = Sp_machine.Machine.warp in
+  let r = Sp_core.Compile.program m p in
+  let init st = Sp_kernels.Kernel.init_all_arrays st p in
+  let sim = Sp_vliw.Sim.run ~init m p r.Sp_core.Compile.code in
+  let o = Sp_ir.Interp.run ~init p in
+  let ist = o.Sp_ir.Interp.state and sst = sim.Sp_vliw.Sim.state in
+  List.iter
+    (fun (seg : Sp_ir.Memseg.t) ->
+      match seg.Sp_ir.Memseg.elt with
+      | Sp_ir.Memseg.Float_elt ->
+        let a = Sp_ir.Machine_state.get_farray ist seg in
+        let b = Sp_ir.Machine_state.get_farray sst seg in
+        Array.iteri
+          (fun i x ->
+            if x <> b.(i) && not (Float.is_nan x && Float.is_nan b.(i)) then
+              Printf.printf "%s[%d]: interp=%h sim=%h\n" seg.Sp_ir.Memseg.sname i x b.(i))
+          a
+      | _ ->
+        let a = Sp_ir.Machine_state.get_iarray ist seg in
+        let b = Sp_ir.Machine_state.get_iarray sst seg in
+        Array.iteri
+          (fun i x ->
+            if x <> b.(i) then
+              Printf.printf "%s[%d]: interp=%d sim=%d\n" seg.Sp_ir.Memseg.sname i x b.(i))
+          a)
+    p.Sp_ir.Program.segs

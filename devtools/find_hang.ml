@@ -28,7 +28,8 @@ let () =
             List.iter (fun carried_store ->
               List.iter (fun seed ->
                 let sp = { Gen.seed; trip; n_stmts; use_if; use_accum;
-                           use_chan; carried_store } in
+                           use_chan; carried_store; empty_body = false;
+                           maxlat = false } in
                 List.iter (fun (name, cfg) ->
                   incr n;
                   let t0 = Unix.gettimeofday () in

@@ -1,0 +1,30 @@
+(* scratch: round-trip + compile smoke for Wgen over many seeds *)
+let () =
+  (match Sys.argv with
+  | [| _; "--show"; seed |] ->
+    print_string
+      (Sp_lang.Wgen.print (Sp_lang.Wgen.generate ~seed:(int_of_string seed)));
+    exit 0
+  | _ -> ());
+  let n = try int_of_string Sys.argv.(1) with _ -> 500 in
+  let bad = ref 0 in
+  for seed = 1 to n do
+    let p = Sp_lang.Wgen.generate ~seed in
+    let src = Sp_lang.Wgen.print p in
+    (try
+       let p' = Sp_lang.Parser.parse src in
+       if not (Sp_lang.Wgen.equal_program p p') then begin
+         incr bad;
+         Printf.printf "seed %d: round-trip mismatch\n%s\n" seed src
+       end;
+       ignore (Sp_lang.Typecheck.check p');
+       let ir = Sp_lang.Lower.lower p' in
+       let m = Sp_machine.Machine.warp in
+       let r = Sp_core.Compile.program m ir in
+       ignore r
+     with ex ->
+       incr bad;
+       Printf.printf "seed %d: %s\n%s\n" seed (Printexc.to_string ex) src);
+    if !bad > 3 then exit 1
+  done;
+  Printf.printf "ok: %d seeds, %d bad\n" n !bad

@@ -1,0 +1,151 @@
+(** The regression bank: minimized failing programs as replayable
+    [.w2] files.
+
+    A banked file is ordinary W2 source preceded by [-- camp:] line
+    comments carrying the replay metadata — the expected verdict kind
+    and whatever trigger (fault injection, fuel, cycle watchdog)
+    reproduces it. Line comments are already part of the W2 lexer, so
+    every banked file is simultaneously a valid compiler input (the
+    trigger-less replay must {e pass}) and a self-describing
+    regression (the triggered replay must reproduce its kind). The
+    campaign appends to the bank; the [test/campaign] runner replays
+    every file on every [dune runtest] — the suite only ever grows
+    stronger. *)
+
+type entry = {
+  kind : string;                  (** expected verdict under the trigger *)
+  seed : int option;              (** generator seed it came from *)
+  inject : (string * int) option; (** fault site to arm on replay *)
+  fuel : int option;              (** compile-fuel cap on replay *)
+  max_cycles : int option;        (** simulation watchdog on replay *)
+  detail : string;                (** human note; not used on replay *)
+  src : string;                   (** the W2 program text *)
+}
+
+let mk ?seed ?inject ?fuel ?max_cycles ?(detail = "") ~kind src =
+  { kind; seed; inject; fuel; max_cycles; detail; src }
+
+(* one [-- camp: key=value] line per present field, fixed order *)
+let header (e : entry) =
+  let b = Buffer.create 128 in
+  let line k v = Buffer.add_string b (Printf.sprintf "-- camp: %s=%s\n" k v) in
+  line "kind" e.kind;
+  Option.iter (fun s -> line "seed" (string_of_int s)) e.seed;
+  Option.iter (fun (s, k) -> line "inject" (Printf.sprintf "%s@%d" s k)) e.inject;
+  Option.iter (fun f -> line "fuel" (string_of_int f)) e.fuel;
+  Option.iter (fun c -> line "max_cycles" (string_of_int c)) e.max_cycles;
+  if e.detail <> "" then
+    line "detail" (String.map (function '\n' -> ' ' | c -> c) e.detail);
+  Buffer.contents b
+
+let to_string e = header e ^ e.src
+
+(** Parse a banked file's text back into an entry. Unknown keys are
+    ignored (forward compatibility); a missing [kind] is an error. *)
+let of_string text : (entry, string) result =
+  let prefix = "-- camp: " in
+  let lines = String.split_on_char '\n' text in
+  let rec go acc = function
+    | l :: rest when String.length l >= String.length prefix
+                     && String.sub l 0 (String.length prefix) = prefix ->
+      let kv = String.sub l (String.length prefix)
+                 (String.length l - String.length prefix) in
+      (match String.index_opt kv '=' with
+      | Some i ->
+        let k = String.sub kv 0 i in
+        let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+        go ((k, v) :: acc) rest
+      | None -> go acc rest)
+    | rest -> (List.rev acc, String.concat "\n" rest)
+  in
+  let kvs, src = go [] lines in
+  let find k = List.assoc_opt k kvs in
+  let int_of k =
+    match find k with
+    | None -> Ok None
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some n -> Ok (Some n)
+      | None -> Error (Printf.sprintf "bad %s=%s" k v))
+  in
+  match find "kind" with
+  | None -> Error "missing '-- camp: kind=...' header"
+  | Some kind -> (
+    let inject =
+      match find "inject" with
+      | None -> Ok None
+      | Some v -> (
+        match String.index_opt v '@' with
+        | Some i -> (
+          let site = String.sub v 0 i in
+          match
+            int_of_string_opt (String.sub v (i + 1) (String.length v - i - 1))
+          with
+          | Some k when k >= 1 -> Ok (Some (site, k))
+          | _ -> Error (Printf.sprintf "bad inject=%s" v))
+        | None -> Error (Printf.sprintf "bad inject=%s" v))
+    in
+    match (int_of "seed", inject, int_of "fuel", int_of "max_cycles") with
+    | Ok seed, Ok inject, Ok fuel, Ok max_cycles ->
+      Ok
+        {
+          kind;
+          seed;
+          inject;
+          fuel;
+          max_cycles;
+          detail = Option.value ~default:"" (find "detail");
+          src;
+        }
+    | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e
+      -> Error e)
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_file path : (entry, string) result =
+  match of_string (read_file path) with
+  | Ok e -> Ok e
+  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | exception Sys_error msg -> Error msg
+
+(** Banked [.w2] files of [dir], sorted by filename for deterministic
+    replay order. Missing directory reads as empty. *)
+let list_dir dir : string list =
+  match Sys.readdir dir with
+  | files ->
+    Array.to_list files
+    |> List.filter (fun f -> Filename.check_suffix f ".w2")
+    |> List.sort compare
+    |> List.map (fun f -> Filename.concat dir f)
+  | exception Sys_error _ -> []
+
+(** Deterministic filename for an entry: kind plus seed (or a digest
+    of the source when no seed is known). *)
+let filename (e : entry) =
+  match e.seed with
+  | Some s -> Printf.sprintf "%s_s%d.w2" e.kind s
+  | None -> Printf.sprintf "%s_h%08x.w2" e.kind (Hashtbl.hash e.src)
+
+(** Write [e] into [dir] (created if missing) under its deterministic
+    {!filename}. Returns [Some path] when written, [None] when a file
+    of that name already exists — the bank keeps the first repro and
+    stays append-only. *)
+let save ~dir (e : entry) : string option =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (filename e) in
+  if Sys.file_exists path then None
+  else begin
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (to_string e));
+    Some path
+  end

@@ -1,0 +1,45 @@
+(** The regression bank: minimized failing programs stored as
+    replayable [.w2] files whose leading [-- camp: key=value] line
+    comments carry the expected verdict kind and the trigger (fault
+    injection / fuel / cycle watchdog) that reproduces it. Banked
+    files are valid compiler inputs — the trigger-less replay must
+    pass; the triggered replay must reproduce the recorded kind. *)
+
+type entry = {
+  kind : string;                  (** expected verdict under the trigger *)
+  seed : int option;              (** generator seed it came from *)
+  inject : (string * int) option; (** fault site to arm on replay *)
+  fuel : int option;              (** compile-fuel cap on replay *)
+  max_cycles : int option;        (** simulation watchdog on replay *)
+  detail : string;                (** human note; not used on replay *)
+  src : string;                   (** the W2 program text *)
+}
+
+val mk :
+  ?seed:int ->
+  ?inject:string * int ->
+  ?fuel:int ->
+  ?max_cycles:int ->
+  ?detail:string ->
+  kind:string ->
+  string ->
+  entry
+
+val to_string : entry -> string
+(** Header lines followed by the source, exactly as stored on disk. *)
+
+val of_string : string -> (entry, string) result
+(** Inverse of {!to_string}; unknown header keys are ignored. *)
+
+val filename : entry -> string
+(** Deterministic name: [<kind>_s<seed>.w2], or a source digest when
+    no seed is recorded. *)
+
+val save : dir:string -> entry -> string option
+(** Write under the deterministic filename, creating [dir] if needed.
+    [None] when that file already exists — the bank keeps the first
+    repro and stays append-only. *)
+
+val load_file : string -> (entry, string) result
+val list_dir : string -> string list
+(** Banked [.w2] paths sorted by filename; missing directory = []. *)

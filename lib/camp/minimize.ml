@@ -1,0 +1,223 @@
+(** Delta-debugging minimizer for failing W2 programs.
+
+    Classic greedy ddmin specialized to the W2 AST: propose one-point
+    shrinking rewrites — drop a statement (at any depth), inline one
+    arm of a conditional, halve a constant trip count, replace a
+    compound expression by one of its operands, drop an unused
+    declaration — and accept a candidate iff the failure predicate
+    still returns the {e same verdict kind} and the candidate is
+    strictly smaller. Repeat to fixpoint under an evaluation budget.
+
+    Determinism: candidates are enumerated in a fixed syntactic order
+    and the first improving candidate restarts the scan, so the result
+    depends only on the input program and the predicate. Progress is
+    measured by the lexicographic pair (AST node count, sum of integer
+    literal magnitudes): statement/expression rewrites shrink the
+    first component, trip-count halving shrinks the second without
+    growing the first — so every accepted step strictly decreases the
+    measure and termination is structural, not budget-dependent (the
+    budget only caps predicate evaluations, each of which compiles and
+    runs the candidate).
+
+    Type-changing rewrites (e.g. replacing a comparison by a float
+    operand) are proposed anyway: the candidate then fails the type
+    checker, the oracle reports a different verdict kind, and the
+    predicate rejects it — the same filter that rejects semantic
+    drift. *)
+
+open Sp_lang.Ast
+
+(* ------------------------------------------------------------------ *)
+(* Measure                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_weight (x : expr) =
+  match x.e with
+  | Eint n -> abs n
+  | Efloat _ | Evar _ -> 0
+  | Eindex (_, xs) | Ecall (_, xs) ->
+    List.fold_left (fun acc i -> acc + expr_weight i) 0 xs
+  | Ebin (_, a, b) -> expr_weight a + expr_weight b
+  | Eun (_, a) -> expr_weight a
+
+let rec stmt_weight (x : stmt) =
+  match x.s with
+  | Sassign (Lvar _, ex) -> expr_weight ex
+  | Sassign (Lindex (_, xs, _), ex) ->
+    List.fold_left (fun acc i -> acc + expr_weight i) (expr_weight ex) xs
+  | Sif (c, t, e) -> expr_weight c + body_weight t + body_weight e
+  | Sfor { lo; hi; body; _ } ->
+    expr_weight lo + expr_weight hi + body_weight body
+  | Ssend (ex, _) -> expr_weight ex
+  | Sreceive (Lvar _, _) -> 0
+  | Sreceive (Lindex (_, xs, _), _) ->
+    List.fold_left (fun acc i -> acc + expr_weight i) 0 xs
+
+and body_weight stmts = List.fold_left (fun acc x -> acc + stmt_weight x) 0 stmts
+
+(** Lexicographic (node count, integer-literal weight). *)
+let measure (p : program) = (Sp_lang.Wgen.size p, body_weight p.p_body)
+
+(* ------------------------------------------------------------------ *)
+(* Candidate enumeration                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** All ways to rewrite one element of [xs] via [f], plus (when
+    [drop]) all ways to drop one element. *)
+let one_point ?(drop = false) (f : 'a -> 'a list) (xs : 'a list) :
+    'a list list =
+  let rec go prefix = function
+    | [] -> []
+    | x :: rest ->
+      let here =
+        (if drop then [ List.rev_append prefix rest ] else [])
+        @ List.map
+            (fun x' -> List.rev_append prefix (x' :: rest))
+            (f x)
+      in
+      here @ go (x :: prefix) rest
+  in
+  go [] xs
+
+(** Strictly smaller rewrites of one expression: replace a compound
+    node by one of its sub-expressions, or halve an integer literal.
+    (Sub-expression promotion can change the type — the predicate
+    filters those.) *)
+let rec expr_rewrites (x : expr) : expr list =
+  let sub_rewrites wrap subs =
+    one_point expr_rewrites subs |> List.map wrap
+  in
+  match x.e with
+  | Eint n when n > 1 -> [ { x with e = Eint (n / 2) }; { x with e = Eint 0 } ]
+  | Eint 1 -> [ { x with e = Eint 0 } ]
+  | Eint _ | Efloat _ | Evar _ -> []
+  | Eindex (a, xs) -> sub_rewrites (fun xs' -> { x with e = Eindex (a, xs') }) xs
+  | Ebin (op, l, r) ->
+    (* promote either operand over the node, then shrink inside *)
+    [ l; r ]
+    @ sub_rewrites
+        (function [ l'; r' ] -> { x with e = Ebin (op, l', r') } | _ -> x)
+        [ l; r ]
+  | Eun (op, a) ->
+    a :: List.map (fun a' -> { x with e = Eun (op, a') }) (expr_rewrites a)
+  | Ecall (f, xs) ->
+    xs @ sub_rewrites (fun xs' -> { x with e = Ecall (f, xs') }) xs
+
+(** Strictly smaller rewrites of one statement. Loop bodies and
+    conditional arms additionally shrink by dropping statements. *)
+let rec stmt_rewrites (x : stmt) : stmt list =
+  match x.s with
+  | Sassign (lv, ex) ->
+    let lv_rw =
+      match lv with
+      | Lvar _ -> []
+      | Lindex (a, xs, p) ->
+        one_point expr_rewrites xs
+        |> List.map (fun xs' -> { x with s = Sassign (Lindex (a, xs', p), ex) })
+    in
+    lv_rw
+    @ List.map (fun ex' -> { x with s = Sassign (lv, ex') }) (expr_rewrites ex)
+  | Sif (c, t, e) ->
+    (* inline either arm in place of the conditional; shrink inside *)
+    t @ e
+    @ (if e <> [] then [ { x with s = Sif (c, t, []) } ] else [])
+    @ List.map (fun c' -> { x with s = Sif (c', t, e) }) (expr_rewrites c)
+    @ List.map
+        (fun t' -> { x with s = Sif (c, t', e) })
+        (one_point ~drop:true stmt_rewrites t)
+    @ List.map
+        (fun e' -> { x with s = Sif (c, t, e') })
+        (one_point ~drop:true stmt_rewrites e)
+  | Sfor ({ lo; hi; body; _ } as f) ->
+    List.map (fun hi' -> { x with s = Sfor { f with hi = hi' } }) (expr_rewrites hi)
+    @ List.map
+        (fun lo' -> { x with s = Sfor { f with lo = lo' } })
+        (expr_rewrites lo)
+    @ List.map
+        (fun body' -> { x with s = Sfor { f with body = body' } })
+        (one_point ~drop:true stmt_rewrites body)
+  | Ssend (ex, ch) ->
+    List.map (fun ex' -> { x with s = Ssend (ex', ch) }) (expr_rewrites ex)
+  | Sreceive _ -> []
+
+let decl_used (p : program) (d : decl) =
+  let name = d.d_name in
+  let rec in_expr (x : expr) =
+    match x.e with
+    | Evar v -> String.equal v name
+    | Eint _ | Efloat _ -> false
+    | Eindex (a, xs) | Ecall (a, xs) ->
+      String.equal a name || List.exists in_expr xs
+    | Ebin (_, a, b) -> in_expr a || in_expr b
+    | Eun (_, a) -> in_expr a
+  in
+  let in_lv = function
+    | Lvar (v, _) -> String.equal v name
+    | Lindex (a, xs, _) -> String.equal a name || List.exists in_expr xs
+  in
+  let rec in_stmt (x : stmt) =
+    match x.s with
+    | Sassign (lv, ex) -> in_lv lv || in_expr ex
+    | Sif (c, t, e) -> in_expr c || List.exists in_stmt t || List.exists in_stmt e
+    | Sfor { lo; hi; body; _ } ->
+      in_expr lo || in_expr hi || List.exists in_stmt body
+    | Ssend (ex, _) -> in_expr ex
+    | Sreceive (lv, _) -> in_lv lv
+  in
+  List.exists in_stmt p.p_body
+
+(** Every one-point shrink of a whole program, in fixed order:
+    top-level statement drops and rewrites first (the big wins), then
+    unused-declaration drops. *)
+let candidates (p : program) : program list =
+  let bodies =
+    one_point ~drop:true stmt_rewrites p.p_body
+    |> List.map (fun b -> { p with p_body = b })
+  in
+  let decls =
+    p.p_decls
+    |> List.filter (fun d -> not (decl_used p d))
+    |> List.map (fun d ->
+           {
+             p with
+             p_decls = List.filter (fun d' -> d' != d) p.p_decls;
+           })
+  in
+  bodies @ decls
+
+(* ------------------------------------------------------------------ *)
+(* The greedy fixpoint                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type stats = { evals : int; rounds : int }
+
+(** Minimize [p] under [predicate] (true = still fails the same way).
+    Returns the smallest accepted program and statistics. [budget]
+    caps predicate evaluations; the algorithm also stops at the greedy
+    fixpoint (no candidate accepted in a full scan). The result is
+    [p] itself if nothing smaller reproduces. *)
+let minimize ?(budget = 400) ~(predicate : program -> bool) (p : program) :
+    program * stats =
+  let evals = ref 0 in
+  let rounds = ref 0 in
+  let check c =
+    if !evals >= budget then false
+    else begin
+      incr evals;
+      predicate c
+    end
+  in
+  let rec fix current =
+    incr rounds;
+    let cur_m = measure current in
+    let rec scan = function
+      | [] -> current (* fixpoint *)
+      | c :: rest ->
+        if measure c < cur_m && check c then fix c
+        else if !evals >= budget then current
+        else scan rest
+    in
+    scan (candidates current)
+  in
+  let out = fix p in
+  (out, { evals = !evals; rounds = !rounds })

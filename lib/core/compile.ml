@@ -202,6 +202,22 @@ type result = {
   code_size : int;
 }
 
+(** A stable textual digest of a compilation result: full generated
+    code plus each loop's id/ii/mii/status. Two results fingerprint
+    equal iff they emitted the same instructions and reached the same
+    per-loop scheduling outcome — the determinism witness used by both
+    the compile-speed benchmark (jobs=1 vs jobs=N) and the campaign's
+    parallel-divergence oracle. *)
+let fingerprint (r : result) =
+  Fmt.str "%a|%s" Sp_vliw.Prog.pp r.code
+    (String.concat ";"
+       (List.map
+          (fun lr ->
+            Printf.sprintf "%d:%s:%d:%s" lr.l_id
+              (match lr.ii with Some s -> string_of_int s | None -> "-")
+              lr.mii (status_to_string lr.status))
+          r.loops))
+
 (* ------------------------------------------------------------------ *)
 
 type ctx = {
@@ -210,6 +226,7 @@ type ctx = {
   vregs : Vreg.Supply.supply;
   ops : Op.Supply.supply;
   global_uses : (int, int) Hashtbl.t;
+  global_defs : (int, int) Hashtbl.t;
   mutable reports : loop_report list;
   mutable next_loop : int;
   seq_rid : int;
@@ -238,9 +255,30 @@ let count_uses tbl (r : Region.t) =
   in
   go r
 
+let count_defs tbl (r : Region.t) =
+  let bump (v : Vreg.t) =
+    Hashtbl.replace tbl v.Vreg.id
+      (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v.Vreg.id))
+  in
+  let rec go = function
+    | Region.Ops ops -> List.iter (fun op -> List.iter bump (Op.writes op)) ops
+    | Region.Seq rs -> List.iter go rs
+    | Region.If { then_; else_; _ } ->
+      go then_;
+      go else_
+    | Region.For { iv; body; _ } ->
+      (* the synthesized counter init and per-iteration update *)
+      bump iv;
+      bump iv;
+      go body
+  in
+  go r
+
 let make_ctx ?pool (m : Machine.t) cfg (p : Program.t) =
   let global_uses = Hashtbl.create 256 in
   count_uses global_uses p.Program.body;
+  let global_defs = Hashtbl.create 256 in
+  count_defs global_defs p.Program.body;
   let seq_rid = (Machine.find_resource m "seq").Machine.rid in
   (* every datapath resource unit (at offset 0), excluding the
      sequencer — control constructs claim the sequencer separately for
@@ -259,6 +297,7 @@ let make_ctx ?pool (m : Machine.t) cfg (p : Program.t) =
     vregs = p.Program.vregs;
     ops = p.Program.ops;
     global_uses;
+    global_defs;
     reports = [];
     next_loop = 0;
     seq_rid;
@@ -399,7 +438,27 @@ let reduce_if ctx ~cond ~(then_units : Sunit.t list) ~(else_units : Sunit.t list
       @ e_uses
       @ List.map (fun (r, _) -> (r, 0)) one_sided
     in
-    let defs = Sunit.merge_times max t_defs e_defs in
+    (* A definition lands at a different time on each path; record it
+       at both bounds, earliest first: output- and anti-dependences
+       into the construct are drawn to a unit's first-listed def (the
+       earliest any path's write can land), flow edges out of it from
+       the last-listed (the latest). A single max-merged time would let
+       a co-scheduled earlier write land inside the faster branch after
+       that branch's own write. *)
+    let defs =
+      let h = Hashtbl.create 16 in
+      List.iter
+        (fun ((r : Vreg.t), t) ->
+          match Hashtbl.find_opt h r.Vreg.id with
+          | Some (_, lo, hi) ->
+            Hashtbl.replace h r.Vreg.id (r, min lo t, max hi t)
+          | None -> Hashtbl.replace h r.Vreg.id (r, t, t))
+        (t_defs @ e_defs);
+      Hashtbl.fold
+        (fun _ (r, lo, hi) acc ->
+          if lo = hi then (r, hi) :: acc else (r, lo) :: (r, hi) :: acc)
+        h []
+    in
     let shift l = List.map (fun (o, r) -> (o + 1, r)) l in
     let resv =
       if ctx.cfg.if_exclusive then exclusive_resv ()
@@ -486,7 +545,32 @@ let is_hoistable (u : Sunit.t) =
     (slots with control payloads) are skipped — their expansion is not
     straight-line, and the inner construct was already checked when it
     was reduced. *)
-let validate_frags ctx (pf : Emit.pipe_frags) : string option =
+let validate_frags ctx (units : Sunit.t array) (pf : Emit.pipe_frags) :
+    string option =
+  (* Registers the loop reads before its first definition of them (in
+     program order) enter the fragments holding a landed value from the
+     enclosing level; without declaring them the straight-line check
+     mistakes iteration-0 reads that legally overlap the first carried
+     definition for displaced producers. *)
+  let live_in =
+    let decided = Hashtbl.create 16 and acc = ref [] in
+    Array.iter
+      (fun (u : Sunit.t) ->
+        List.iter
+          (fun ((r : Vreg.t), _) ->
+            if not (Hashtbl.mem decided r.Vreg.id) then begin
+              Hashtbl.replace decided r.Vreg.id ();
+              acc := r :: !acc
+            end)
+          u.Sunit.uses;
+        List.iter
+          (fun ((r : Vreg.t), _) ->
+            if not (Hashtbl.mem decided r.Vreg.id) then
+              Hashtbl.replace decided r.Vreg.id ())
+          u.Sunit.defs)
+      units;
+    !acc
+  in
   let frags = [ pf.Emit.f_prolog; pf.Emit.f_kernel; pf.Emit.f_epilog ] in
   let straight =
     List.for_all
@@ -507,7 +591,9 @@ let validate_frags ctx (pf : Emit.pipe_frags) : string option =
                f)
            frags)
     in
-    match Sp_vliw.Validate.check_timing ctx.m { Sp_vliw.Prog.code } with
+    match
+      Sp_vliw.Validate.check_timing ~live_in ctx.m { Sp_vliw.Prog.code }
+    with
     | [] -> None
     | v :: _ -> Some (Fmt.str "%a" Sp_vliw.Validate.pp_violation v)
 
@@ -600,6 +686,13 @@ type prelude = {
   pr_units : Sunit.t array;
   pr_hoisted : Sunit.t list;
   pr_one_op : Op.t;
+  pr_body_uses : (int, int) Hashtbl.t;
+      (** AST-level use counts of the loop's body region — same walker
+          as [ctx.global_uses], so comparing the two is well-defined.
+          Unit-level counting would disagree: reductions add synthetic
+          use entries (live-in pins, one-sided-branch keeps) that
+          inflate a register's local count past its real one, hiding
+          outside uses from the live-out test. *)
 }
 
 (** Outcome of the analysis phase's interval search. *)
@@ -620,14 +713,24 @@ type staged = {
   sg_search : searched;
 }
 
-let loop_prelude ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
-    (body_units : Sunit.t list) : prelude =
+let loop_prelude ctx ~(iv : Vreg.t) ~(n : Region.bound) ~(body : Region.t)
+    ~depth (body_units : Sunit.t list) : prelude =
   let l_id = ctx.next_loop in
   ctx.next_loop <- l_id + 1;
-  (* hoist loop-invariant constants to the enclosing level — but only
-     when the destination has no other definition in the body (an inner
-     loop's counter is initialized by a constant yet redefined by its
-     update, and must be re-initialized every iteration) *)
+  (* Hoist loop-invariant constants to the enclosing level. Moving a
+     body definition [r := const] before the loop is only sound when
+     every execution observes the same values it did in place:
+       - [r] has no other definition in the body (an inner loop's
+         counter is initialized by a constant yet redefined by its
+         update, and must be re-initialized every iteration);
+       - no body unit before the definition reads [r] — otherwise
+         iteration 0 must see the pre-loop value, not the constant;
+       - [r] has no definition elsewhere in the program, and either the
+         loop is statically known to run at least once or every read of
+         [r] in the whole program happens inside this body — otherwise
+         a zero-trip execution would leak the constant to code after
+         the loop. Registers synthesized after the whole-program count
+         (inner-loop plumbing) are local by construction and pass. *)
   let def_counts = Hashtbl.create 32 in
   List.iter
     (fun (u : Sunit.t) ->
@@ -637,15 +740,48 @@ let loop_prelude ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
             (1 + Option.value ~default:0 (Hashtbl.find_opt def_counts r.Vreg.id)))
         u.Sunit.defs)
     body_units;
+  let body_uses = Hashtbl.create 32 in
+  let first_use = Hashtbl.create 32 in
+  List.iteri
+    (fun i (u : Sunit.t) ->
+      List.iter
+        (fun ((r : Vreg.t), _) ->
+          Hashtbl.replace body_uses r.Vreg.id
+            (1 + Option.value ~default:0 (Hashtbl.find_opt body_uses r.Vreg.id));
+          if not (Hashtbl.mem first_use r.Vreg.id) then
+            Hashtbl.replace first_use r.Vreg.id i)
+        u.Sunit.uses)
+    body_units;
+  let trip_ge_1 = match n with Region.Const k -> k >= 1 | Region.Reg _ -> false in
+  let safe_to_hoist i (u : Sunit.t) =
+    is_hoistable u
+    && List.for_all
+         (fun ((r : Vreg.t), _) ->
+           let id = r.Vreg.id in
+           Hashtbl.find_opt def_counts id = Some 1
+           && (match Hashtbl.find_opt first_use id with
+              | Some j -> j >= i
+              | None -> true)
+           &&
+           match
+             (Hashtbl.find_opt ctx.global_defs id,
+              Hashtbl.find_opt ctx.global_uses id)
+           with
+           | None, None -> true
+           | gdefs, guses ->
+             Option.value ~default:0 gdefs = 1
+             && (trip_ge_1
+                || Option.value ~default:0 guses
+                   = Option.value ~default:0 (Hashtbl.find_opt body_uses id)))
+         u.Sunit.defs
+  in
   let hoisted, body_units =
-    List.partition
-      (fun (u : Sunit.t) ->
-        is_hoistable u
-        && List.for_all
-             (fun ((r : Vreg.t), _) ->
-               Hashtbl.find_opt def_counts r.Vreg.id = Some 1)
-             u.Sunit.defs)
-      body_units
+    let hp, bp =
+      List.partition
+        (fun (i, u) -> safe_to_hoist i u)
+        (List.mapi (fun i u -> (i, u)) body_units)
+    in
+    (List.map snd hp, List.map snd bp)
   in
   (* synthesize the induction update: iv := iv + 1 *)
   let one = Vreg.Supply.fresh ctx.vregs ~name:"one" Vreg.I in
@@ -657,6 +793,8 @@ let loop_prelude ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
   in
   let body_units = body_units @ [ Sunit.of_op ctx.m ~sid:0 upd_op ] in
   let units = renumber body_units in
+  let ast_uses = Hashtbl.create 64 in
+  count_uses ast_uses body;
   {
     pr_l_id = l_id;
     pr_iv = iv;
@@ -665,6 +803,7 @@ let loop_prelude ctx ~(iv : Vreg.t) ~(n : Region.bound) ~depth
     pr_units = units;
     pr_hoisted = hoisted;
     pr_one_op = one_op;
+    pr_body_uses = ast_uses;
   }
 
 let loop_analyze ctx (pre : prelude) : staged =
@@ -672,19 +811,12 @@ let loop_analyze ctx (pre : prelude) : staged =
   let units = pre.pr_units in
   if Sp_obs.Explain.enabled () then Sp_obs.Explain.set_loop l_id;
   Sp_util.Log.debug "loop%d: enter, %d units" l_id (Array.length units - 1);
-  (* live-out test: used more often in the whole program than inside *)
-  let local_uses = Hashtbl.create 64 in
-  Array.iter
-    (fun (u : Sunit.t) ->
-      List.iter
-        (fun ((r : Vreg.t), _) ->
-          Hashtbl.replace local_uses r.Vreg.id
-            (1 + Option.value ~default:0 (Hashtbl.find_opt local_uses r.Vreg.id)))
-        u.Sunit.uses)
-    units;
+  (* live-out test: used more often in the whole program than inside
+     the loop's body region — both counts taken by the same AST walker
+     ([count_uses]), so the comparison is exact *)
   let live_out (r : Vreg.t) =
     let g = Option.value ~default:0 (Hashtbl.find_opt ctx.global_uses r.Vreg.id) in
-    let l = Option.value ~default:0 (Hashtbl.find_opt local_uses r.Vreg.id) in
+    let l = Option.value ~default:0 (Hashtbl.find_opt pre.pr_body_uses r.Vreg.id) in
     g > l
   in
   let loop_args () = [ ("loop", Sp_obs.Trace.I l_id) ] in
@@ -904,7 +1036,7 @@ let loop_finish ctx (pre : prelude) (sg : staged) : Sunit.t list =
             Sp_util.Log.debug "loop%d: frags built" l_id;
             match
               Sp_obs.Trace.span ~args:loop_args "compile.validate" (fun () ->
-                  validate_frags ctx pf)
+                  validate_frags ctx units pf)
             with
             | Some msg -> Error (Degraded msg, Some stats)
             | None -> Ok (sched, mve, pf, stats, cert))
@@ -923,6 +1055,26 @@ let loop_finish ctx (pre : prelude) (sg : staged) : Sunit.t list =
     match n with
     | Region.Const k -> Emit.Known k
     | Region.Reg v -> Emit.Runtime v
+  in
+  (* Empty words separating two schedules stitched back to back (the
+     drained pipeline and the serial remainder, or the peeled serial
+     iterations and the prolog). Each schedule is internally
+     latency-correct, but a write issued near the end of the first may
+     still be in flight when the second begins reading; the pad covers
+     the longest write latency any body unit can leave in flight. *)
+  let drain_pad =
+    let d =
+      Array.fold_left
+        (fun acc (u : Sunit.t) ->
+          List.fold_left (fun a ((_ : Vreg.t), t) -> max a t) acc u.Sunit.defs)
+        1 units
+    in
+    d - 1
+  in
+  let emit_drain asm =
+    for _ = 1 to drain_pad do
+      Sp_vliw.Prog.Asm.inst asm []
+    done
   in
   let mk_unit ~prolog ~epilog ~prolog_resv ~epilog_resv ~(mid : Sunit.mid_emit)
       : Sunit.t =
@@ -947,10 +1099,18 @@ let loop_finish ctx (pre : prelude) (sg : staged) : Sunit.t list =
         h []
     in
     let defs =
-      (* a value defined in the body may land in the register file up to
-         its write latency after the loop's final instruction; the
-         reduced node's def times must carry that overhang so code after
-         the loop does not read a stale value *)
+      (* Each register the body defines is recorded at two times. The
+         late bound: a value may land in the register file up to its
+         write latency after the loop's final instruction, and code
+         after the loop must not read a stale value, so the def carries
+         that overhang past the node's length. The early bound: the
+         loop's first pass can land the write as soon as the def's
+         unit-relative latency after the node begins, so preceding
+         in-flight writes (write-port conflicts) and preceding reads
+         (anti-dependences) at the enclosing level must resolve before
+         that — the static length of the node understates its dynamic
+         expansion, which makes the late bound alone unsound for
+         those edges. *)
       let h = Hashtbl.create 32 in
       Array.iter
         (fun (u : Sunit.t) ->
@@ -958,11 +1118,18 @@ let loop_finish ctx (pre : prelude) (sg : staged) : Sunit.t list =
             (fun ((r : Vreg.t), t) ->
               let over = max 0 (t - u.Sunit.len + 1) in
               match Hashtbl.find_opt h r.Vreg.id with
-              | Some (_, o) when o >= over -> ()
-              | _ -> Hashtbl.replace h r.Vreg.id (r, over))
+              | Some (_, o, e) ->
+                Hashtbl.replace h r.Vreg.id (r, max o over, min e t)
+              | None -> Hashtbl.replace h r.Vreg.id (r, over, t))
             u.Sunit.defs)
         units;
-      Hashtbl.fold (fun _ (r, over) acc -> (r, len + over) :: acc) h []
+      (* The early entry must precede the late one in the access
+         stream: the dependence builder draws output and anti edges to
+         a unit's first-listed def, and flow edges from its last. *)
+      Hashtbl.fold
+        (fun _ (r, over, early) acc ->
+          (r, early) :: (r, len + over) :: acc)
+        h []
     in
     let mems = summarize_mems units ~len in
     let resv =
@@ -1083,6 +1250,7 @@ let loop_finish ctx (pre : prelude) (sg : staged) : Sunit.t list =
                     pf.Emit.f_kernel;
                   Emit.emit_slots asm ~rename ~depth pf.Emit.f_epilog
                     ~extras:Emit.no_extras;
+                  emit_drain asm;
                   Emit.emit_counted_loop asm ~rename ~depth ~count:(Emit.Known r)
                     seq_body);
             }
@@ -1130,6 +1298,7 @@ let loop_finish ctx (pre : prelude) (sg : staged) : Sunit.t list =
                 (* peel (n - (sc-1)) mod u iterations serially first *)
                 Emit.emit_counted_loop asm ~rename ~depth
                   ~count:(Emit.Runtime rrem) seq_body;
+                emit_drain asm;
                 (* the pass counter is loaded before the prolog: the
                    prolog->kernel seam is part of the modulo timeline
                    and must not gain an extra instruction *)
@@ -1167,8 +1336,9 @@ let loop_finish ctx (pre : prelude) (sg : staged) : Sunit.t list =
     calling domain, recording straight into the ambient observability
     buffers). Used for non-innermost loops — their bodies were already
     reduced, so there is nothing to overlap them with. *)
-let reduce_loop ctx ~iv ~n ~depth (body_units : Sunit.t list) : Sunit.t list =
-  let pre = loop_prelude ctx ~iv ~n ~depth body_units in
+let reduce_loop ctx ~iv ~n ~body ~depth (body_units : Sunit.t list) :
+    Sunit.t list =
+  let pre = loop_prelude ctx ~iv ~n ~body ~depth body_units in
   loop_finish ctx pre (loop_analyze ctx pre)
 
 (* ------------------------------------------------------------------ *)
@@ -1240,11 +1410,13 @@ let rec items_of_region ctx ~depth (r : Region.t) : item list =
   | Region.For { iv; n; body } ->
     let inner_items = items_of_region ctx ~depth:(depth + 1) body in
     if Region.contains_loop body then
-      [ Now (reduce_loop ctx ~iv ~n ~depth (flush_items ctx inner_items)) ]
+      [ Now (reduce_loop ctx ~iv ~n ~body ~depth (flush_items ctx inner_items)) ]
     else
       (* innermost: bodies hold no pendings (nested Ifs were flushed),
          so this flush is a plain concatenation *)
-      [ Later (loop_prelude ctx ~iv ~n ~depth (flush_items ctx inner_items)) ]
+      [
+        Later (loop_prelude ctx ~iv ~n ~body ~depth (flush_items ctx inner_items));
+      ]
 
 let units_of_region ctx ~depth (r : Region.t) : Sunit.t list =
   flush_items ctx (items_of_region ctx ~depth r)

@@ -121,14 +121,45 @@ let build ?(mve = true) ?(live_out = fun (_ : Vreg.t) -> false)
       reg_accesses;
   let is_candidate (r : Vreg.t) = Vreg.Set.mem r !candidates in
   (* --- edge accumulation, strongest-per-(src,dst,omega) ------------ *)
+  (* A negative intra-iteration delay licenses the successor to issue
+     before the predecessor, trusting that cycle distance equals
+     instruction-word distance (reads at issue, writes land a latency
+     later). A unit that expands at emission (an inner loop) re-executes
+     its words, so any such unit scheduled between the two issue points
+     stretches the cycle distance past the word distance and the
+     in-flight-write-over-read overlap resolves the wrong way. When the
+     body contains an expanding unit, negative same-iteration delays
+     are therefore clamped to zero: issue order then implies cycle
+     order under any monotone word-to-cycle mapping. Carried edges
+     need no clamp — the restart interval spans the whole (dynamic)
+     body, covering any stretch. *)
+  let expanding_present = Array.exists Sunit.expands units in
   let acc : (int * int * int, int) Hashtbl.t = Hashtbl.create 256 in
   let edge src dst delay omega =
+    let delay =
+      if expanding_present && omega = 0 && delay < 0 then 0 else delay
+    in
     if src = dst && omega = 0 then ()
     else
       let key = (src, dst, omega) in
       match Hashtbl.find_opt acc key with
       | Some d when d >= delay -> ()
       | _ -> Hashtbl.replace acc key delay
+  in
+  (* A reduced loop's mid slot expands to the whole dynamic execution
+     at emission, so an operation that must access a register before
+     the loop's body does (anti- or output-dependence into the loop)
+     cannot rely on latency slack alone: scheduled at or after the mid
+     slot it would be emitted after the expansion and run after every
+     iteration. Such edges are clamped so the predecessor issues
+     strictly before the mid. *)
+  let edge_into_def src dst delay omega =
+    let delay =
+      match units.(dst).Sunit.payload with
+      | Sunit.P_loop { prolog; _ } -> max delay (1 - Array.length prolog)
+      | _ -> delay
+    in
+    edge src dst delay omega
   in
   (* --- register dependences ---------------------------------------- *)
   Hashtbl.iter
@@ -152,7 +183,7 @@ let build ?(mve = true) ?(live_out = fun (_ : Vreg.t) -> false)
                  | [] -> ()
                  | b :: more ->
                    if b.a_def then
-                     edge a.a_unit b.a_unit (a.a_time - b.a_time + 1) 0
+                     edge_into_def a.a_unit b.a_unit (a.a_time - b.a_time + 1) 0
                    else begin
                      edge a.a_unit b.a_unit (a.a_time - b.a_time) 0;
                      scan more
@@ -160,9 +191,20 @@ let build ?(mve = true) ?(live_out = fun (_ : Vreg.t) -> false)
                in
                scan rest
              else
-               (* anti to the next def *)
-               match List.find_opt (fun b -> b.a_def) rest with
-               | Some d -> edge a.a_unit d.a_unit (a.a_time - d.a_time + 1) 0
+               (* anti to the next def of ANOTHER unit. A def by the
+                  use's own unit (a construct that both reads and
+                  rewrites the register, or a dual-time def entry) must
+                  not stop the scan: it would only produce a skipped
+                  self edge, and the unit's output edge to the next
+                  def bounds that def against the unit's WRITE time,
+                  not against this read — which can be later. *)
+               match
+                 List.find_opt
+                   (fun b -> b.a_def && b.a_unit <> a.a_unit)
+                   rest
+               with
+               | Some d ->
+                 edge_into_def a.a_unit d.a_unit (a.a_time - d.a_time + 1) 0
                | None -> ());
             same_iter rest
         in
@@ -180,12 +222,12 @@ let build ?(mve = true) ?(live_out = fun (_ : Vreg.t) -> false)
           List.iter
             (fun a ->
               if (not a.a_def) && a.a_pos > lastdef.a_pos then
-                edge a.a_unit firstdef.a_unit
+                edge_into_def a.a_unit firstdef.a_unit
                   (a.a_time - firstdef.a_time + 1)
                   1)
             accs;
           (* output: last def before next iteration's first def *)
-          edge lastdef.a_unit firstdef.a_unit
+          edge_into_def lastdef.a_unit firstdef.a_unit
             (lastdef.a_time - firstdef.a_time + 1)
             1
         end))

@@ -215,13 +215,17 @@ let emit_op_chain asm (m : Machine.t) ~rename ops =
 type count = Known of int | Runtime of Vreg.t
 
 (** Emit a counted loop over [body] (a fragment), using hardware
-    counter [depth]. [Known 0] emits nothing. *)
+    counter [depth]. A loop node is charged one slot of its parent's
+    schedule for the loop proper ({!payload_len}), so even a
+    statically zero-trip loop must emit one (empty) word — dropping it
+    would land every parent operation after the construct a cycle
+    early, breaking latencies of parent values in flight across it. *)
 let emit_counted_loop asm ~rename ~depth ~count (body : Sunit.frag) =
   let body_once () =
     emit_slots asm ~rename ~depth:(depth + 1) body ~extras:no_extras
   in
   match count with
-  | Known 0 -> ()
+  | Known 0 -> Asm.inst asm []
   | Known k ->
     Asm.attach_ctl asm (Inst.CtrSet { ctr = depth; value = k });
     let l_top = Asm.fresh_label asm in

@@ -1,0 +1,351 @@
+(** Seeded generation of W2 source programs for the differential
+    campaign, plus the parseable pretty-printer, node counting and the
+    position-ignoring structural equality the campaign minimizer needs.
+
+    Unlike [Gen] (test/gen.ml), which drives the IR {!Sp_ir.Builder}
+    directly, this module produces W2 {e source text}: the campaign
+    exercises the whole front end — lexer, parser, typechecker,
+    lowering — and banked regressions must be replayable [.w2] files.
+    Everything is deterministic in the seed: the same seed yields the
+    same program, byte for byte, on every run and platform (the
+    generator uses a private linear-congruential stream and no hash
+    tables).
+
+    Generated programs deliberately over-weight the shapes that
+    historically break loop schedulers: zero-trip ([for i := 0 to -1])
+    and single-trip loops, empty bodies, runtime trip counts, nested
+    loops, loop-carried stores, and max-latency operation chains
+    (division, [sqrt], [inverse], [exp] expand to long Newton-iteration
+    sequences). Channels are never generated so every banked repro
+    replays without input streams. All subscripts are of the form
+    [iv (+ iv') + c] with [c < 8] and trip counts at most 40 (17 when
+    nested), so accesses stay inside the fixed 64-element arrays. *)
+
+open Ast
+
+(* ------------------------------------------------------------------ *)
+(* AST construction helpers                                            *)
+(* ------------------------------------------------------------------ *)
+
+let dummy_pos = { Token.line = 0; col = 0 }
+let e node = { e_pos = dummy_pos; e = node }
+let s node = { s_pos = dummy_pos; s = node }
+
+(** Negative constants parse as unary minus, so build them that way —
+    the printer/parser round trip then preserves structure exactly. *)
+let eint n = if n < 0 then e (Eun (Neg, e (Eint (-n)))) else e (Eint n)
+
+let efloat f = e (Efloat f)
+let evar x = e (Evar x)
+let idx1 name i = e (Eindex (name, [ i ]))
+let bin op a b = e (Ebin (op, a, b))
+let call f args = e (Ecall (f, args))
+let lvar x = Lvar (x, dummy_pos)
+let lindex x i = Lindex (x, [ i ], dummy_pos)
+let assign lv ex = s (Sassign (lv, ex))
+let decl name kind = { d_name = name; d_pos = dummy_pos; d_kind = kind }
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic random stream                                         *)
+(* ------------------------------------------------------------------ *)
+
+type rng = { mutable st : int }
+
+let next rng n =
+  rng.st <- ((rng.st * 1103515245) + 12345) land 0x3FFFFFFF;
+  rng.st mod n
+
+let chance rng pct = next rng 100 < pct
+let pick rng arr = arr.(next rng (Array.length arr))
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let arr_size = 64
+
+(* [for v := 0 to trip]: -1 is a zero-trip loop, 0 single-trip *)
+let trips = [| -1; 0; 1; 2; 3; 5; 8; 17; 40 |]
+let nested_trips = [| -1; 0; 1; 2; 3; 5; 8; 17 |]
+let fconsts = [| 0.5; 1.25; 2.0; 0.125; 3.5 |]
+
+(** An in-bounds affine subscript from the in-scope loop variables
+    ([ivs], innermost first) plus a small constant offset. *)
+let subscript rng ivs =
+  let c = next rng 8 in
+  match ivs with
+  | [] -> eint c
+  | [ v ] -> if c = 0 then evar v else bin Add (evar v) (eint c)
+  | v :: outer :: _ ->
+    let base =
+      if chance rng 50 then bin Add (evar v) (evar outer) else evar v
+    in
+    if c = 0 then base else bin Add base (eint c)
+
+let rec fexpr rng ivs depth =
+  if depth = 0 || chance rng 30 then
+    match next rng 5 with
+    | 0 -> idx1 "a" (subscript rng ivs)
+    | 1 -> idx1 "b" (subscript rng ivs)
+    | 2 -> evar "s"
+    | 3 -> evar "t"
+    | _ -> efloat (pick rng fconsts)
+  else
+    let sub () = fexpr rng ivs (depth - 1) in
+    match next rng 12 with
+    | 0 | 1 -> bin Add (sub ()) (sub ())
+    | 2 | 3 -> bin Sub (sub ()) (sub ())
+    | 4 | 5 | 6 -> bin Mul (sub ()) (sub ())
+    | 7 -> bin Div (sub ()) (efloat (pick rng fconsts))
+    | 8 -> call "sqrt" [ call "abs" [ sub () ] ]
+    | 9 -> call "inverse" [ efloat (pick rng fconsts) ]
+    | 10 -> call (if chance rng 50 then "min" else "max") [ sub (); sub () ]
+    | _ -> call "exp" [ efloat (pick rng fconsts) ]
+
+let cond_gen rng ivs =
+  match (next rng 3, ivs) with
+  | 0, v :: _ -> bin Lt (evar v) (eint (next rng 8))
+  | 1, _ -> bin Gt (idx1 "a" (subscript rng ivs)) (evar "t")
+  | _ -> bin Le (evar "s") (efloat (pick rng fconsts))
+
+(** A branch- and loop-free statement (used inside conditionals). *)
+let simple_stmt rng ivs =
+  match next rng 3 with
+  | 0 -> assign (lindex "b" (subscript rng ivs)) (fexpr rng ivs 1)
+  | 1 ->
+    let v = if chance rng 50 then "s" else "t" in
+    assign (lvar v) (bin Add (evar v) (fexpr rng ivs 1))
+  | _ -> assign (lvar (if chance rng 50 then "s" else "t")) (fexpr rng ivs 1)
+
+let stmt_gen rng ivs =
+  match next rng 100 with
+  | x when x < 30 ->
+    (* store; writing [a] while reading it creates carried memory deps *)
+    let arr = if chance rng 60 then "b" else "a" in
+    assign (lindex arr (subscript rng ivs)) (fexpr rng ivs 2)
+  | x when x < 55 ->
+    (* accumulator recurrence *)
+    let v = if chance rng 50 then "s" else "t" in
+    assign (lvar v) (bin Add (evar v) (fexpr rng ivs 1))
+  | x when x < 75 -> assign (lvar (if chance rng 50 then "s" else "t")) (fexpr rng ivs 2)
+  | _ ->
+    let c = cond_gen rng ivs in
+    let then_ = [ simple_stmt rng ivs ] in
+    let else_ = if chance rng 50 then [ simple_stmt rng ivs ] else [] in
+    s (Sif (c, then_, else_))
+
+(** One counted loop. [n_ok] allows the runtime bound [n] (top-level,
+    non-nested loops only, so subscripts stay in bounds); [depth > 0]
+    allows one level of nesting. *)
+let rec loop_gen rng ~ivs ~depth ~n_ok =
+  let nest = depth > 0 && ivs = [] && chance rng 30 in
+  let var =
+    match List.length ivs with 0 -> "i" | 1 -> "j" | _ -> "k"
+  in
+  let use_n = n_ok && (not nest) && ivs = [] && chance rng 25 in
+  let trip = if nest || ivs <> [] then pick rng nested_trips else pick rng trips in
+  let hi = if use_n then evar "n" else eint trip in
+  let ivs' = var :: ivs in
+  let body_n = next rng 5 (* 0 = the empty-body edge case *) in
+  let body =
+    List.init body_n (fun _ -> stmt_gen rng ivs')
+    @
+    if nest then [ loop_gen rng ~ivs:ivs' ~depth:(depth - 1) ~n_ok:false ]
+    else []
+  in
+  s (Sfor { var; lo = eint 0; hi; body })
+
+(** Generate the deterministic program for [seed]. *)
+let generate ~seed : program =
+  let rng = { st = ((seed + 1) * 2654435761) land 0x3FFFFFFF } in
+  ignore (next rng 2);
+  let n_val = pick rng trips in
+  let n_loops = 1 + next rng 2 in
+  let loops =
+    List.init n_loops (fun _ -> loop_gen rng ~ivs:[] ~depth:1 ~n_ok:true)
+  in
+  let prologue =
+    [
+      assign (lvar "n") (eint n_val);
+      assign (lvar "s") (efloat 1.5);
+      assign (lvar "t") (efloat 0.25);
+    ]
+  in
+  (* scalars are not part of the observable machine state; store them *)
+  let epilogue =
+    [
+      assign (lindex "a" (eint 0)) (evar "s");
+      assign (lindex "b" (eint 0)) (evar "t");
+    ]
+  in
+  {
+    p_name = "camp";
+    p_decls =
+      [
+        decl "n" (Dscalar Tint);
+        decl "s" (Dscalar Tfloat);
+        decl "t" (Dscalar Tfloat);
+        decl "a"
+          (Darray
+             { elem = Tfloat; dims = [ (0, arr_size - 1) ]; independent = false });
+        decl "b"
+          (Darray
+             { elem = Tfloat; dims = [ (0, arr_size - 1) ]; independent = false });
+      ];
+    p_body = prologue @ loops @ epilogue;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing back to parseable source                            *)
+(* ------------------------------------------------------------------ *)
+
+(** A float literal the lexer reads back as the same float. Integral
+    values print as [2.0] (never [2.], which would lex as INT DOT). *)
+let float_lit f =
+  if Float.is_integer f && Float.abs f < 1e15 then Fmt.str "%.1f" f
+  else
+    let s = Fmt.str "%.17g" f in
+    if
+      String.contains s '.' || String.contains s 'e' || String.contains s 'E'
+      || String.contains s 'n' (* nan/inf: unparseable, display only *)
+    then s
+    else s ^ ".0"
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+  | Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "and" | Or -> "or"
+
+(* fully parenthesized: correctness over prettiness — the parser drops
+   the parentheses, so the round trip is structure-exact *)
+let rec pp_expr ppf (x : expr) =
+  match x.e with
+  | Eint n -> Fmt.int ppf n
+  | Efloat f -> Fmt.string ppf (float_lit f)
+  | Evar v -> Fmt.string ppf v
+  | Eindex (a, idx) ->
+    Fmt.pf ppf "%s[%a]" a Fmt.(list ~sep:comma pp_expr) idx
+  | Ebin (op, a, b) ->
+    Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+  | Eun (Neg, a) -> Fmt.pf ppf "(-%a)" pp_expr a
+  | Eun (Not, a) -> Fmt.pf ppf "(not %a)" pp_expr a
+  | Ecall (f, args) ->
+    Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:comma pp_expr) args
+
+let pp_lvalue ppf = function
+  | Lvar (v, _) -> Fmt.string ppf v
+  | Lindex (a, idx, _) ->
+    Fmt.pf ppf "%s[%a]" a Fmt.(list ~sep:comma pp_expr) idx
+
+(* statement bodies always print as [begin .. end] blocks: no dangling
+   else, and empty bodies stay representable *)
+let rec pp_stmt ind ppf (x : stmt) =
+  let pad = String.make ind ' ' in
+  match x.s with
+  | Sassign (lv, ex) -> Fmt.pf ppf "%s%a := %a;" pad pp_lvalue lv pp_expr ex
+  | Ssend (ex, ch) -> Fmt.pf ppf "%ssend(%a, %d);" pad pp_expr ex ch
+  | Sreceive (lv, ch) -> Fmt.pf ppf "%sreceive(%a, %d);" pad pp_lvalue lv ch
+  | Sif (c, t, []) ->
+    Fmt.pf ppf "%sif %a then begin@\n%a%s@\nend" pad pp_expr c
+      (pp_body (ind + 2)) t pad
+  | Sif (c, t, els) ->
+    Fmt.pf ppf "%sif %a then begin@\n%a%s@\nend else begin@\n%a%s@\nend" pad
+      pp_expr c (pp_body (ind + 2)) t pad (pp_body (ind + 2)) els pad
+  | Sfor { var; lo; hi; body } ->
+    Fmt.pf ppf "%sfor %s := %a to %a do begin@\n%a%s@\nend" pad var pp_expr lo
+      pp_expr hi (pp_body (ind + 2)) body pad
+
+and pp_body ind ppf stmts =
+  Fmt.(list ~sep:(any "@\n") (pp_stmt ind)) ppf stmts
+
+let pp_decl ppf (d : decl) =
+  match d.d_kind with
+  | Dscalar t -> Fmt.pf ppf "  %s : %a;" d.d_name pp_ty t
+  | Darray { elem; dims; independent } ->
+    Fmt.pf ppf "  %s : %sarray [%a] of %a;" d.d_name
+      (if independent then "independent " else "")
+      Fmt.(
+        list ~sep:comma (fun ppf (lo, hi) -> Fmt.pf ppf "%d..%d" lo hi))
+      dims pp_ty elem
+
+let pp_program ppf (p : program) =
+  Fmt.pf ppf "program %s;@\n" p.p_name;
+  if p.p_decls <> [] then begin
+    Fmt.pf ppf "var@\n";
+    List.iter (fun d -> Fmt.pf ppf "%a@\n" pp_decl d) p.p_decls
+  end;
+  Fmt.pf ppf "begin@\n%a@\nend." (pp_body 2) p.p_body
+
+let print (p : program) = Fmt.str "%a@." pp_program p
+
+(* ------------------------------------------------------------------ *)
+(* Structural equality and size (position-ignoring)                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec equal_expr (a : expr) (b : expr) =
+  match (a.e, b.e) with
+  | Eint x, Eint y -> x = y
+  | Efloat x, Efloat y -> Float.equal x y
+  | Evar x, Evar y -> String.equal x y
+  | Eindex (x, xs), Eindex (y, ys) ->
+    String.equal x y && List.equal equal_expr xs ys
+  | Ebin (o, a1, a2), Ebin (p, b1, b2) ->
+    o = p && equal_expr a1 b1 && equal_expr a2 b2
+  | Eun (o, x), Eun (p, y) -> o = p && equal_expr x y
+  | Ecall (f, xs), Ecall (g, ys) ->
+    String.equal f g && List.equal equal_expr xs ys
+  | _ -> false
+
+let equal_lvalue a b =
+  match (a, b) with
+  | Lvar (x, _), Lvar (y, _) -> String.equal x y
+  | Lindex (x, xs, _), Lindex (y, ys, _) ->
+    String.equal x y && List.equal equal_expr xs ys
+  | _ -> false
+
+let rec equal_stmt (a : stmt) (b : stmt) =
+  match (a.s, b.s) with
+  | Sassign (l1, e1), Sassign (l2, e2) -> equal_lvalue l1 l2 && equal_expr e1 e2
+  | Sif (c1, t1, e1), Sif (c2, t2, e2) ->
+    equal_expr c1 c2 && List.equal equal_stmt t1 t2 && List.equal equal_stmt e1 e2
+  | Sfor f1, Sfor f2 ->
+    String.equal f1.var f2.var && equal_expr f1.lo f2.lo
+    && equal_expr f1.hi f2.hi
+    && List.equal equal_stmt f1.body f2.body
+  | Ssend (e1, c1), Ssend (e2, c2) -> c1 = c2 && equal_expr e1 e2
+  | Sreceive (l1, c1), Sreceive (l2, c2) -> c1 = c2 && equal_lvalue l1 l2
+  | _ -> false
+
+let equal_decl (a : decl) (b : decl) =
+  String.equal a.d_name b.d_name && a.d_kind = b.d_kind
+
+let equal_program (a : program) (b : program) =
+  String.equal a.p_name b.p_name
+  && List.equal equal_decl a.p_decls b.p_decls
+  && List.equal equal_stmt a.p_body b.p_body
+
+let rec expr_size (x : expr) =
+  match x.e with
+  | Eint _ | Efloat _ | Evar _ -> 1
+  | Eindex (_, xs) | Ecall (_, xs) ->
+    1 + List.fold_left (fun acc i -> acc + expr_size i) 0 xs
+  | Ebin (_, a, b) -> 1 + expr_size a + expr_size b
+  | Eun (_, a) -> 1 + expr_size a
+
+let lvalue_size = function
+  | Lvar _ -> 1
+  | Lindex (_, xs, _) ->
+    1 + List.fold_left (fun acc i -> acc + expr_size i) 0 xs
+
+let rec stmt_size (x : stmt) =
+  match x.s with
+  | Sassign (lv, ex) -> 1 + lvalue_size lv + expr_size ex
+  | Sif (c, t, els) -> 1 + expr_size c + body_size t + body_size els
+  | Sfor { lo; hi; body; _ } -> 1 + expr_size lo + expr_size hi + body_size body
+  | Ssend (ex, _) -> 1 + expr_size ex
+  | Sreceive (lv, _) -> 1 + lvalue_size lv
+
+and body_size stmts = List.fold_left (fun acc x -> acc + stmt_size x) 0 stmts
+
+(** AST node count — the minimizer's progress metric. *)
+let size (p : program) = List.length p.p_decls + body_size p.p_body

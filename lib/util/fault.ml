@@ -49,6 +49,11 @@ let hits site = Option.value ~default:0 (Hashtbl.find_opt hit_counts site)
 (** The armed site, if it has fired since arming. *)
 let fired () = !fired_site
 
+(** The currently armed [(site, after)] specification, if any — lets a
+    driver that must re-arm per work item (the campaign's inject mode)
+    read back what the CLI armed. *)
+let armed_spec () = !armed
+
 (** Whether any site is currently armed. Hit counting is global and
     call-sequence-dependent, so parallel drivers (the batch scheduler
     in {!Sp_core.Compile}) check this and fall back to sequential

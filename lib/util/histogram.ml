@@ -61,17 +61,37 @@ let same_shape a b =
   a.lo = b.lo && a.width = b.width
   && Array.length a.counts = Array.length b.counts
 
+(** An independent copy: mutating the copy (or the original) does not
+    affect the other. *)
+let copy t = { t with counts = Array.copy t.counts }
+
 let merge a b =
   if not (same_shape a b) then invalid_arg "Histogram.merge: shape mismatch";
-  {
-    lo = a.lo;
-    width = a.width;
-    counts = Array.init (Array.length a.counts) (fun i -> a.counts.(i) + b.counts.(i));
-    n = a.n + b.n;
-    total = a.total +. b.total;
-    mn = Float.min a.mn b.mn;
-    mx = Float.max a.mx b.mx;
-  }
+  (* empty fast paths double as the identity laws the shard-merge
+     property relies on: merge with an empty histogram is a copy, so
+     extrema stay [infinity]/[neg_infinity] only when BOTH are empty
+     and [minimum]/[maximum] keep reporting [None] exactly when
+     [count] is 0 *)
+  if a.n = 0 then copy b
+  else if b.n = 0 then copy a
+  else
+    {
+      lo = a.lo;
+      width = a.width;
+      counts =
+        Array.init (Array.length a.counts) (fun i -> a.counts.(i) + b.counts.(i));
+      n = a.n + b.n;
+      total = a.total +. b.total;
+      mn = Float.min a.mn b.mn;
+      mx = Float.max a.mx b.mx;
+    }
+
+(** Merge a non-empty list of same-shaped histograms left to right.
+    A singleton list yields an independent {!copy}. *)
+let merge_all = function
+  | [] -> invalid_arg "Histogram.merge_all: empty list"
+  | [ t ] -> copy t
+  | t :: ts -> List.fold_left merge t ts
 
 (** Nearest-rank quantile, interpolated within the bucket holding the
     rank and clamped to the observed extrema. [None] when empty;

@@ -89,29 +89,32 @@ let shutdown t =
   in
   List.iter Domain.join ds
 
-exception Task_error of int * exn * Printexc.raw_backtrace
-
-let run (type a) t (fs : (unit -> a) list) : a list =
-  if t.jobs <= 1 then List.map (fun f -> f ()) fs
+(** Run every task to completion and return each task's own outcome in
+    submission order. Never raises from a task: an exception is
+    captured (with its backtrace) into that task's slot, which is what
+    makes the error surfaced by {!run} deterministic — the lowest
+    failing index is found by scanning the slots, not by racing
+    workers for a shared cell. The campaign driver uses this directly
+    so one crashing program cannot abort a batch. *)
+let try_run (type a) t (fs : (unit -> a) list) :
+    (a, exn * Printexc.raw_backtrace) result list =
+  let wrap f =
+    try Ok (f ()) with e -> Error (e, Printexc.get_raw_backtrace ())
+  in
+  if t.jobs <= 1 then List.map wrap fs
   else begin
     let fs = Array.of_list fs in
     let n = Array.length fs in
     if n = 0 then []
     else begin
-      let results : a option array = Array.make n None in
-      let first_error : (int * exn * Printexc.raw_backtrace) option ref =
-        ref None
+      let results : (a, exn * Printexc.raw_backtrace) result option array =
+        Array.make n None
       in
       let remaining = ref n in
       let job i () =
-        (try results.(i) <- Some (fs.(i) ())
-         with e ->
-           let bt = Printexc.get_raw_backtrace () in
-           locked t (fun () ->
-               match !first_error with
-               | Some (j, _, _) when j < i -> ()
-               | _ -> first_error := Some (i, e, bt)));
+        let r = wrap fs.(i) in
         locked t (fun () ->
+            results.(i) <- Some r;
             decr remaining;
             if !remaining = 0 then Condition.broadcast t.batch_done)
       in
@@ -134,18 +137,19 @@ let run (type a) t (fs : (unit -> a) list) : a list =
       in
       drain ();
       Mutex.unlock t.m;
-      (match !first_error with
-      | Some (i, e, bt) ->
-        Printexc.raise_with_backtrace (Task_error (i, e, bt)) bt
-      | None -> ());
       Array.to_list (Array.map Option.get results)
     end
   end
 
 let run t fs =
-  match run t fs with
-  | vs -> vs
-  | exception Task_error (_, e, bt) -> Printexc.raise_with_backtrace e bt
+  let rs = try_run t fs in
+  (* the lowest-indexed failure, i.e. the first Error in list order —
+     the same exception a sequential [List.map] would surface first *)
+  List.iter
+    (function
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt | Ok _ -> ())
+    rs;
+  List.map (function Ok v -> v | Error _ -> assert false) rs
 
 (** Pool width for the CLI default: [SP_JOBS] when set to a positive
     integer, else the runtime's recommendation for this machine. *)

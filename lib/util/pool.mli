@@ -25,6 +25,14 @@ val run : t -> (unit -> 'a) list -> 'a list
     the caller before [run] are visible to tasks, and task writes are
     visible to the caller afterwards. *)
 
+val try_run :
+  t -> (unit -> 'a) list -> ('a, exn * Printexc.raw_backtrace) result list
+(** Like {!run} but never raises from a task: each task's outcome —
+    value or captured exception with backtrace — lands in its own slot
+    of the returned list (submission order). This is the primitive
+    {!run} is built on, and what batch drivers that must survive
+    individual failures (the differential campaign) use directly. *)
+
 val shutdown : t -> unit
 (** Stop and join the worker domains. The pool must not be used after.
     Safe to call on a [~jobs:1] pool (a no-op). *)

@@ -69,7 +69,8 @@ let same_element (a : Op.addr) (b : Op.addr) =
   | Some sa, Some sb -> Subscript.distance ~from:sa ~to_:sb = Subscript.Exactly 0
   | _ -> false
 
-let check_timing ?(ctrs = 16) (m : Machine.t) (p : Prog.t) : violation list =
+let check_timing ?(ctrs = 16) ?(live_in = []) (m : Machine.t) (p : Prog.t) :
+    violation list =
   let viols = ref [] in
   let report at rule detail = viols := { at; rule; detail } :: !viols in
   (* Per-register write state along the current fall-through stretch:
@@ -90,6 +91,12 @@ let check_timing ?(ctrs = 16) (m : Machine.t) (p : Prog.t) : violation list =
   let wstate : (int, bool * (int * int) list * Vreg.t) Hashtbl.t =
     Hashtbl.create 64
   in
+  (* Registers declared live into the checked stretch hold a landed
+     value at entry, so a read overlapping their first in-stretch write
+     is the legal modulo-overlap pattern, not a displaced producer. *)
+  List.iter
+    (fun (r : Vreg.t) -> Hashtbl.replace wstate r.Vreg.id (true, [], r))
+    live_in;
   (* counters set so far, in layout order (never flushed: every loop in
      this code base sets its counter in the stretch that enters it) *)
   let counters_set = Array.make ctrs false in

@@ -36,10 +36,16 @@ type violation = {
 val pp_violation : Format.formatter -> violation -> unit
 
 val check_timing :
-  ?ctrs:int -> Sp_machine.Machine.t -> Prog.t -> violation list
+  ?ctrs:int ->
+  ?live_in:Sp_ir.Vreg.t list ->
+  Sp_machine.Machine.t ->
+  Prog.t ->
+  violation list
 (** Timing-contract violations along fall-through, in layout order.
     [ctrs] is the number of hardware loop counters (default 16, the
-    simulator's). *)
+    simulator's). [live_in] names registers holding a landed value when
+    the stretch is entered (used when checking an excerpt, such as a
+    loop's linearized fragments, rather than a whole program). *)
 
 (** Combined verdict: timing contract plus resource discipline. *)
 type report = {

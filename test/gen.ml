@@ -18,22 +18,45 @@ type spec = {
   use_accum : bool;
   use_chan : bool;
   carried_store : bool; (* store at x[i] read back at x[i+d] *)
+  empty_body : bool; (* a loop with no operations at all *)
+  maxlat : bool; (* route a value through idiv, the longest-latency op *)
 }
 
 let pp_spec ppf s =
-  Fmt.pf ppf "{seed=%d trip=%d stmts=%d if=%b acc=%b chan=%b carried=%b}"
+  Fmt.pf ppf
+    "{seed=%d trip=%d stmts=%d if=%b acc=%b chan=%b carried=%b empty=%b \
+     maxlat=%b}"
     s.seed s.trip s.n_stmts s.use_if s.use_accum s.use_chan s.carried_store
+    s.empty_body s.maxlat
 
 let spec_gen =
   let open QCheck2.Gen in
   let* seed = int_bound 10_000 in
-  let* trip = oneofl [ 0; 1; 2; 3; 5; 17; 40; 61 ] in
+  (* weight the degenerate trip counts: zero- and single-trip loops
+     exercise the peel/two-version seams that uniform sampling rarely
+     hits *)
+  let* trip =
+    frequency [ (3, oneofl [ 0; 1 ]); (7, oneofl [ 2; 3; 5; 17; 40; 61 ]) ]
+  in
   let* n_stmts = int_range 1 5 in
   let* use_if = bool in
   let* use_accum = bool in
   let* use_chan = bool in
   let* carried_store = bool in
-  return { seed; trip; n_stmts; use_if; use_accum; use_chan; carried_store }
+  let* empty_body = frequency [ (7, return false); (1, return true) ] in
+  let* maxlat = frequency [ (3, return false); (1, return true) ] in
+  return
+    {
+      seed;
+      trip;
+      n_stmts;
+      use_if;
+      use_accum;
+      use_chan;
+      carried_store;
+      empty_body;
+      maxlat;
+    }
 
 (* a deterministic pseudo-random stream from the spec seed *)
 type rng = { mutable s : int }
@@ -48,6 +71,19 @@ let pad = 8
     so several loops can coexist in one program. Returns the loop's
     arrays for initialization. *)
 let add_loop (b : Builder.t) ~suffix (sp : spec) =
+  (* an empty body has nothing to condition, accumulate or send *)
+  let sp =
+    if sp.empty_body then
+      {
+        sp with
+        use_if = false;
+        use_accum = false;
+        use_chan = false;
+        carried_store = false;
+        maxlat = false;
+      }
+    else sp
+  in
   let rng = { s = sp.seed + 1 } in
   let size = sp.trip + (2 * pad) in
   let xs = Builder.farray b ("xs" ^ suffix) (max 1 size) in
@@ -56,6 +92,8 @@ let add_loop (b : Builder.t) ~suffix (sp : spec) =
   let c2 = Builder.fconst b 0.5 in
   let acc = if sp.use_accum then Some (Builder.fmov b c1) else None in
   Builder.for_ b (Region.Const sp.trip) (fun i ->
+      if sp.empty_body then ()
+      else begin
       (* a pool of available values to combine *)
       let pool = ref [ c1; c2 ] in
       let pick () = List.nth !pool (next rng (List.length !pool)) in
@@ -64,6 +102,15 @@ let add_loop (b : Builder.t) ~suffix (sp : spec) =
       push (Builder.load_iv b xs i (next rng pad));
       push (Builder.load_iv b ys i (next rng pad));
       if sp.use_chan then push (Builder.recv b 0);
+      (if sp.maxlat then
+         (* integer divide is the machine's longest-latency operation
+            (17 cycles on warp) — stretches the schedule's critical path *)
+         let q =
+           Builder.ibin b Sp_machine.Opkind.Idiv
+             (Builder.ftoi b (Builder.fabs b (pick ())))
+             (Builder.iconst b 3)
+         in
+         push (Builder.itof b q));
       for _ = 1 to sp.n_stmts do
         let v =
           match next rng 4 with
@@ -96,7 +143,8 @@ let add_loop (b : Builder.t) ~suffix (sp : spec) =
       (* stores: one always; optionally one creating a carried memory
          dependence (write at i+pad read back at i+pad-d next rounds) *)
       Builder.store_iv b ys i (next rng pad) (pick ());
-      if sp.carried_store then Builder.store_iv b xs i pad (pick ()));
+      if sp.carried_store then Builder.store_iv b xs i pad (pick ())
+      end);
   (match acc with
   | Some a -> Builder.store b ~off:0 xs a (* keep the accumulator live-out *)
   | None -> ());

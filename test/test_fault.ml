@@ -23,6 +23,8 @@ let pipeline_spec =
     use_accum = false;
     use_chan = false;
     carried_store = false;
+    empty_body = false;
+    maxlat = false;
   }
 
 (** Simulate [code] and compare final observable state against the

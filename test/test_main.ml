@@ -22,4 +22,5 @@ let () =
       ("validate", Test_validate.suite);
       ("fault", Test_fault.suite);
       ("obs", Test_obs.suite);
+      ("campaign", Test_campaign.suite);
     ]
