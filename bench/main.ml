@@ -9,7 +9,7 @@
                                 scale, search, unroll, optimal,
                                 optimal-quick, pipeline,
                                 trace-overhead, compile-speed,
-                                compile-speed-quick, campaign,
+                                compile-speed-quick, serve, campaign,
                                 campaign-quick, campaign-sweep)
       main.exe --table campaign [--seeds LO..HI] [--jobs N]
                                 [--bank DIR] [--inject SITE\@K]
@@ -1076,6 +1076,157 @@ let table_compile_speed ?(quick = false) () =
   end
 
 (* ------------------------------------------------------------------ *)
+
+(** E18: the compile service and its content-addressed schedule cache.
+    Streams the 72-program suite through three in-process service
+    passes — uncached, cold shared cache, warm (same cache again) —
+    and checks every cached response byte-identical to the uncached
+    one. Requests/sec and latency percentiles go to stdout only; the
+    JSON artifact carries the deterministic facts: suite size, the
+    identity verdicts and the cache counters of each pass (the suite
+    and the probe order are fixed, so the counters are too). Fails
+    hard (exit 1) on any divergence, or if the warm pass never hits —
+    schedule reuse must be invisible in the output and visible in the
+    counters. *)
+let table_serve () =
+  section "E18: compile service — content-addressed schedule cache";
+  let module Service = Sp_serve.Service in
+  let module Cache = Sp_serve.Cache in
+  let programs =
+    List.filter_map
+      (fun (e : Suite.entry) ->
+        match e.Suite.kernel.Kernel.source with
+        | Kernel.W2 src -> Some (e.Suite.kernel.Kernel.name, src)
+        | Kernel.Ir _ -> None)
+      Suite.all
+  in
+  let n = List.length programs in
+  let capacity = 256 in
+  let run_pass service =
+    let lat = Array.make (max 1 n) 0.0 in
+    let t0 = Monotonic_clock.now () in
+    let resps =
+      List.mapi
+        (fun i (_, src) ->
+          let r0 = Monotonic_clock.now () in
+          let resp =
+            Service.handle service
+              (Service.Compile { machine = "warp"; inject = None; source = src })
+          in
+          let r1 = Monotonic_clock.now () in
+          lat.(i) <- Int64.to_float (Int64.sub r1 r0) /. 1e3;
+          resp)
+        programs
+    in
+    let total =
+      Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9
+    in
+    (resps, lat, total)
+  in
+  let bodies pass_name resps =
+    List.map2
+      (fun (name, _) resp ->
+        match resp with
+        | Service.Ok body -> body
+        | Service.Err msg ->
+          Fmt.pr "@.serve: FAILED — %s: %s pass: %s@." name pass_name msg;
+          exit 1)
+      programs resps
+  in
+  let uncached = Service.create ~cache_capacity:0 () in
+  ignore (run_pass uncached) (* warm the allocator *);
+  let ref_resps, ref_lat, ref_total = run_pass uncached in
+  Service.close uncached;
+  let reference = bodies "uncached" ref_resps in
+  let cached = Service.create ~cache_capacity:capacity () in
+  let cache =
+    match Service.cache cached with Some c -> c | None -> assert false
+  in
+  let cold_resps, cold_lat, cold_total = run_pass cached in
+  let cold = Cache.stats cache in
+  let warm_resps, warm_lat, warm_total = run_pass cached in
+  let post = Cache.stats cache in
+  Service.close cached;
+  let warm =
+    {
+      Cache.hits = post.Cache.hits - cold.Cache.hits;
+      misses = post.Cache.misses - cold.Cache.misses;
+      rejects = post.Cache.rejects - cold.Cache.rejects;
+      inserts = post.Cache.inserts - cold.Cache.inserts;
+      evictions = post.Cache.evictions - cold.Cache.evictions;
+      entries = post.Cache.entries;
+    }
+  in
+  let identical_cold = List.equal String.equal (bodies "cold" cold_resps) reference in
+  let identical_warm = List.equal String.equal (bodies "warm" warm_resps) reference in
+  let pctl lat p =
+    let xs = Array.copy lat in
+    Array.sort compare xs;
+    let k = int_of_float (p *. float_of_int (Array.length xs - 1)) in
+    xs.(max 0 (min (Array.length xs - 1) k))
+  in
+  let t =
+    Table.create
+      ~headers:
+        [ "pass"; "req/s"; "p50 (us)"; "p99 (us)"; "hits"; "misses"; "output" ]
+      ~aligns:[ Table.L; R; R; R; R; R; L ]
+  in
+  let row name lat total (s : Cache.stats option) identical =
+    Table.add_row t
+      [
+        name;
+        Printf.sprintf "%.0f" (float_of_int n /. total);
+        Printf.sprintf "%.0f" (pctl lat 0.50);
+        Printf.sprintf "%.0f" (pctl lat 0.99);
+        (match s with Some s -> string_of_int s.Cache.hits | None -> "-");
+        (match s with Some s -> string_of_int s.Cache.misses | None -> "-");
+        (match identical with
+        | None -> "reference"
+        | Some true -> "identical"
+        | Some false -> "DIFFERS");
+      ]
+  in
+  row "uncached" ref_lat ref_total None None;
+  row "cold" cold_lat cold_total (Some cold) (Some identical_cold);
+  row "warm" warm_lat warm_total (Some warm) (Some identical_warm);
+  let json_of_stats (s : Cache.stats) =
+    Json.Obj
+      [
+        ("hits", Json.Int s.Cache.hits);
+        ("misses", Json.Int s.Cache.misses);
+        ("rejects", Json.Int s.Cache.rejects);
+        ("inserts", Json.Int s.Cache.inserts);
+        ("evictions", Json.Int s.Cache.evictions);
+        ("entries", Json.Int s.Cache.entries);
+      ]
+  in
+  emit "serve"
+    (Json.Obj
+       [
+         ("programs", Json.Int n);
+         ("capacity", Json.Int capacity);
+         ("identical_cold", Json.Bool identical_cold);
+         ("identical_warm", Json.Bool identical_warm);
+         ("cold", json_of_stats cold);
+         ("warm", json_of_stats warm);
+       ]);
+  Fmt.pr "%a" Table.pp t;
+  Fmt.pr
+    "@.  (%d W2 programs of the suite per pass; cold and warm share one@.\
+    \   %d-entry cache; requests/sec and latency are this host's wall@.\
+    \   clock and stay out of the artifact, the identity verdicts and@.\
+    \   cache counters go in)@."
+    n capacity;
+  if not (identical_cold && identical_warm) then begin
+    Fmt.pr "@.serve: FAILED — cached output diverges from uncached@.";
+    exit 1
+  end;
+  if warm.Cache.hits = 0 then begin
+    Fmt.pr "@.serve: FAILED — warm pass never hit the cache@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* E10: Bechamel microbenchmarks                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1169,9 +1320,11 @@ let compare_artifacts ~threshold old_path new_path =
   let kernels path j =
     match Json.path [ "artifacts"; "pipeline"; "kernels" ] j with
     | Some (Json.List l) -> l
-    | _ when Json.path [ "artifacts"; "compile_speed" ] j <> None ->
-      (* a compile-speed-only document: nothing to diff per kernel,
-         but the throughput gate below still applies *)
+    | _
+      when Json.path [ "artifacts"; "compile_speed" ] j <> None
+           || Json.path [ "artifacts"; "serve" ] j <> None ->
+      (* a compile-speed- or serve-only document: nothing to diff per
+         kernel, but the corresponding gates below still apply *)
       []
     | _ ->
       Fmt.epr
@@ -1359,9 +1512,51 @@ let compare_artifacts ~threshold old_path new_path =
       "gated"
     | _ -> "absent (skipped)"
   in
+  (* compile-service artifact (E18): identity is an invariant of the
+     new document alone and gates whenever it is present; the warm hit
+     rate is compared against the old document when both carry it —
+     latency never appears in the artifact, so there is nothing
+     wall-clock to misjudge *)
+  let serve_note =
+    match Json.path [ "artifacts"; "serve" ] new_doc with
+    | None -> "absent (skipped)"
+    | Some sn ->
+      (match Json.member "identical_cold" sn with
+      | Some (Json.Bool true) -> ()
+      | _ -> flag "serve: cold cached output diverges from uncached");
+      (match Json.member "identical_warm" sn with
+      | Some (Json.Bool true) -> ()
+      | _ -> flag "serve: warm cached output diverges from uncached");
+      let hit_rate j =
+        match
+          ( Json.path [ "warm"; "hits" ] j,
+            Json.path [ "warm"; "misses" ] j )
+        with
+        | Some (Json.Int h), Some (Json.Int m) when h + m > 0 ->
+          Some (100.0 *. float_of_int h /. float_of_int (h + m))
+        | _ -> None
+      in
+      (match hit_rate sn with
+      | Some r when r <= 0.0 ->
+        flag "serve: warm pass never hits the schedule cache"
+      | Some _ -> ()
+      | None -> flag "serve: artifact carries no warm cache counters");
+      (match
+         Option.bind (Json.path [ "artifacts"; "serve" ] old_doc) (fun so ->
+             match (hit_rate so, hit_rate sn) with
+             | Some o, Some n -> Some (o, n)
+             | _ -> None)
+       with
+      | Some (o, n) when o -. n > threshold ->
+        flag "serve: warm hit rate fell %.1f%% -> %.1f%% (threshold %.1fpp)"
+          o n threshold
+      | _ -> ());
+      "gated"
+  in
   section "E15: regression sentinel";
   Fmt.pr "%a" Table.pp t;
   Fmt.pr "  compile-speed artifact: %s@." cs_note;
+  Fmt.pr "  serve artifact: %s@." serve_note;
   if !regressions = [] then begin
     Fmt.pr "@.compare: OK — %d kernel(s) within %.1f%% of %s@."
       (List.length old_ks) threshold old_path;
@@ -1583,6 +1778,7 @@ let all () =
   table_pipeline ();
   table_trace_overhead ();
   table_compile_speed ();
+  table_serve ();
   bechamel ()
 
 let () =
@@ -1722,6 +1918,7 @@ let () =
     | "trace-overhead" -> table_trace_overhead ()
     | "compile-speed" -> table_compile_speed ()
     | "compile-speed-quick" -> table_compile_speed ~quick:true ()
+    | "serve" -> table_serve ()
     | "campaign" -> table_campaign ~seeds ~bank ~jobs ()
     | "campaign-quick" -> table_campaign ~quick:true ~seeds ~bank ~jobs ()
     | "campaign-sweep" -> table_campaign_sweep ~seeds ~bank ~jobs ()

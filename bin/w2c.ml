@@ -10,7 +10,9 @@
     Common options: [--machine warp|toy|serial|warpNx],
     [--no-pipeline], [--mve max-q|lcm|off], [--search linear|binary],
     [--if-exclusive], [--threshold N], [--fuel N] (interval-search
-    budget), [--inject SITE\@K] (deterministic fault injection),
+    budget), [--cache N] (content-addressed schedule reuse across
+    structurally identical loops), [--inject SITE\@K] (deterministic
+    fault injection),
     [--validate] (replay the emitted code against the machine's timing
     and resource contracts), [--verify] (cross-check against the
     sequential interpreter).
@@ -132,8 +134,16 @@ let config_term =
                  (output is byte-identical for any N). Defaults to \
                  \\$SP_JOBS, else the core count.")
   in
+  let cache =
+    Arg.(value & opt int 0 & info [ "cache" ] ~docv:"N"
+           ~doc:"Reuse schedules across structurally identical loops \
+                 through a content-addressed cache holding N entries \
+                 (0, the default, disables it). Hits are re-verified \
+                 against the requesting loop's own constraints; output \
+                 is byte-identical with and without the cache.")
+  in
   let mk no_pipeline mve_mode search if_exclusive threshold fuel opt opt_fuel
-      jobs =
+      jobs cache =
     let jobs =
       match jobs with
       | Some n when n >= 1 -> n
@@ -156,10 +166,14 @@ let config_term =
         | `Heur -> None
         | `Exact -> Some (Sp_opt.Certify.hook ?fuel:opt_fuel ()));
       jobs;
+      cache =
+        (if cache > 0 then
+           Some (Sp_serve.Cache.hook (Sp_serve.Cache.create ~capacity:cache))
+         else None);
     }
   in
   Term.(const mk $ no_pipeline $ mve $ search $ if_exclusive $ threshold
-        $ fuel $ opt $ opt_fuel $ jobs)
+        $ fuel $ opt $ opt_fuel $ jobs $ cache)
 
 let inject_conv =
   let parse s =

@@ -72,7 +72,16 @@ $W2C run --validate --verify --opt exact --opt-fuel 200000 \
 echo "== observability smoke: --trace/--metrics/--profile artifacts validate"
 JSONV="dune exec --no-build devtools/jsonv.exe --"
 OBS=$(mktemp -d)
-trap 'rm -rf "$OBS"' EXIT
+# the daemon smoke below backgrounds a w2cd; make sure an aborted run
+# never orphans it (or its socket) alongside the scratch dir
+W2CD_PID=""
+cleanup() {
+  if [ -n "$W2CD_PID" ]; then
+    kill "$W2CD_PID" 2>/dev/null || true
+  fi
+  rm -rf "$OBS"
+}
+trap cleanup EXIT
 $W2C run --validate --trace "$OBS/trace.json" --metrics "$OBS/metrics.json" \
   --profile examples/saxpy.w2 >"$OBS/profile.txt"
 $JSONV "$OBS/trace.json" traceEvents/0/name >/dev/null
@@ -249,5 +258,103 @@ $W2C run --validate --verify "$banked" >/dev/null || {
   exit 1
 }
 echo "   inject -> minimize -> bank -> replay: ok"
+
+echo "== serve smoke: cached compile byte-identical, warm hits, stable artifact"
+$BENCH --table serve --emit-json "$OBS/sv1.json" >/dev/null || {
+  echo "FAIL: --table serve found a divergence or an idle cache"
+  $BENCH --table serve || true
+  exit 1
+}
+$BENCH --table serve --emit-json "$OBS/sv2.json" >/dev/null
+$JSONV "$OBS/sv1.json" schema_version \
+  artifacts/serve/programs \
+  artifacts/serve/identical_cold \
+  artifacts/serve/identical_warm \
+  artifacts/serve/cold/hits \
+  artifacts/serve/warm/hits >/dev/null
+cmp -s "$OBS/sv1.json" "$OBS/sv2.json" || {
+  echo "FAIL: serve artifact differs between identical runs"
+  exit 1
+}
+$BENCH --compare "$OBS/sv1.json" "$OBS/sv2.json" >/dev/null || {
+  echo "FAIL: serve gate rejected two identical artifacts"
+  exit 1
+}
+# the identity gate must fire on a doctored artifact
+sed 's/"identical_cold": true/"identical_cold": false/' "$OBS/sv1.json" \
+  >"$OBS/sv-bad.json"
+if $BENCH --compare "$OBS/sv1.json" "$OBS/sv-bad.json" >/dev/null; then
+  echo "FAIL: serve identity gate did not fire"
+  exit 1
+fi
+echo "   serve table + identity gate: ok"
+
+echo "== w2cd smoke: daemon round-trip byte-identical to offline w2c"
+W2CD=./_build/default/bin/w2cd.exe
+SOCK="$OBS/w2cd.sock"
+"$W2CD" serve "$SOCK" --cache 128 2>/dev/null &
+W2CD_PID=$!
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "FAIL: w2cd never created its socket"
+    exit 1
+  fi
+  sleep 0.1
+done
+"$W2CD" ping "$SOCK" >/dev/null
+dune exec --no-build devtools/dump_kernels.exe -- "$OBS/kernels" >/dev/null
+mkdir -p "$OBS/offline"
+for pass in 1 2; do
+  for f in "$OBS"/kernels/*.w2; do
+    ref="$OBS/offline/$(basename "$f" .w2).txt"
+    "$W2CD" request "$SOCK" "$f" >"$OBS/served.txt"
+    if [ "$pass" = 1 ]; then
+      $W2C compile "$f" >"$ref" 2>/dev/null
+    fi
+    cmp -s "$OBS/served.txt" "$ref" || {
+      echo "FAIL: $f: daemon output differs from offline w2c (pass $pass)"
+      exit 1
+    }
+  done
+done
+"$W2CD" stats "$SOCK" >"$OBS/daemon-stats.json"
+$JSONV "$OBS/daemon-stats.json" capacity hits misses inserts >/dev/null
+hits=$(sed -n 's/.*"hits": \([0-9][0-9]*\).*/\1/p' "$OBS/daemon-stats.json")
+test -n "$hits" && test "$hits" -gt 0 || {
+  echo "FAIL: second suite pass produced no cache hits"
+  cat "$OBS/daemon-stats.json"
+  exit 1
+}
+echo "   round-trip x2 + hit rate: ok"
+
+echo "== w2cd smoke: stale socket reclaimed, clean shutdown unlinks it"
+# SIGKILL skips the daemon's cleanup, orphaning the socket file
+kill -9 "$W2CD_PID" 2>/dev/null || true
+wait "$W2CD_PID" 2>/dev/null || true
+test -S "$SOCK" || {
+  echo "FAIL: expected an orphaned socket after SIGKILL"
+  exit 1
+}
+"$W2CD" serve "$SOCK" --cache 8 2>/dev/null &
+W2CD_PID=$!
+i=0
+until "$W2CD" ping "$SOCK" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "FAIL: w2cd did not reclaim the stale socket"
+    exit 1
+  fi
+  sleep 0.1
+done
+kill "$W2CD_PID" 2>/dev/null || true
+wait "$W2CD_PID" 2>/dev/null || true
+W2CD_PID=""
+if [ -e "$SOCK" ]; then
+  echo "FAIL: terminated daemon left its socket behind"
+  exit 1
+fi
+echo "   stale-socket reclaim + cleanup: ok"
 
 echo "CI OK"

@@ -1,0 +1,29 @@
+(** Write every W2-sourced kernel of the Livermore set to
+    [DIR/NAME.w2], one file per kernel, so shell harnesses (the CI
+    daemon round-trip) can feed them to [w2c] and [w2cd] from disk.
+    Kernels defined directly as IR have no source text and are
+    skipped. *)
+
+let () =
+  let dir =
+    match Sys.argv with
+    | [| _; dir |] -> dir
+    | _ ->
+      prerr_endline "usage: dump_kernels DIR";
+      exit 2
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let dumped =
+    List.fold_left
+      (fun n (k : Sp_kernels.Kernel.t) ->
+        match k.Sp_kernels.Kernel.source with
+        | Sp_kernels.Kernel.Ir _ -> n
+        | Sp_kernels.Kernel.W2 src ->
+          let path = Filename.concat dir (k.Sp_kernels.Kernel.name ^ ".w2") in
+          let oc = open_out path in
+          output_string oc src;
+          close_out oc;
+          n + 1)
+      0 Sp_kernels.Livermore.all
+  in
+  Printf.printf "%d kernel(s) -> %s\n" dumped dir

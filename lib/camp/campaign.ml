@@ -215,9 +215,13 @@ let probe_seed (cfg : cfg) seed : probe =
 let minimize_failure (cfg : cfg) (p : probe) : failure =
   let ast = Wgen.generate ~seed:p.p_seed in
   let target = p.p_kind in
-  (* the jobs oracle only matters when that is what broke *)
+  (* the jobs and cache oracles only matter when that is what broke *)
   let ocfg =
-    { cfg.oracle with Oracle.check_jobs = target = Oracle.Jobs_diverge }
+    {
+      cfg.oracle with
+      Oracle.check_jobs = target = Oracle.Jobs_diverge;
+      check_cache = target = Oracle.Cache_diverge;
+    }
   in
   let predicate c =
     with_trigger cfg.mode (fun () -> Oracle.kind_of ocfg (Wgen.print c))

@@ -22,6 +22,10 @@
       sequential interpreter — the paper's core property broken;
     - {!Jobs_diverge}: compiling with [-j 1] and [-j 2] produced
       different fingerprints (parallel per-loop driver nondeterminism);
+    - {!Cache_diverge}: compiling twice through one shared schedule
+      cache — cold (populating) then warm (reusing) — produced a
+      fingerprint differing from the direct compile (cache reuse must
+      be invisible in the artifacts);
     - {!Degraded}: a loop fell back after a caught internal error or
       exhausted its fuel budget. In a clean run this is a failure (no
       fault is armed, so nothing should degrade); under [--inject] it
@@ -43,6 +47,7 @@ type kind =
   | Mismatch
   | Ii_bound
   | Jobs_diverge
+  | Cache_diverge
   | Degraded
   | Hang
 
@@ -53,6 +58,7 @@ let kind_to_string = function
   | Mismatch -> "mismatch"
   | Ii_bound -> "ii-bound"
   | Jobs_diverge -> "jobs-diverge"
+  | Cache_diverge -> "cache-diverge"
   | Degraded -> "degraded"
   | Hang -> "hang"
 
@@ -63,12 +69,14 @@ let kind_of_string = function
   | "mismatch" -> Some Mismatch
   | "ii-bound" -> Some Ii_bound
   | "jobs-diverge" -> Some Jobs_diverge
+  | "cache-diverge" -> Some Cache_diverge
   | "degraded" -> Some Degraded
   | "hang" -> Some Hang
   | _ -> None
 
 let all_kinds =
-  [ Pass; Crash; Invalid; Mismatch; Ii_bound; Jobs_diverge; Degraded; Hang ]
+  [ Pass; Crash; Invalid; Mismatch; Ii_bound; Jobs_diverge; Cache_diverge;
+    Degraded; Hang ]
 
 type verdict = { kind : kind; detail : string }
 
@@ -77,6 +85,7 @@ type config = {
   fuel : int option;       (** per-loop compile-fuel watchdog *)
   max_cycles : int;        (** simulation cycle watchdog *)
   check_jobs : bool;       (** run the [-j 1] vs [-j 2] divergence oracle *)
+  check_cache : bool;      (** run the cold/warm schedule-cache oracle *)
   degraded_ok : bool;      (** fault-sweep mode: degradation is graceful,
                                not a failure *)
 }
@@ -87,6 +96,7 @@ let default =
     fuel = None;
     max_cycles = 200_000;
     check_jobs = true;
+    check_cache = true;
     degraded_ok = false;
   }
 
@@ -204,13 +214,44 @@ let run (cfg : config) (src : string) : outcome =
               in
               if diverged then
                 fail Jobs_diverge "-j 1 and -j 2 fingerprints differ" (Some r)
-              else
-                match
-                  if cfg.degraded_ok then None
-                  else first_map degradation r.Compile.loops
-                with
-                | Some reason -> fail Degraded reason (Some r)
-                | None -> fail Pass "" (Some r)
+              else begin
+                (* cold then warm through one shared schedule cache;
+                   both must reproduce the direct compile byte for
+                   byte. Skipped under an armed fault for the same
+                   reason as the jobs check: the extra compiles would
+                   consume the fault's trigger count. *)
+                let cache_diverged =
+                  cfg.check_cache
+                  && (not (Fault.is_armed ()))
+                  &&
+                  let cache = Sp_serve.Cache.create ~capacity:64 in
+                  let config =
+                    {
+                      (compile_config cfg ~jobs:1) with
+                      Compile.cache = Some (Sp_serve.Cache.hook cache);
+                    }
+                  in
+                  let fp () =
+                    Compile.fingerprint
+                      (Compile.program ~config cfg.machine
+                         (Sp_lang.Lower.compile_source src))
+                  in
+                  let cold = fp () in
+                  let warm = fp () in
+                  let direct = Compile.fingerprint r in
+                  cold <> direct || warm <> direct
+                in
+                if cache_diverged then
+                  fail Cache_diverge
+                    "cached compile fingerprint differs from direct" (Some r)
+                else
+                  match
+                    if cfg.degraded_ok then None
+                    else first_map degradation r.Compile.loops
+                  with
+                  | Some reason -> fail Degraded reason (Some r)
+                  | None -> fail Pass "" (Some r)
+              end
             end
         end)
   with e -> fail Crash (Printexc.to_string e) None

@@ -12,6 +12,8 @@ type kind =
   | Mismatch      (** simulation disagreed with the interpreter *)
   | Ii_bound      (** pipelined II outside [mii <= ii <= seq_len] *)
   | Jobs_diverge  (** [-j 1] vs [-j 2] fingerprints differ *)
+  | Cache_diverge (** compiling through a shared schedule cache (cold
+                      then warm) changed the output fingerprint *)
   | Degraded      (** a loop fell back (caught error / spent budget) *)
   | Hang          (** simulation exceeded the cycle watchdog *)
 
@@ -26,12 +28,13 @@ type config = {
   fuel : int option;   (** per-loop compile-fuel watchdog *)
   max_cycles : int;    (** simulation cycle watchdog *)
   check_jobs : bool;   (** run the [-j 1] vs [-j 2] divergence oracle *)
+  check_cache : bool;  (** run the cold/warm schedule-cache oracle *)
   degraded_ok : bool;  (** fault-sweep mode: degradation is graceful *)
 }
 
 val default : config
-(** warp machine, unlimited fuel, 200k-cycle watchdog, jobs check on,
-    degradation counted as a failure. *)
+(** warp machine, unlimited fuel, 200k-cycle watchdog, jobs and cache
+    checks on, degradation counted as a failure. *)
 
 type outcome = {
   verdict : verdict;

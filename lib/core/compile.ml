@@ -54,6 +54,42 @@ type certifier =
   Modsched.schedule ->
   Modsched.schedule * certification
 
+(** What a schedule cache stores and replays for one pipelined loop:
+    the adopted schedule, the search stats that produced it (replayed
+    into the loop report so a cache hit is byte-identical to the cold
+    compile), and its certificate. MVE is deliberately absent — the
+    expansion draws fresh registers from the program's own supply, so
+    it is recomputed per program in the finish phase. *)
+type cached_sched = {
+  cs_schedule : Modsched.schedule;
+  cs_stats : Modsched.stats;
+  cs_cert : certification option;
+}
+
+(** One consultation of a schedule cache for one loop. [cp_hit] is the
+    verified reusable result, if any. [cp_commit] must be called at
+    most once, from the sequential finish phase, with the schedule the
+    loop actually adopted and validated — it inserts on a miss and
+    refreshes recency on a hit. Keeping every mutation in the
+    sequential phase (probes during the parallel analyze phase are
+    read-only) makes the cache's evolution — and therefore the output
+    — independent of the job count. *)
+type cache_probe = {
+  cp_hit : cached_sched option;
+  cp_commit : cached_sched -> unit;
+}
+
+(** A schedule cache, as the compiler sees it: one probe function,
+    called upstream of the interval search with the pipelining graph
+    and the search window. Implementations ({!Sp_serve.Cache}) must
+    verify any candidate against the graph's own constraints before
+    returning it as a hit; the finish phase re-validates the expanded
+    fragments regardless, so a defective hit can only cost work, never
+    correctness. Runs inside the per-loop degradation guard. *)
+type cache = {
+  cache_probe : Machine.t -> Ddg.t -> mii:int -> max_ii:int -> cache_probe;
+}
+
 type config = {
   pipeline : bool;          (** false = local compaction only (baseline) *)
   mve_mode : Mve.mode;
@@ -76,6 +112,10 @@ type config = {
   certifier : certifier option;
       (** optional optimality oracle consulted on every heuristic
           success; [None] = heuristic results are reported uncertified *)
+  cache : cache option;
+      (** optional content-addressed schedule cache consulted before
+          the interval search (and before the certifier); [None] = every
+          loop is scheduled from scratch *)
   jobs : int;
       (** domain-pool width for compiling independent innermost loops
           concurrently (sibling loops batch; results merge in loop
@@ -94,6 +134,7 @@ let default =
     profit_margin = 0.95;
     fuel = None;
     certifier = None;
+    cache = None;
     jobs = 1;
   }
 
@@ -711,6 +752,9 @@ type staged = {
   sg_has_scc : bool;
   sg_has_inner_loop : bool;
   sg_search : searched;
+  sg_commit : (cached_sched -> unit) option;
+      (** schedule-cache commit for this loop, to be called once from
+          the sequential finish phase if the loop pipelines *)
 }
 
 let loop_prelude ctx ~(iv : Vreg.t) ~(n : Region.bound) ~(body : Region.t)
@@ -934,51 +978,83 @@ let loop_analyze ctx (pre : prelude) : staged =
      error, fragments that fail the timing contract), this loop alone
      degrades to the serial schedule already in hand and compilation
      continues. *)
-  let search =
-    if not ctx.cfg.pipeline then S_fail (Disabled, None)
+  let search, commit =
+    if not ctx.cfg.pipeline then (S_fail (Disabled, None), None)
     else if has_inner_loop && not ctx.cfg.pipeline_outer then
-      S_fail (Disabled, None)
-    else if seq_len > ctx.cfg.threshold then S_fail (Over_threshold, None)
+      (S_fail (Disabled, None), None)
+    else if seq_len > ctx.cfg.threshold then
+      (S_fail (Over_threshold, None), None)
     else if
       float_of_int mii.Mii.mii
       >= ctx.cfg.profit_margin *. float_of_int seq_len
-    then S_fail (Not_profitable, None)
+    then (S_fail (Not_profitable, None), None)
     else
       try
-        Sp_util.Log.debug "loop%d: searching ii in [%d,%d]" l_id mii.Mii.mii
-          (seq_len - 1);
-        match
-          Sp_obs.Trace.span ~args:loop_args "compile.modsched" (fun () ->
-              Modsched.schedule_with_budget ~search:ctx.cfg.search ~analysis
-                ?fuel:ctx.cfg.fuel ctx.m g_mve ~mii:mii.Mii.mii
-                ~max_ii:(seq_len - 1))
-        with
-        | Modsched.No_interval stats -> S_fail (Not_profitable, Some stats)
-        | Modsched.Fuel_exhausted stats -> S_fail (Budget_exhausted, Some stats)
-        | Modsched.Scheduled (sched, stats) ->
-          Sp_util.Log.debug "loop%d: scheduled ii=%d sc=%d span=%d" l_id
-            sched.Modsched.s sched.Modsched.sc sched.Modsched.span;
-          (* optimality oracle: may replace the heuristic schedule with
-             a proven-better one; either way the adopted schedule flows
-             through the same MVE / emission / validation path in the
-             finish phase *)
-          let sched, cert =
-            match ctx.cfg.certifier with
-            | None -> (sched, None)
-            | Some certify ->
-              let sched', c =
-                Sp_obs.Trace.span ~args:loop_args "compile.certify" (fun () ->
-                    certify ctx.m g_mve ~analysis ~mii:mii.Mii.mii sched)
-              in
-              Sp_util.Log.debug "loop%d: certificate: %s" l_id
-                (cert_to_string c);
-              (sched', Some c)
-          in
-          S_sched (sched, stats, cert)
+        (* schedule cache: a read-only probe — eligible loops ask the
+           cache for a previously adopted schedule of a structurally
+           identical (DDG, machine) pair before paying for the interval
+           search. Probes may run concurrently (the analyze phase is
+           parallel); the matching commit is deferred to the sequential
+           finish phase, so the cache's contents evolve in loop order
+           and the output stays byte-identical at any job count.
+           Explain mode bypasses the cache: a replayed schedule records
+           no probe events, and the decision log must not depend on
+           what some earlier compilation happened to insert. *)
+        let probe =
+          match ctx.cfg.cache with
+          | Some c when not (Sp_obs.Explain.enabled ()) ->
+            Some
+              (c.cache_probe ctx.m g_mve ~mii:mii.Mii.mii ~max_ii:(seq_len - 1))
+          | _ -> None
+        in
+        let commit = Option.map (fun p -> p.cp_commit) probe in
+        match probe with
+        | Some { cp_hit = Some cs; _ }
+          when (cs.cs_cert = None) = (ctx.cfg.certifier = None) ->
+          (* replay only when the cached certification level matches the
+             requested one — a certified run must not report an entry
+             cached without a certificate, nor vice versa *)
+          Sp_util.Log.debug "loop%d: schedule cache hit ii=%d" l_id
+            cs.cs_schedule.Modsched.s;
+          (S_sched (cs.cs_schedule, cs.cs_stats, cs.cs_cert), commit)
+        | _ -> (
+          Sp_util.Log.debug "loop%d: searching ii in [%d,%d]" l_id mii.Mii.mii
+            (seq_len - 1);
+          match
+            Sp_obs.Trace.span ~args:loop_args "compile.modsched" (fun () ->
+                Modsched.schedule_with_budget ~search:ctx.cfg.search ~analysis
+                  ?fuel:ctx.cfg.fuel ctx.m g_mve ~mii:mii.Mii.mii
+                  ~max_ii:(seq_len - 1))
+          with
+          | Modsched.No_interval stats ->
+            (S_fail (Not_profitable, Some stats), None)
+          | Modsched.Fuel_exhausted stats ->
+            (S_fail (Budget_exhausted, Some stats), None)
+          | Modsched.Scheduled (sched, stats) ->
+            Sp_util.Log.debug "loop%d: scheduled ii=%d sc=%d span=%d" l_id
+              sched.Modsched.s sched.Modsched.sc sched.Modsched.span;
+            (* optimality oracle: may replace the heuristic schedule with
+               a proven-better one; either way the adopted schedule flows
+               through the same MVE / emission / validation path in the
+               finish phase *)
+            let sched, cert =
+              match ctx.cfg.certifier with
+              | None -> (sched, None)
+              | Some certify ->
+                let sched', c =
+                  Sp_obs.Trace.span ~args:loop_args "compile.certify"
+                    (fun () ->
+                      certify ctx.m g_mve ~analysis ~mii:mii.Mii.mii sched)
+                in
+                Sp_util.Log.debug "loop%d: certificate: %s" l_id
+                  (cert_to_string c);
+                (sched', Some c)
+            in
+            (S_sched (sched, stats, cert), commit))
       with
       | Sp_util.Fault.Injected site ->
-        S_fail (Degraded ("fault injected at " ^ site), None)
-      | e -> S_fail (Degraded (Printexc.to_string e), None)
+        (S_fail (Degraded ("fault injected at " ^ site), None), None)
+      | e -> (S_fail (Degraded (Printexc.to_string e), None), None)
   in
   {
     sg_seq_len = seq_len;
@@ -990,6 +1066,7 @@ let loop_analyze ctx (pre : prelude) : staged =
     sg_has_scc = has_scc;
     sg_has_inner_loop = has_inner_loop;
     sg_search = search;
+    sg_commit = commit;
   }
 
 let loop_finish ctx (pre : prelude) (sg : staged) : Sunit.t list =
@@ -1219,6 +1296,21 @@ let loop_finish ctx (pre : prelude) (sg : staged) : Sunit.t list =
         ~ii:(Some sched.Modsched.s)
         ~sc:sched.Modsched.sc ~unroll:mve.Mve.unroll ~mf:mve.Mve.fregs
         ~mi:mve.Mve.iregs Pipelined;
+      (* the loop pipelined and its fragments validated: commit the
+         adopted schedule to the cache (insert on a miss, refresh
+         recency on a hit). Runs here — in the sequential finish phase,
+         in loop order — so cache evolution is job-count-independent.
+         A cache failure must never break a compilation that already
+         succeeded. *)
+      (match sg.sg_commit with
+      | None -> ()
+      | Some commit -> (
+        try
+          commit
+            { cs_schedule = sched; cs_stats = stats; cs_cert = cert }
+        with e ->
+          Sp_util.Log.info "loop%d: schedule-cache commit failed: %s" l_id
+            (Printexc.to_string e)));
       let sc = pf.Emit.sc and u = pf.Emit.unroll in
       (match n with
       | Region.Const k ->

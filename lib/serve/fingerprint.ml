@@ -1,0 +1,334 @@
+(** Structural fingerprints of (DDG, machine) pairs — see the mli for
+    the contract.
+
+    Canonicalization runs in three steps:
+
+    1. A {e local descriptor} per unit: every scheduling-relevant fact
+       the unit carries on its own — length, no-wrap/barrier flags,
+       sorted reservations, payload kind, and the (time, class) shape
+       of its register accesses {e in intrinsic list order} (operand
+       order is structure, not naming, so it survives alpha-renaming).
+       Register identities are deliberately absent here; they reach the
+       fingerprint through edges and through the final first-occurrence
+       renumbering.
+
+    2. {e Neighborhood refinement} (Weisfeiler–Lehman style) over a
+       two-sorted graph: unit keys start as hashes of the local
+       descriptors, register keys as hashes of the register class, and
+       both are iterated together — a unit's key absorbs the sorted
+       multiset of (direction, delay, omega, neighbor key) over its
+       dependence edges plus its accesses as (role, position, time,
+       register key) in intrinsic operand order; a register's key
+       absorbs the sorted multiset of (role, position, time, unit
+       key) over its accesses — position included so registers
+       distinguished only by which operand slot of a non-commutative
+       op they feed still separate.
+       The register side matters: read-read sharing produces no
+       dependence edge, so without it two units with identical shapes
+       but different sharing patterns would stay tied and the
+       index tie-break below would make the canonical form depend on
+       presentation order. Equal graphs presented under any unit
+       permutation converge to equal key multisets.
+
+    3. {e Individualization} for residual ties: refinement can leave
+       distinct units with equal keys (for instance two tied producers
+       feeding two tied consumers — every local view is symmetric, yet
+       breaking the two ties independently is not an automorphism, so
+       an index tie-break would make the result depend on presentation
+       order). When a tied cell survives, each of its members is
+       individualized in turn (its key perturbed, refinement re-run,
+       recursion on remaining ties) and the lexicographically smallest
+       full serialization wins — the standard individualization-
+       refinement certificate, exponential only in tied-cell sizes,
+       which are tiny here; a branch budget caps pathological graphs,
+       falling back to the index tie-break (which can only cost a
+       cache miss, never a wrong hit).
+
+    4. The canonical order sorts units by (refined key, local
+       descriptor, original index); registers are then renumbered by
+       first occurrence in that order and the whole graph — units,
+       renumbered accesses, sorted relabeled edges, machine resource
+       table — is serialized and digested.
+
+    The digest is MD5 via the stdlib [Digest] — keys are structural,
+    not adversarial, and a colliding entry is re-verified against the
+    requesting loop's own constraints before reuse ({!Cache}), so a
+    collision can cost a lookup, never correctness. *)
+
+module Ddg = Sp_core.Ddg
+module Sunit = Sp_core.Sunit
+module Machine = Sp_machine.Machine
+
+type canon = { fp : string; perm : int array }
+
+let cls_char (v : Sp_ir.Vreg.t) =
+  match v.Sp_ir.Vreg.cls with Sp_ir.Vreg.F -> 'F' | Sp_ir.Vreg.I -> 'I'
+
+(* The renaming-invariant per-unit descriptor (step 1). *)
+let local_descr (u : Sunit.t) : string =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (string_of_int u.Sunit.len);
+  Buffer.add_char b (if u.Sunit.no_wrap then 'w' else '-');
+  Buffer.add_char b (if u.Sunit.barrier then 'b' else '-');
+  Buffer.add_char b ';';
+  List.iter
+    (fun (off, rid) ->
+      Buffer.add_string b (string_of_int off);
+      Buffer.add_char b ':';
+      Buffer.add_string b (string_of_int rid);
+      Buffer.add_char b ',')
+    (List.sort compare u.Sunit.resv);
+  Buffer.add_char b ';';
+  (match u.Sunit.payload with
+  | Sunit.P_op op ->
+    Buffer.add_string b "op:";
+    Buffer.add_string b (Sp_machine.Opkind.to_string op.Sp_ir.Op.kind)
+  | Sunit.P_if _ -> Buffer.add_string b "if"
+  | Sunit.P_loop _ -> Buffer.add_string b "loop");
+  Buffer.add_char b ';';
+  List.iter
+    (fun (v, t) ->
+      Buffer.add_string b (string_of_int t);
+      Buffer.add_char b (cls_char v);
+      Buffer.add_char b ',')
+    u.Sunit.uses;
+  Buffer.add_char b ';';
+  List.iter
+    (fun (v, t) ->
+      Buffer.add_string b (string_of_int t);
+      Buffer.add_char b (cls_char v);
+      Buffer.add_char b ',')
+    u.Sunit.defs;
+  Buffer.contents b
+
+let canon (g : Ddg.t) (m : Machine.t) : canon =
+  let n = Array.length g.Ddg.units in
+  let local = Array.map local_descr g.Ddg.units in
+  (* registers as a second node sort: index every distinct vreg and
+     record its accesses, so sharing that produces no dependence edge
+     (read-read) still reaches the refinement *)
+  let reg_idx : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let reg_cls = ref [] in
+  let idx_of (v : Sp_ir.Vreg.t) =
+    match Hashtbl.find_opt reg_idx v.Sp_ir.Vreg.id with
+    | Some r -> r
+    | None ->
+      let r = Hashtbl.length reg_idx in
+      Hashtbl.add reg_idx v.Sp_ir.Vreg.id r;
+      reg_cls := cls_char v :: !reg_cls;
+      r
+  in
+  let unit_acc =
+    Array.map
+      (fun (u : Sunit.t) ->
+        List.mapi (fun p (v, t) -> (0, p, t, idx_of v)) u.Sunit.uses
+        @ List.mapi (fun p (v, t) -> (1, p, t, idx_of v)) u.Sunit.defs)
+      g.Ddg.units
+  in
+  let nr = Hashtbl.length reg_idx in
+  let reg_acc = Array.make (max nr 1) [] in
+  Array.iteri
+    (fun i l ->
+      List.iter
+        (fun (role, p, t, r) -> reg_acc.(r) <- (role, p, t, i) :: reg_acc.(r))
+        l)
+    unit_acc;
+  let cls = Array.of_list (List.rev !reg_cls) in
+  (* step 2: joint refinement of unit and register keys; register keys
+     start from the class alone so the fingerprint survives renaming.
+     Keys are full MD5 digests of the serialized neighborhood —
+     [Hashtbl.hash] only examines a bounded prefix of a structure, so
+     it would silently ignore most of a large neighbor multiset and
+     leave spurious ties. *)
+  let init_key = Array.map (fun l -> Digest.string l) local in
+  let init_rkey = Array.map (fun c -> Digest.string (String.make 1 c)) cls in
+  let digest_round b parts =
+    Buffer.clear b;
+    List.iter
+      (fun (a, bb, c, d, k) ->
+        Buffer.add_string b (string_of_int a);
+        Buffer.add_char b ':';
+        Buffer.add_string b (string_of_int bb);
+        Buffer.add_char b ':';
+        Buffer.add_string b (string_of_int c);
+        Buffer.add_char b ':';
+        Buffer.add_string b (string_of_int d);
+        Buffer.add_char b ':';
+        Buffer.add_string b k;
+        Buffer.add_char b ';')
+      parts;
+    Digest.string (Buffer.contents b)
+  in
+  let scratch = Buffer.create 256 in
+  let rounds = min 16 (n + nr) in
+  let distinct (a : string array) =
+    let h = Hashtbl.create 16 in
+    Array.iter (fun k -> Hashtbl.replace h k ()) a;
+    Hashtbl.length h
+  in
+  let refine key0 rkey0 =
+    let key = Array.copy key0 and rkey = Array.copy rkey0 in
+    (* rehashing only ever splits key classes, so a round that leaves
+       the distinct-key count unchanged is the fixpoint — bail out
+       rather than burn the full round budget on every request *)
+    let prev = ref (-1) in
+    (try
+       for _ = 1 to rounds do
+      let next =
+        Array.init n (fun i ->
+            let nbrs =
+              List.map
+                (fun (e : Ddg.edge) ->
+                  (0, 0, e.Ddg.delay, e.Ddg.omega, key.(e.Ddg.dst)))
+                g.Ddg.succs.(i)
+              @ List.map
+                  (fun (e : Ddg.edge) ->
+                    (1, 0, e.Ddg.delay, e.Ddg.omega, key.(e.Ddg.src)))
+                  g.Ddg.preds.(i)
+            in
+            (* accesses stay in intrinsic operand order (order is
+               structure, only the register names are abstracted), so
+               they are tagged to keep them apart from the sorted edge
+               multiset *)
+            let accs =
+              List.map
+                (fun (role, p, t, r) -> (2, role, p, t, rkey.(r)))
+                unit_acc.(i)
+            in
+            digest_round scratch
+              ((0, 0, 0, 0, key.(i)) :: List.sort compare nbrs @ accs))
+      in
+      let rnext =
+        Array.init nr (fun r ->
+            (* the operand position [p] is the load-bearing part: two
+               registers whose only distinction is which operand slot
+               of a non-commutative op they feed would otherwise stay
+               tied forever, and the tie-break below would then number
+               them by presentation order *)
+            let accs =
+              List.map
+                (fun (role, p, t, i) -> (role, p, t, 0, key.(i)))
+                reg_acc.(r)
+            in
+            digest_round scratch
+              ((0, 0, 0, 0, rkey.(r)) :: List.sort compare accs))
+      in
+      Array.blit next 0 key 0 n;
+      Array.blit rnext 0 rkey 0 nr;
+      let d = distinct key + distinct rkey in
+      if d = !prev then raise Exit;
+      prev := d
+       done
+     with Exit -> ());
+    (key, rkey)
+  in
+  (* step 4: canonical order under the given keys, then
+     first-occurrence register ids; returns the full serialization so
+     candidate branches can be compared lexicographically *)
+  let serialize key =
+    let order = Array.init n (fun i -> i) in
+    Array.sort
+      (fun a b -> compare (key.(a), local.(a), a) (key.(b), local.(b), b))
+      order;
+    let perm = Array.make n 0 in
+    Array.iteri (fun c i -> perm.(i) <- c) order;
+    let reg_ids : (int, int) Hashtbl.t = Hashtbl.create 32 in
+    let reg_id (v : Sp_ir.Vreg.t) =
+      match Hashtbl.find_opt reg_ids v.Sp_ir.Vreg.id with
+      | Some c -> c
+      | None ->
+        let c = Hashtbl.length reg_ids in
+        Hashtbl.add reg_ids v.Sp_ir.Vreg.id c;
+        c
+    in
+    let b = Buffer.create 1024 in
+    (* machine digest: the name plus everything the scheduler reads off
+       the description — resource table and register-file capacities *)
+    Buffer.add_string b m.Machine.name;
+    Buffer.add_char b '|';
+    Array.iter
+      (fun (r : Machine.resource) ->
+        Buffer.add_string b r.Machine.rname;
+        Buffer.add_char b '=';
+        Buffer.add_string b (string_of_int r.Machine.count);
+        Buffer.add_char b ',')
+      m.Machine.resources;
+    Buffer.add_string b
+      (Printf.sprintf "|f%d|i%d|n%d|" m.Machine.fregs m.Machine.iregs n);
+    Array.iter
+      (fun i ->
+        let u = g.Ddg.units.(i) in
+        Buffer.add_string b local.(i);
+        (* the same accesses again, now with canonical register names *)
+        Buffer.add_char b '/';
+        List.iter
+          (fun (v, _) ->
+            Buffer.add_string b (string_of_int (reg_id v));
+            Buffer.add_char b ',')
+          u.Sunit.uses;
+        Buffer.add_char b '/';
+        List.iter
+          (fun (v, _) ->
+            Buffer.add_string b (string_of_int (reg_id v));
+            Buffer.add_char b ',')
+          u.Sunit.defs;
+        Buffer.add_char b '\n')
+      order;
+    let edges =
+      List.sort compare
+        (List.map
+           (fun (e : Ddg.edge) ->
+             (perm.(e.Ddg.src), perm.(e.Ddg.dst), e.Ddg.delay, e.Ddg.omega))
+           g.Ddg.edges)
+    in
+    List.iter
+      (fun (s, d, delay, omega) ->
+        Buffer.add_string b (Printf.sprintf "e%d>%d:%d:%d\n" s d delay omega))
+      edges;
+    (Buffer.contents b, perm)
+  in
+  (* step 3: individualization-refinement over residual ties. Pick the
+     least tied (key, local) cell, individualize each member in turn,
+     re-refine, recurse; the smallest full serialization is the
+     certificate. The budget bounds the branch count; on exhaustion
+     the index tie-break stands, which can only split what should
+     collide (a missed hit), never merge what should differ beyond
+     what MD5 already risks — and hits are re-verified anyway. *)
+  let budget = ref 64 in
+  let rec solve key0 rkey0 =
+    let key, rkey = refine key0 rkey0 in
+    let cells : (string * string, int list) Hashtbl.t = Hashtbl.create 16 in
+    for i = n - 1 downto 0 do
+      let k = (key.(i), local.(i)) in
+      Hashtbl.replace cells k
+        (i :: Option.value (Hashtbl.find_opt cells k) ~default:[])
+    done;
+    let tied =
+      Hashtbl.fold
+        (fun k members acc ->
+          match (members, acc) with
+          | ([] | [ _ ]), _ -> acc
+          | _, Some (k0, _) when k0 <= k -> acc
+          | _, _ -> Some (k, members))
+        cells None
+    in
+    match tied with
+    | None -> serialize key
+    | Some _ when !budget <= 0 -> serialize key
+    | Some (_, members) ->
+      List.fold_left
+        (fun best u ->
+          decr budget;
+          let key' = Array.copy key in
+          key'.(u) <- Digest.string ("!" ^ key.(u));
+          let cand = solve key' rkey in
+          match best with
+          | Some (bs, _) when bs <= fst cand -> best
+          | _ -> Some cand)
+        None members
+      |> Option.get
+  in
+  let s, perm = solve init_key init_rkey in
+  { fp = Digest.to_hex (Digest.string s); perm }
+
+let of_loop g m = (canon g m).fp

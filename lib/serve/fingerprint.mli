@@ -1,0 +1,33 @@
+(** Structural fingerprints of (innermost-loop DDG, machine) pairs.
+
+    The fingerprint is a digest of a {e canonical form} of the graph:
+    node numbering is recomputed from structure alone (iterated
+    neighborhood refinement over units {e and} registers jointly,
+    residual ties resolved by individualization-refinement taking the
+    lexicographically least certificate), register names are replaced
+    by first-occurrence indices in canonical order, and edges are
+    sorted with their full (delay, omega) labels. Alpha-equivalent loops —
+    renamed registers, reordered independent units — therefore collide,
+    which is what makes the schedule cache effective across kernel
+    families, while any difference in unit shapes, dependence
+    structure, latencies, omegas or the machine's resource table
+    changes the digest.
+
+    Deliberately {e not} fingerprinted: immediate operands, memory
+    segment identities and trip counts. The cache reuses only issue
+    times; code is re-emitted from the loop's own payloads, so loops
+    differing only in constants can safely share a schedule. *)
+
+type canon = {
+  fp : string;        (** hex digest of the canonical serialization *)
+  perm : int array;   (** original unit index -> canonical position *)
+}
+
+val canon : Sp_core.Ddg.t -> Sp_machine.Machine.t -> canon
+(** Canonicalize and digest. [perm] transfers issue-time arrays between
+    original and canonical node spaces (store
+    [canonical.(perm.(i)) <- times.(i)], reload
+    [times.(i) <- canonical.(perm.(i))]). *)
+
+val of_loop : Sp_core.Ddg.t -> Sp_machine.Machine.t -> string
+(** Just the digest — [(canon g m).fp]. *)

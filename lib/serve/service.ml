@@ -1,0 +1,245 @@
+(** See the mli for the protocol contract. *)
+
+module Compile = Sp_core.Compile
+module Machine = Sp_machine.Machine
+module Pool = Sp_util.Pool
+module Fault = Sp_util.Fault
+module Json = Sp_obs.Json
+
+type request =
+  | Compile of {
+      machine : string;
+      inject : (string * int) option;
+      source : string;
+    }
+  | Stats
+  | Ping
+
+type response = Ok of string | Err of string
+
+(* ---- payload codec -------------------------------------------------- *)
+
+let render_request = function
+  | Compile { machine; inject; source } ->
+    let inj =
+      match inject with
+      | None -> ""
+      | Some (site, k) -> Printf.sprintf " inject=%s@%d" site k
+    in
+    Printf.sprintf "compile %s%s\n%s" machine inj source
+  | Stats -> "stats"
+  | Ping -> "ping"
+
+let parse_inject_token tok =
+  match String.index_opt tok '=' with
+  | Some 6 when String.sub tok 0 6 = "inject" -> (
+    let spec = String.sub tok 7 (String.length tok - 7) in
+    match String.rindex_opt spec '@' with
+    | Some i when i > 0 -> (
+      let site = String.sub spec 0 i in
+      match
+        int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1))
+      with
+      | Some k when k >= 1 -> Some (site, k)
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+let parse_request payload =
+  let head, body =
+    match String.index_opt payload '\n' with
+    | Some i ->
+      ( String.sub payload 0 i,
+        String.sub payload (i + 1) (String.length payload - i - 1) )
+    | None -> (payload, "")
+  in
+  match String.split_on_char ' ' head with
+  | [ "compile"; machine ] ->
+    Result.Ok (Compile { machine; inject = None; source = body })
+  | [ "compile"; machine; tok ] -> (
+    match parse_inject_token tok with
+    | Some inject ->
+      Result.Ok (Compile { machine; inject = Some inject; source = body })
+    | None -> Result.Error (Printf.sprintf "bad request token %S" tok))
+  | [ "stats" ] -> Result.Ok Stats
+  | [ "ping" ] -> Result.Ok Ping
+  | verb :: _ -> Result.Error (Printf.sprintf "unknown request verb %S" verb)
+  | [] -> Result.Error "empty request"
+
+let render_response = function
+  | Ok body -> "ok\n" ^ body
+  | Err msg -> "error\n" ^ msg
+
+let parse_response payload =
+  let prefixed p =
+    let n = String.length p in
+    if String.length payload >= n && String.sub payload 0 n = p then
+      Some (String.sub payload n (String.length payload - n))
+    else None
+  in
+  match prefixed "ok\n" with
+  | Some body -> Ok body
+  | None -> (
+    match prefixed "error\n" with
+    | Some msg -> Err msg
+    | None -> Err (Printf.sprintf "malformed response payload %S" payload))
+
+(* ---- frame I/O ------------------------------------------------------ *)
+
+module Frame = struct
+  let max_len = 16 * 1024 * 1024
+
+  let rec write_all fd b off len =
+    if len > 0 then begin
+      let n = Unix.write fd b off len in
+      write_all fd b (off + n) (len - n)
+    end
+
+  let write fd payload =
+    let len = String.length payload in
+    if len > max_len then failwith "Frame.write: payload too large";
+    let b = Bytes.create (4 + len) in
+    Bytes.set_int32_be b 0 (Int32.of_int len);
+    Bytes.blit_string payload 0 b 4 len;
+    write_all fd b 0 (4 + len)
+
+  (* [None] only on EOF at byte 0 of the read — EOF mid-object is a
+     truncated frame and raises. *)
+  let read_exact fd len =
+    let b = Bytes.create len in
+    let rec go off =
+      if off = len then Some b
+      else
+        match Unix.read fd b off (len - off) with
+        | 0 -> if off = 0 then None else failwith "Frame.read: truncated frame"
+        | n -> go (off + n)
+    in
+    go 0
+
+  let read fd =
+    match read_exact fd 4 with
+    | None -> None
+    | Some hdr ->
+      let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+      if len < 0 || len > max_len then
+        failwith "Frame.read: bad frame length"
+      else (
+        match read_exact fd len with
+        | None -> failwith "Frame.read: truncated frame"
+        | Some b -> Some (Bytes.to_string b))
+end
+
+(* ---- the engine ----------------------------------------------------- *)
+
+type t = {
+  pool : Pool.t;
+  cache : Cache.t option;
+  hook : Compile.cache option;
+}
+
+let machine_of_string s =
+  match s with
+  | "warp" -> Result.Ok Machine.warp
+  | "toy" -> Result.Ok Machine.toy
+  | "serial" -> Result.Ok Machine.serial
+  | _ -> (
+    try Scanf.sscanf s "warp%dx" (fun w -> Result.Ok (Machine.warp_scaled ~width:w))
+    with _ -> Result.Error (Printf.sprintf "unknown machine %S" s))
+
+let create ?(cache_capacity = 256) ?(jobs = 1) () =
+  let cache = if cache_capacity > 0 then Some (Cache.create ~capacity:cache_capacity) else None in
+  {
+    pool = Pool.create ~jobs;
+    cache;
+    hook = Option.map Cache.hook cache;
+  }
+
+let close t = Pool.shutdown t.pool
+let cache t = t.cache
+
+let stats_json t =
+  let s =
+    match t.cache with
+    | Some c -> Cache.stats c
+    | None ->
+      { Cache.hits = 0; misses = 0; rejects = 0; inserts = 0; evictions = 0;
+        entries = 0 }
+  in
+  Json.to_string ~pretty:true
+    (Json.Obj
+       [
+         ( "capacity",
+           Json.Int (match t.cache with Some c -> Cache.capacity c | None -> 0)
+         );
+         ("entries", Json.Int s.Cache.entries);
+         ("hits", Json.Int s.Cache.hits);
+         ("misses", Json.Int s.Cache.misses);
+         ("rejects", Json.Int s.Cache.rejects);
+         ("inserts", Json.Int s.Cache.inserts);
+         ("evictions", Json.Int s.Cache.evictions);
+       ])
+
+let describe_exn = function
+  | Sp_lang.Lexer.Error (p, m) ->
+    Fmt.str "lexical error at %a: %s" Sp_lang.Token.pp_pos p m
+  | Sp_lang.Parser.Error (p, m) ->
+    Fmt.str "syntax error at %a: %s" Sp_lang.Token.pp_pos p m
+  | Sp_lang.Typecheck.Error (p, m) ->
+    Fmt.str "type error at %a: %s" Sp_lang.Token.pp_pos p m
+  | Fault.Injected site -> "fault injected at " ^ site
+  | e -> Printexc.to_string e
+
+(* One compile, cache attached, response text byte-identical to offline
+   [w2c compile]: the header comment plus the pretty-printed program.
+   Requests compile at [jobs = 1] — parallelism lives across requests
+   (the pool), not inside one. *)
+let compile_body t ~machine ~source =
+  match machine_of_string machine with
+  | Result.Error msg -> Err msg
+  | Result.Ok m -> (
+    match
+      let p = Sp_lang.Lower.compile_source source in
+      let config = { Compile.default with Compile.cache = t.hook } in
+      (p, Compile.program ~config m p)
+    with
+    | exception e -> Err (describe_exn e)
+    | p, r ->
+      Ok
+        (Fmt.str "; %s: %d instructions for machine %s@." p.Sp_ir.Program.name
+           r.Compile.code_size m.Machine.name
+        ^ Fmt.str "%a" Sp_vliw.Prog.pp r.Compile.code))
+
+(* Sequential request execution — the only context where arming a fault
+   is legal. The arm/disarm window is scoped to this one request
+   ([Fault.with_armed]), so an armed site can never leak into a later
+   request served from the same (or a cached) compile. *)
+let run_one t = function
+  | Compile { machine; inject = None; source } -> compile_body t ~machine ~source
+  | Compile { machine; inject = Some (site, k); source } ->
+    if not (List.mem site (Fault.sites ())) then
+      Err
+        (Printf.sprintf "unknown fault site %S (available: %s)" site
+           (String.concat ", " (Fault.sites ())))
+    else
+      Fault.with_armed ~site ~after:k (fun () ->
+          compile_body t ~machine ~source)
+  | Stats -> Ok (stats_json t)
+  | Ping -> Ok "pong"
+
+let handle t rq = run_one t rq
+
+let handle_batch t rqs =
+  let arms_fault = function
+    | Compile { inject = Some _; _ } -> true
+    | _ -> false
+  in
+  if List.exists arms_fault rqs then
+    (* a batch that injects runs whole on the calling domain: hit
+       counting is global, so the armed window must not overlap any
+       concurrent compile *)
+    List.map (run_one t) rqs
+  else
+    Pool.try_run t.pool (List.map (fun rq () -> run_one t rq) rqs)
+    |> List.map (function
+         | Result.Ok r -> r
+         | Result.Error (e, _) -> Err (describe_exn e))

@@ -1,0 +1,78 @@
+(** The compile service: request/response model, wire framing and the
+    in-process engine the [w2cd] daemon and [bench --table serve] share.
+
+    Wire protocol (over a Unix-domain stream socket): each message is
+    one {e frame} — a 4-byte big-endian payload length followed by the
+    payload bytes. Requests and responses are framed identically; a
+    connection carries any number of request frames and receives
+    exactly one response frame per request, {e in request order}.
+
+    Request payloads (first line is the verb; the rest is the body):
+    - [compile MACHINE[ inject=SITE@K]\n<W2 source>] — compile the
+      source for MACHINE (warp, toy, serial, warpNx); the optional
+      inject token arms a deterministic fault for this request only.
+    - [stats] — cache statistics as JSON.
+    - [ping] — liveness probe; answers [pong].
+
+    Response payloads: [ok\n<body>] or [error\n<message>]. A compile
+    body is byte-identical to offline [w2c compile FILE] stdout — the
+    CI round-trip smoke compares them with [cmp]. *)
+
+type request =
+  | Compile of {
+      machine : string;
+      inject : (string * int) option;
+      source : string;
+    }
+  | Stats
+  | Ping
+
+type response = Ok of string | Err of string
+
+(** {1 Payload codec} (pure, unit-testable without sockets) *)
+
+val render_request : request -> string
+val parse_request : string -> (request, string) result
+val render_response : response -> string
+val parse_response : string -> response
+(** A malformed response payload parses as [Err]. *)
+
+(** {1 Frame I/O} *)
+
+module Frame : sig
+  val max_len : int
+  (** Refuse frames above this (16 MiB) — a corrupt length prefix must
+      not allocate unboundedly. *)
+
+  val write : Unix.file_descr -> string -> unit
+  val read : Unix.file_descr -> string option
+  (** [None] on clean EOF before the first length byte; raises
+      [Failure] on a truncated or oversized frame. *)
+end
+
+(** {1 The engine} *)
+
+type t
+
+val create : ?cache_capacity:int -> ?jobs:int -> unit -> t
+(** [cache_capacity] defaults to 256 ([0] disables the schedule cache);
+    [jobs] is the domain-pool width requests batch onto (default 1). *)
+
+val close : t -> unit
+(** Shut the pool down. The service must not be used afterwards. *)
+
+val cache : t -> Cache.t option
+(** The underlying schedule cache ([None] when disabled), for harnesses
+    that read hit rates directly. *)
+
+val handle : t -> request -> response
+
+val handle_batch : t -> request list -> response list
+(** Responses in request order. Requests run concurrently on the pool —
+    except when any request of the batch arms a fault, in which case the
+    whole batch runs sequentially on the calling domain so the armed
+    site cannot leak into (or crash) a sibling request; the arm/disarm
+    window is scoped to the one requesting compile. *)
+
+val stats_json : t -> string
+(** The [stats] response body. *)

@@ -12,15 +12,23 @@
     Sites are registered at module-initialization time by the passes
     that own them, so {!sites} is complete as soon as the libraries
     are linked. All state is global and explicitly deterministic:
-    arming, hit counting and firing depend only on the call sequence. *)
+    arming, hit counting and firing depend only on the call sequence.
+
+    The armed spec and the fired flag are atomics: long-lived servers
+    ({!Sp_serve.Service}) arm a fault around one request on a worker
+    domain while other domains keep calling {!is_armed} and {!point},
+    and those reads must be well-defined. Hit counting stays a plain
+    hash table — it is only touched while a site is armed, and every
+    armed section runs single-domain (parallel drivers check
+    {!is_armed} and fall back to sequential execution). *)
 
 exception Injected of string
 (** Raised by an armed {!point}. Carries the site name. *)
 
 let registered : (string, unit) Hashtbl.t = Hashtbl.create 16
-let armed : (string * int) option ref = ref None
+let armed : (string * int) option Atomic.t = Atomic.make None
 let hit_counts : (string, int) Hashtbl.t = Hashtbl.create 16
-let fired_site : string option ref = ref None
+let fired_site : string option Atomic.t = Atomic.make None
 
 let register site = Hashtbl.replace registered site ()
 
@@ -34,43 +42,52 @@ let arm ~site ~after =
   if after < 1 then invalid_arg "Fault.arm: after must be >= 1";
   register site;
   Hashtbl.reset hit_counts;
-  fired_site := None;
-  armed := Some (site, after)
+  Atomic.set fired_site None;
+  Atomic.set armed (Some (site, after))
 
 (** Disarm everything and clear counters. *)
 let disarm () =
-  armed := None;
-  fired_site := None;
+  Atomic.set armed None;
+  Atomic.set fired_site None;
   Hashtbl.reset hit_counts
 
 (** Executions of [site] since the last {!arm}/{!disarm}. *)
 let hits site = Option.value ~default:0 (Hashtbl.find_opt hit_counts site)
 
 (** The armed site, if it has fired since arming. *)
-let fired () = !fired_site
+let fired () = Atomic.get fired_site
 
 (** The currently armed [(site, after)] specification, if any — lets a
     driver that must re-arm per work item (the campaign's inject mode)
     read back what the CLI armed. *)
-let armed_spec () = !armed
+let armed_spec () = Atomic.get armed
 
 (** Whether any site is currently armed. Hit counting is global and
     call-sequence-dependent, so parallel drivers (the batch scheduler
     in {!Sp_core.Compile}) check this and fall back to sequential
     execution while a fault is armed — keeping injection
     deterministic. *)
-let is_armed () = !armed <> None
+let is_armed () = Atomic.get armed <> None
 
 (** Mark a failure site. When any site is armed, counts the hit and
     raises {!Injected} on the armed site's [after]-th execution; when
-    nothing is armed it costs a single [ref] read. *)
+    nothing is armed it costs a single atomic read. *)
 let point site =
-  match !armed with
+  match Atomic.get armed with
   | None -> ()
   | Some (s, after) ->
     let n = 1 + hits site in
     Hashtbl.replace hit_counts site n;
     if s = site && n = after then begin
-      fired_site := Some site;
+      Atomic.set fired_site (Some site);
       raise (Injected site)
     end
+
+(** [with_armed ~site ~after f] arms [site], runs [f ()], and disarms
+    unconditionally — including when [f] raises (typically the
+    {!Injected} it asked for). This is the per-request arming
+    discipline of the compile service: a fault armed for one request
+    on a worker domain can never leak into the next request. *)
+let with_armed ~site ~after f =
+  arm ~site ~after;
+  Fun.protect ~finally:disarm f

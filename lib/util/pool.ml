@@ -101,8 +101,14 @@ let try_run (type a) t (fs : (unit -> a) list) :
   let wrap f =
     try Ok (f ()) with e -> Error (e, Printexc.get_raw_backtrace ())
   in
-  if t.jobs <= 1 then List.map wrap fs
-  else begin
+  match fs with
+  | [] -> []
+  | [ f ] ->
+    (* single-task batches — the compile service's common case of one
+       request in flight — skip the queue and condvar round trip *)
+    [ wrap f ]
+  | fs when t.jobs <= 1 -> List.map wrap fs
+  | fs -> begin
     let fs = Array.of_list fs in
     let n = Array.length fs in
     if n = 0 then []
@@ -150,6 +156,13 @@ let run t fs =
       | Error (e, bt) -> Printexc.raise_with_backtrace e bt | Ok _ -> ())
     rs;
   List.map (function Ok v -> v | Error _ -> assert false) rs
+
+(** Scoped pool: create, run [f], always shut the workers down — the
+    discipline long-lived drivers (the compile daemon, bench harnesses)
+    want so an escaping exception cannot leak parked domains. *)
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 (** Pool width for the CLI default: [SP_JOBS] when set to a positive
     integer, else the runtime's recommendation for this machine. *)

@@ -37,6 +37,12 @@ val shutdown : t -> unit
 (** Stop and join the worker domains. The pool must not be used after.
     Safe to call on a [~jobs:1] pool (a no-op). *)
 
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] over a fresh pool and shuts it down on
+    every exit path, so an escaping exception cannot leak parked
+    domains — the discipline long-lived drivers (the compile daemon)
+    use. *)
+
 val default_jobs : unit -> int
 (** CLI default width: [SP_JOBS] when set to a positive integer, else
     [Domain.recommended_domain_count ()]. *)

@@ -22,5 +22,6 @@ let () =
       ("validate", Test_validate.suite);
       ("fault", Test_fault.suite);
       ("obs", Test_obs.suite);
+      ("serve", Test_serve.suite);
       ("campaign", Test_campaign.suite);
     ]

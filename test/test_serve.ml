@@ -1,0 +1,548 @@
+(** Tests for the compile service: fingerprint canonicalization
+    (alpha-rename and unit-reorder invariance, constraint sensitivity),
+    the content-addressed schedule cache (hit-side verifier, eviction
+    order, disabled mode, concurrent insertion) and the service engine
+    (codec, frame I/O, byte-identity with the offline compiler, fault
+    scoping across requests). *)
+
+open Sp_ir
+module C = Sp_core.Compile
+module Ddg = Sp_core.Ddg
+module Sunit = Sp_core.Sunit
+module Fingerprint = Sp_serve.Fingerprint
+module Cache = Sp_serve.Cache
+module Service = Sp_serve.Service
+module Fault = Sp_util.Fault
+module Opkind = Sp_machine.Opkind
+module Json = Sp_obs.Json
+
+let m = Sp_machine.Machine.warp
+
+(* ---- DDG material --------------------------------------------------- *)
+
+(** A random innermost-loop dependence graph via the program
+    generator; [None] when the seed produces an empty body. *)
+let ddg_of_seed seed =
+  let spec =
+    {
+      Gen.seed;
+      trip = 40;
+      n_stmts = 3 + (seed mod 6);
+      use_if = false;
+      use_accum = seed mod 2 = 0;
+      use_chan = false;
+      carried_store = seed mod 3 = 0;
+      empty_body = false;
+      maxlat = seed mod 5 = 0;
+    }
+  in
+  let p, _, _ = Gen.build_many [ spec ] in
+  match C.innermost_ddgs m p with
+  | (_, g) :: _ when Array.length g.Ddg.units > 0 -> Some g
+  | _ -> None
+
+(** Deterministic shuffle of [0..n-1]. *)
+let permutation seed n =
+  let a = Array.init n (fun i -> i) in
+  let s = ref ((seed * 2) + 1) in
+  let next k =
+    s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+    !s mod k
+  in
+  for i = n - 1 downto 1 do
+    let j = next (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+(** Present the same graph with unit [i] moved to position [pi.(i)]. *)
+let permute_ddg (pi : int array) (g : Ddg.t) : Ddg.t =
+  let n = Array.length g.Ddg.units in
+  let units = Array.make n g.Ddg.units.(0) in
+  Array.iteri (fun i u -> units.(pi.(i)) <- u) g.Ddg.units;
+  let remap (e : Ddg.edge) =
+    { e with Ddg.src = pi.(e.Ddg.src); dst = pi.(e.Ddg.dst) }
+  in
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  Array.iteri (fun i l -> succs.(pi.(i)) <- List.map remap l) g.Ddg.succs;
+  Array.iteri (fun i l -> preds.(pi.(i)) <- List.map remap l) g.Ddg.preds;
+  { g with Ddg.units; edges = List.map remap g.Ddg.edges; succs; preds }
+
+(** Alpha-rename every register access (fresh ids, same sharing). *)
+let rename_regs shift (g : Ddg.t) : Ddg.t =
+  let rn (v : Vreg.t) =
+    { v with Vreg.id = v.Vreg.id + shift; name = v.Vreg.name ^ "'" }
+  in
+  {
+    g with
+    Ddg.units =
+      Array.map
+        (fun (u : Sunit.t) ->
+          {
+            u with
+            Sunit.uses = List.map (fun (v, t) -> (rn v, t)) u.Sunit.uses;
+            defs = List.map (fun (v, t) -> (rn v, t)) u.Sunit.defs;
+          })
+        g.Ddg.units;
+  }
+
+let map_edges f (g : Ddg.t) : Ddg.t =
+  {
+    g with
+    Ddg.edges = List.map f g.Ddg.edges;
+    succs = Array.map (List.map f) g.Ddg.succs;
+    preds = Array.map (List.map f) g.Ddg.preds;
+  }
+
+(* dependence chain of [k] adds (edges, shared registers) *)
+let chain_units k : Sunit.t array =
+  let sup = Vreg.Supply.create () in
+  let ops = Op.Supply.create () in
+  let r0 = Vreg.Supply.fresh sup Vreg.F in
+  let rec go prev i acc =
+    if i = k then List.rev acc
+    else
+      let d = Vreg.Supply.fresh sup Vreg.F in
+      go d (i + 1)
+        (Op.Supply.mk ops ~dst:d ~srcs:[ prev; prev ] Opkind.Fadd :: acc)
+  in
+  Array.of_list
+    (List.mapi (fun i op -> Sunit.of_op m ~sid:i op) (go r0 0 []))
+
+(* [k] adds with no shared registers (no edges) *)
+let indep_units k : Sunit.t array =
+  let sup = Vreg.Supply.create () in
+  let ops = Op.Supply.create () in
+  Array.init k (fun i ->
+      let a = Vreg.Supply.fresh sup Vreg.F in
+      let b = Vreg.Supply.fresh sup Vreg.F in
+      let d = Vreg.Supply.fresh sup Vreg.F in
+      Sunit.of_op m ~sid:i (Op.Supply.mk ops ~dst:d ~srcs:[ a; b ] Opkind.Fadd))
+
+(* ---- fingerprint properties ----------------------------------------- *)
+
+let seed_gen = QCheck2.Gen.int_bound 400
+
+let prop_reorder_invariant =
+  QCheck2.Test.make ~name:"fingerprint survives unit reordering" ~count:120
+    seed_gen (fun seed ->
+      match ddg_of_seed seed with
+      | None -> true
+      | Some g ->
+        let pi = permutation seed (Array.length g.Ddg.units) in
+        Fingerprint.of_loop g m = Fingerprint.of_loop (permute_ddg pi g) m)
+
+let prop_alpha_invariant =
+  QCheck2.Test.make ~name:"fingerprint survives register renaming" ~count:120
+    seed_gen (fun seed ->
+      match ddg_of_seed seed with
+      | None -> true
+      | Some g ->
+        Fingerprint.of_loop g m = Fingerprint.of_loop (rename_regs 4096 g) m)
+
+let prop_perm_transfers_times =
+  QCheck2.Test.make
+    ~name:"canon perm is a bijection into canonical space" ~count:120 seed_gen
+    (fun seed ->
+      match ddg_of_seed seed with
+      | None -> true
+      | Some g ->
+        let n = Array.length g.Ddg.units in
+        let c = Fingerprint.canon g m in
+        let seen = Array.make n false in
+        Array.length c.Fingerprint.perm = n
+        && (Array.iter
+              (fun p -> if p >= 0 && p < n then seen.(p) <- true)
+              c.Fingerprint.perm;
+            Array.for_all (fun b -> b) seen))
+
+let test_delay_sensitivity () =
+  let g = Ddg.build (chain_units 3) in
+  Alcotest.(check bool) "chain has edges" true (g.Ddg.edges <> []);
+  let g' = map_edges (fun e -> { e with Ddg.delay = e.Ddg.delay + 1 }) g in
+  Alcotest.(check bool)
+    "delay change breaks the fingerprint" false
+    (Fingerprint.of_loop g m = Fingerprint.of_loop g' m)
+
+let test_omega_sensitivity () =
+  let g = Ddg.build (chain_units 3) in
+  let g' = map_edges (fun e -> { e with Ddg.omega = e.Ddg.omega + 1 }) g in
+  Alcotest.(check bool)
+    "omega change breaks the fingerprint" false
+    (Fingerprint.of_loop g m = Fingerprint.of_loop g' m)
+
+let test_resv_sensitivity () =
+  let g = Ddg.build (chain_units 3) in
+  Alcotest.(check bool)
+    "units reserve resources" true
+    (g.Ddg.units.(0).Sunit.resv <> []);
+  let units' = Array.copy g.Ddg.units in
+  units'.(0) <-
+    {
+      units'.(0) with
+      Sunit.resv =
+        List.map (fun (off, rid) -> (off + 1, rid)) units'.(0).Sunit.resv;
+    };
+  let g' = { g with Ddg.units = units' } in
+  Alcotest.(check bool)
+    "reservation change breaks the fingerprint" false
+    (Fingerprint.of_loop g m = Fingerprint.of_loop g' m)
+
+let test_machine_sensitivity () =
+  let g = Ddg.build (chain_units 3) in
+  Alcotest.(check bool)
+    "machine description is part of the key" false
+    (Fingerprint.of_loop g m = Fingerprint.of_loop g Sp_machine.Machine.toy)
+
+(* ---- the hit-side verifier ------------------------------------------ *)
+
+let test_schedule_ok () =
+  let g = Ddg.build (chain_units 3) in
+  let n = Array.length g.Ddg.units in
+  let spread = Array.init n (fun i -> i * 10) in
+  Alcotest.(check bool)
+    "spread chain verifies" true
+    (Cache.schedule_ok m g ~s:100 ~times:spread);
+  Alcotest.(check bool)
+    "negative time rejected" false
+    (Cache.schedule_ok m g ~s:100 ~times:(Array.map (fun t -> t - 10) spread));
+  Alcotest.(check bool)
+    "violated dependence rejected" false
+    (Cache.schedule_ok m g ~s:100 ~times:(Array.make n 0));
+  Alcotest.(check bool)
+    "zero interval rejected" false
+    (Cache.schedule_ok m g ~s:0 ~times:spread)
+
+let test_schedule_ok_resources () =
+  let g = Ddg.build (indep_units 8) in
+  Alcotest.(check bool) "no edges" true (g.Ddg.edges = []);
+  Alcotest.(check bool)
+    "eight adds in one modulo slot rejected" false
+    (Cache.schedule_ok m g ~s:1 ~times:(Array.make 8 0));
+  Alcotest.(check bool)
+    "spread out they verify" true
+    (Cache.schedule_ok m g ~s:8 ~times:(Array.init 8 (fun i -> i)))
+
+let test_schedule_ok_barrier () =
+  let g = Ddg.build (chain_units 2) in
+  let units' = Array.copy g.Ddg.units in
+  units'.(0) <- { units'.(0) with Sunit.barrier = true };
+  let g' = { g with Ddg.units = units' } in
+  Alcotest.(check bool)
+    "barrier graphs never verify" false
+    (Cache.schedule_ok m g' ~s:100 ~times:[| 0; 10 |])
+
+(* ---- cache behaviour through the compiler --------------------------- *)
+
+(* three structurally distinct single-loop programs *)
+let prog_a =
+  "program pa; var x, y : array [0..63] of float; k : int;\n\
+   begin for k := 0 to 63 do y[k] := 2.5 * x[k] + y[k]; end."
+
+let prog_b =
+  "program pb; var x, y : array [0..63] of float; k : int;\n\
+   begin for k := 0 to 63 do y[k] := (x[k] + 1.5) * (x[k] + 2.5) + x[k]; \
+   end."
+
+let prog_c =
+  "program pc; var x, y, z : array [0..63] of float; k : int;\n\
+   begin for k := 0 to 63 do z[k] := x[k] * y[k] + z[k] * 0.5 + x[k]; end."
+
+let compile_src ?cache src =
+  let config =
+    { C.default with C.cache = Option.map Cache.hook cache; jobs = 1 }
+  in
+  C.program ~config m (Sp_lang.Lower.compile_source src)
+
+let test_cache_identity () =
+  let direct = C.fingerprint (compile_src prog_a) in
+  let cache = Cache.create ~capacity:8 in
+  let cold = C.fingerprint (compile_src ~cache prog_a) in
+  let warm = C.fingerprint (compile_src ~cache prog_a) in
+  Alcotest.(check string) "cold equals direct" direct cold;
+  Alcotest.(check string) "warm equals direct" direct warm;
+  let s = Cache.stats cache in
+  Alcotest.(check bool) "warm pass hit" true (s.Cache.hits > 0);
+  Alcotest.(check int) "one schedule stored" 1 s.Cache.inserts
+
+let test_cache_disabled () =
+  let direct = C.fingerprint (compile_src prog_a) in
+  let cache = Cache.create ~capacity:0 in
+  let once = C.fingerprint (compile_src ~cache prog_a) in
+  let twice = C.fingerprint (compile_src ~cache prog_a) in
+  Alcotest.(check string) "disabled cache, identical output" direct once;
+  Alcotest.(check string) "second pass identical too" direct twice;
+  let s = Cache.stats cache in
+  Alcotest.(check int) "never hits" 0 s.Cache.hits;
+  Alcotest.(check int) "never stores" 0 s.Cache.inserts;
+  Alcotest.(check int) "stays empty" 0 s.Cache.entries;
+  Alcotest.(check bool) "probes still counted" true (s.Cache.misses > 0)
+
+let test_cache_eviction () =
+  let cache = Cache.create ~capacity:1 in
+  ignore (compile_src ~cache prog_a);
+  let s1 = Cache.stats cache in
+  Alcotest.(check int) "one loop, one insert" 1 s1.Cache.inserts;
+  ignore (compile_src ~cache prog_b);
+  ignore (compile_src ~cache prog_a);
+  let s = Cache.stats cache in
+  Alcotest.(check int) "capacity 1 never hits here" 0 s.Cache.hits;
+  Alcotest.(check int) "every compile inserted" 3 s.Cache.inserts;
+  Alcotest.(check int) "two evictions" 2 s.Cache.evictions;
+  Alcotest.(check int) "population respects capacity" 1 s.Cache.entries
+
+let test_cache_lru_promotion () =
+  let cache = Cache.create ~capacity:2 in
+  ignore (compile_src ~cache prog_a) (* insert A *);
+  ignore (compile_src ~cache prog_b) (* insert B *);
+  ignore (compile_src ~cache prog_a) (* hit A: promotes its recency *);
+  ignore (compile_src ~cache prog_c) (* insert C: evicts B, not A *);
+  ignore (compile_src ~cache prog_a) (* must still hit *);
+  let s = Cache.stats cache in
+  Alcotest.(check int) "A hit twice" 2 s.Cache.hits;
+  Alcotest.(check int) "three inserts" 3 s.Cache.inserts;
+  Alcotest.(check int) "one eviction" 1 s.Cache.evictions;
+  Alcotest.(check int) "full" 2 s.Cache.entries
+
+let test_cache_concurrent () =
+  (* many concurrent requests hammering one cache through the service
+     pool: every response must match the uncached reference *)
+  let service = Service.create ~cache_capacity:16 ~jobs:4 () in
+  Fun.protect ~finally:(fun () -> Service.close service) @@ fun () ->
+  let progs = [ prog_a; prog_b; prog_c ] in
+  let rq src =
+    Service.Compile { machine = "warp"; inject = None; source = src }
+  in
+  let batch = List.concat_map (fun s -> [ rq s; rq s; rq s; rq s ]) progs in
+  let reference =
+    let uncached = Service.create ~cache_capacity:0 () in
+    Fun.protect ~finally:(fun () -> Service.close uncached) @@ fun () ->
+    List.map
+      (fun src ->
+        match Service.handle uncached (rq src) with
+        | Service.Ok body -> body
+        | Service.Err e -> Alcotest.fail e)
+      progs
+  in
+  let run () =
+    List.map2
+      (fun rq' expected ->
+        match (rq', expected) with
+        | Service.Ok body, e -> Alcotest.(check string) "identical" e body
+        | Service.Err msg, _ -> Alcotest.fail msg)
+      (Service.handle_batch service batch)
+      (List.concat_map (fun e -> [ e; e; e; e ]) reference)
+  in
+  ignore (run ());
+  ignore (run ());
+  match Service.cache service with
+  | None -> Alcotest.fail "service lost its cache"
+  | Some c ->
+    let s = Cache.stats c in
+    Alcotest.(check bool) "second batch hits" true (s.Cache.hits > 0);
+    Alcotest.(check bool)
+      "population bounded" true
+      (s.Cache.entries <= Cache.capacity c)
+
+(* ---- service codec and frames --------------------------------------- *)
+
+let test_codec_roundtrip () =
+  let rqs =
+    [
+      Service.Compile
+        { machine = "warp"; inject = None; source = "program p; begin end." };
+      Service.Compile
+        {
+          machine = "toy";
+          inject = Some ("modsched.place", 3);
+          source = "body\nwith\nnewlines";
+        };
+      Service.Stats;
+      Service.Ping;
+    ]
+  in
+  List.iter
+    (fun rq ->
+      match Service.parse_request (Service.render_request rq) with
+      | Ok rq' -> Alcotest.(check bool) "request survives" true (rq = rq')
+      | Error e -> Alcotest.fail e)
+    rqs;
+  (match Service.parse_request "verb nobody knows" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "junk verb accepted");
+  List.iter
+    (fun resp ->
+      Alcotest.(check bool)
+        "response survives" true
+        (Service.parse_response (Service.render_response resp) = resp))
+    [ Service.Ok "some\nbody"; Service.Err "message"; Service.Ok "" ]
+
+let test_frame_roundtrip () =
+  let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () ->
+      Service.Frame.write a "hello frames";
+      Service.Frame.write a "";
+      Alcotest.(check (option string))
+        "payload" (Some "hello frames") (Service.Frame.read b);
+      Alcotest.(check (option string))
+        "empty payload" (Some "") (Service.Frame.read b);
+      Unix.close a;
+      Alcotest.(check (option string)) "clean EOF" None (Service.Frame.read b))
+
+let offline src =
+  let p = Sp_lang.Lower.compile_source src in
+  let r = C.program ~config:{ C.default with C.jobs = 1 } m p in
+  Fmt.str "; %s: %d instructions for machine %s@." p.Sp_ir.Program.name
+    r.C.code_size m.Sp_machine.Machine.name
+  ^ Fmt.str "%a" Sp_vliw.Prog.pp r.C.code
+
+let test_service_matches_offline () =
+  let service = Service.create ~cache_capacity:4 () in
+  Fun.protect ~finally:(fun () -> Service.close service) @@ fun () ->
+  List.iter
+    (fun src ->
+      match
+        Service.handle service
+          (Service.Compile { machine = "warp"; inject = None; source = src })
+      with
+      | Service.Ok body ->
+        Alcotest.(check string) "matches w2c compile" (offline src) body
+      | Service.Err e -> Alcotest.fail e)
+    [ prog_a; prog_b; prog_a (* the warm repeat too *) ]
+
+let test_service_error_paths () =
+  let service = Service.create ~cache_capacity:4 () in
+  Fun.protect ~finally:(fun () -> Service.close service) @@ fun () ->
+  (match
+     Service.handle service
+       (Service.Compile
+          { machine = "warp9000"; inject = None; source = prog_a })
+   with
+  | Service.Err _ -> ()
+  | Service.Ok _ -> Alcotest.fail "unknown machine accepted");
+  (match
+     Service.handle service
+       (Service.Compile
+          { machine = "warp"; inject = None; source = "program oops" })
+   with
+  | Service.Err _ -> ()
+  | Service.Ok _ -> Alcotest.fail "syntax error compiled");
+  match
+    Service.handle service
+      (Service.Compile
+         {
+           machine = "warp";
+           inject = Some ("no.such.site", 1);
+           source = prog_a;
+         })
+  with
+  | Service.Err msg ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i =
+        i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool) "names the bad site" true
+      (contains msg "no.such.site")
+  | Service.Ok _ -> Alcotest.fail "unknown fault site accepted"
+
+let test_stats_verb () =
+  let service = Service.create ~cache_capacity:4 () in
+  Fun.protect ~finally:(fun () -> Service.close service) @@ fun () ->
+  ignore
+    (Service.handle service
+       (Service.Compile { machine = "warp"; inject = None; source = prog_a }));
+  match Service.handle service Service.Stats with
+  | Service.Err e -> Alcotest.fail e
+  | Service.Ok body -> (
+    match Json.member "misses" (Json.of_string body) with
+    | Some (Json.Int n) -> Alcotest.(check bool) "probed" true (n > 0)
+    | _ -> Alcotest.fail "stats carry no miss counter")
+
+(* ---- fault scoping across requests (the leak regression) ------------ *)
+
+let test_inject_does_not_leak () =
+  let service = Service.create ~cache_capacity:8 () in
+  Fun.protect ~finally:(fun () -> Service.close service) @@ fun () ->
+  let reference = offline prog_a in
+  (* the armed cache probe raises; the compiler degrades that loop and
+     the request still answers Ok *)
+  (match
+     Service.handle service
+       (Service.Compile
+          { machine = "warp"; inject = Some (Cache.site, 1); source = prog_a })
+   with
+  | Service.Ok body ->
+    Alcotest.(check bool)
+      "injected compile degrades (differs from clean)" false
+      (body = reference)
+  | Service.Err e -> Alcotest.fail ("injected request must degrade: " ^ e));
+  Alcotest.(check bool)
+    "site disarmed after the request" false (Fault.is_armed ());
+  (* the degraded request must not have poisoned the cache: the next
+     clean request compiles fresh and matches the offline compiler *)
+  match
+    Service.handle service
+      (Service.Compile { machine = "warp"; inject = None; source = prog_a })
+  with
+  | Service.Ok body ->
+    Alcotest.(check string) "clean request after injection" reference body
+  | Service.Err e -> Alcotest.fail e
+
+let test_inject_in_batch_stays_scoped () =
+  let service = Service.create ~cache_capacity:8 ~jobs:2 () in
+  Fun.protect ~finally:(fun () -> Service.close service) @@ fun () ->
+  let reference = offline prog_b in
+  let rq inject =
+    Service.Compile { machine = "warp"; inject; source = prog_b }
+  in
+  (* one armed request sandwiched between clean ones: the batch runs
+     sequentially and only the armed request degrades *)
+  match
+    Service.handle_batch service
+      [ rq None; rq (Some (Cache.site, 1)); rq None ]
+  with
+  | [ Service.Ok a; Service.Ok b; Service.Ok c ] ->
+    Alcotest.(check string) "first clean" reference a;
+    Alcotest.(check bool) "armed one degrades" false (b = reference);
+    Alcotest.(check string) "third clean" reference c;
+    Alcotest.(check bool) "disarmed afterwards" false (Fault.is_armed ())
+  | rs ->
+    Alcotest.fail
+      (Printf.sprintf "expected 3 ok responses, got %d" (List.length rs))
+
+let suite =
+  let qt = QCheck_alcotest.to_alcotest in
+  [
+    qt prop_reorder_invariant;
+    qt prop_alpha_invariant;
+    qt prop_perm_transfers_times;
+    ("fingerprint delay sensitivity", `Quick, test_delay_sensitivity);
+    ("fingerprint omega sensitivity", `Quick, test_omega_sensitivity);
+    ("fingerprint reservation sensitivity", `Quick, test_resv_sensitivity);
+    ("fingerprint machine sensitivity", `Quick, test_machine_sensitivity);
+    ("hit verifier: dependences", `Quick, test_schedule_ok);
+    ("hit verifier: resources", `Quick, test_schedule_ok_resources);
+    ("hit verifier: barriers", `Quick, test_schedule_ok_barrier);
+    ("cache keeps output identical", `Quick, test_cache_identity);
+    ("capacity 0 disables the cache", `Quick, test_cache_disabled);
+    ("bounded capacity evicts", `Quick, test_cache_eviction);
+    ("hits refresh recency", `Quick, test_cache_lru_promotion);
+    ("concurrent requests share the cache", `Quick, test_cache_concurrent);
+    ("request/response codec", `Quick, test_codec_roundtrip);
+    ("frame round trip", `Quick, test_frame_roundtrip);
+    ("service matches offline compiler", `Quick, test_service_matches_offline);
+    ("service error paths", `Quick, test_service_error_paths);
+    ("stats verb", `Quick, test_stats_verb);
+    ("injected fault stays in its request", `Quick, test_inject_does_not_leak);
+    ("injection inside a batch", `Quick, test_inject_in_batch_stays_scoped);
+  ]
