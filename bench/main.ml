@@ -9,8 +9,9 @@
                                 scale, search, unroll, optimal,
                                 optimal-quick, pipeline,
                                 trace-overhead, compile-speed,
-                                compile-speed-quick, serve, campaign,
-                                campaign-quick, campaign-sweep)
+                                compile-speed-quick, serve, slo,
+                                campaign, campaign-quick,
+                                campaign-sweep)
       main.exe --table campaign [--seeds LO..HI] [--jobs N]
                                 [--bank DIR] [--inject SITE\@K]
                                 streaming differential fuzzing
@@ -929,10 +930,43 @@ let table_trace_overhead () =
   in
   Sp_obs.Explain.disable ();
   Sp_obs.Render.disable ();
+  (* the service telemetry layer obeys the same contract: with
+     [~telemetry:false] a request advances no sequence clock and the
+     status snapshot carries no series; an untraced request on a
+     telemetry-enabled service records no trace events; and the
+     telemetry-off request path stays within noise of the on path *)
+  let module Service = Sp_serve.Service in
+  let src =
+    {|program smoke;
+var a : array [0..63] of float; k : int;
+begin for k := 0 to 63 do a[k] := a[k] + 1.5; end.|}
+  in
+  let rq =
+    Service.Compile
+      { machine = "warp"; inject = None; trace = None; source = src }
+  in
+  let svc_off = Service.create ~cache_capacity:0 ~telemetry:false () in
+  let t_tele_off = time iters (fun () -> ignore (Service.handle svc_off rq)) in
+  let seq_off = Service.telemetry_seq svc_off in
+  let status_off_bare =
+    match Json.of_string (Service.status_json svc_off) with
+    | j ->
+      Json.member "series" j = None
+      && Json.member "telemetry" j = Some (Json.Bool false)
+    | exception Json.Parse_error _ -> false
+  in
+  Service.close svc_off;
+  let svc_on = Service.create ~cache_capacity:0 () in
+  let t_tele_on = time iters (fun () -> ignore (Service.handle svc_on rq)) in
+  let seq_on = Service.telemetry_seq svc_on in
+  Service.close svc_on;
+  let ev_service = List.length (Sp_obs.Trace.events ()) in
   let ok =
     ev_off = 0 && ev_on > 0
     && t_off <= (2.0 *. t_on) +. 0.05
     && xp_off = 0 && xp_on > 0 && views_off = 0 && views_on > 0
+    && seq_off = 0 && status_off_bare && seq_on = iters && ev_service = 0
+    && t_tele_off <= (2.0 *. t_tele_on) +. 0.05
   in
   emit "trace_overhead"
     (Json.Obj
@@ -944,14 +978,19 @@ let table_trace_overhead () =
          ("explain_disabled", Json.Int xp_off);
          ("views_enabled", Json.Int views_on);
          ("views_disabled", Json.Int views_off);
+         ("telemetry_seq_disabled", Json.Int seq_off);
+         ("telemetry_seq_enabled", Json.Int seq_on);
+         ("service_untraced_events", Json.Int ev_service);
          ("ok", Json.Bool ok);
        ]);
   Fmt.pr
     "  %d compiles traced: %d events, %.3fs@.\
     \  %d compiles untraced: %d events, %.3fs@.\
     \  explain events on/off: %d/%d; render views on/off: %d/%d@.\
+    \  %d service requests, telemetry off/on: %.3fs/%.3fs, seq %d/%d@.\
     \  trace-overhead: %s@."
     iters ev_on t_on iters ev_off t_off xp_on xp_off views_on views_off
+    iters t_tele_off t_tele_on seq_off seq_on
     (if ok then "ok" else "FAILED");
   if not ok then exit 1
 
@@ -1111,7 +1150,7 @@ let table_serve () =
           let r0 = Monotonic_clock.now () in
           let resp =
             Service.handle service
-              (Service.Compile { machine = "warp"; inject = None; source = src })
+              (Service.Compile { machine = "warp"; inject = None; trace = None; source = src })
           in
           let r1 = Monotonic_clock.now () in
           lat.(i) <- Int64.to_float (Int64.sub r1 r0) /. 1e3;
@@ -1227,6 +1266,223 @@ let table_serve () =
   end
 
 (* ------------------------------------------------------------------ *)
+
+(** E19: service-level objectives — the telemetry surface under a
+    deterministic replay. Streams the W2 suite sequentially through a
+    telemetry-enabled service (each request its own batch, so cache
+    movement attributes exactly per request), then reads the health
+    snapshot back. The artifact carries the schema tags, the identity
+    verdict against an uncached untelemetered reference, the error
+    budget, the deterministic series windows (the latency series is
+    reduced to its sample/window counts — its values are wall-clock)
+    and the names-only span skeleton of one traced probe, so the
+    document is byte-stable across runs and machines; wall-clock
+    percentiles go to stdout only. Fails hard (exit 1) on output
+    divergence, a blown error budget, or a failed trace or dashboard
+    round-trip. *)
+let table_slo () =
+  section "E19: service-level objectives — telemetry replay of the suite";
+  let module Service = Sp_serve.Service in
+  let programs =
+    List.filter_map
+      (fun (e : Suite.entry) ->
+        match e.Suite.kernel.Kernel.source with
+        | Kernel.W2 src -> Some (e.Suite.kernel.Kernel.name, src)
+        | Kernel.Ir _ -> None)
+      Suite.all
+  in
+  let n = List.length programs in
+  let compile ?trace src =
+    Service.Compile { machine = "warp"; inject = None; trace; source = src }
+  in
+  let reference =
+    let svc = Service.create ~cache_capacity:0 ~telemetry:false () in
+    let out =
+      List.map
+        (fun (name, src) ->
+          match Service.handle svc (compile src) with
+          | Service.Ok body -> body
+          | Service.Err msg ->
+            Fmt.pr "@.slo: FAILED — %s: reference pass: %s@." name msg;
+            exit 1)
+        programs
+    in
+    Service.close svc;
+    out
+  in
+  let svc = Service.create ~cache_capacity:256 () in
+  let lat = Array.make (max 1 n) 0.0 in
+  let resps =
+    List.mapi
+      (fun i (_, src) ->
+        let r0 = Monotonic_clock.now () in
+        let resp = Service.handle svc (compile src) in
+        let r1 = Monotonic_clock.now () in
+        lat.(i) <- Int64.to_float (Int64.sub r1 r0) /. 1e3;
+        resp)
+      programs
+  in
+  let errs =
+    List.length
+      (List.filter
+         (function Service.Err _ -> true | Service.Ok _ -> false)
+         resps)
+  in
+  let bodies =
+    List.filter_map
+      (function Service.Ok b -> Some b | Service.Err _ -> None)
+      resps
+  in
+  let identical = errs = 0 && List.equal String.equal bodies reference in
+  (* the snapshot is taken before the traced probe below, so its
+     counters and series cover exactly the n-program replay *)
+  let status =
+    match Json.of_string (Service.status_json svc) with
+    | j -> j
+    | exception Json.Parse_error m ->
+      Fmt.pr "@.slo: FAILED — status snapshot unparsable: %s@." m;
+      exit 1
+  in
+  let status_tag =
+    match Json.member "schema" status with Some (Json.Str s) -> s | _ -> "?"
+  in
+  if status_tag <> Service.status_schema then begin
+    Fmt.pr "@.slo: FAILED — status schema %S (want %S)@." status_tag
+      Service.status_schema;
+    exit 1
+  end;
+  let budget_ok =
+    match Json.path [ "error_budget"; "ok" ] status with
+    | Some (Json.Bool b) -> b
+    | _ -> false
+  in
+  let req_total =
+    match Json.path [ "requests"; "total" ] status with
+    | Some (Json.Int i) -> i
+    | _ -> -1
+  in
+  (* counter-valued series go into the artifact verbatim — their values
+     live on the logical clock; the latency series is wall-clock
+     valued, so only its sample and window counts survive *)
+  let det_series =
+    List.map
+      (fun key ->
+        ( key,
+          Option.value ~default:Json.Null (Json.path [ "series"; key ] status)
+        ))
+      [
+        "occupancy"; "failures"; "faults"; "cache_hits"; "cache_misses";
+        "cache_rejects"; "cache_evictions";
+      ]
+  in
+  let lat_summary =
+    match Json.path [ "series"; "latency_us" ] status with
+    | Some lj ->
+      Json.Obj
+        [
+          ("count", Option.value ~default:Json.Null (Json.member "count" lj));
+          ( "windows",
+            match Json.member "windows" lj with
+            | Some (Json.List l) -> Json.Int (List.length l)
+            | _ -> Json.Null );
+        ]
+    | None -> Json.Null
+  in
+  (* one traced probe: the envelope must identify itself, carry the
+     next sequence number and a non-empty span tree; the skeleton
+     (names and nesting only) is byte-stable and lands in the artifact *)
+  let first_name, first_src = List.hd programs in
+  let skeleton, trace_ok =
+    match Service.handle svc (compile ~trace:"slo" first_src) with
+    | Service.Err msg ->
+      Fmt.pr "@.slo: FAILED — %s: traced probe: %s@." first_name msg;
+      exit 1
+    | Service.Ok body -> (
+      match Json.of_string body with
+      | exception Json.Parse_error m ->
+        Fmt.pr "@.slo: FAILED — trace envelope unparsable: %s@." m;
+        exit 1
+      | env -> (
+        let tag_ok =
+          (* sequence numbers are 0-based: the probe after an n-request
+             replay is request n *)
+          Json.member "schema" env = Some (Json.Str Service.trace_schema)
+          && Json.member "seq" env = Some (Json.Int n)
+        in
+        let rec skel = function
+          | Json.Obj kvs -> (
+            let name =
+              match List.assoc_opt "name" kvs with
+              | Some (Json.Str s) -> s
+              | _ -> "?"
+            in
+            match List.assoc_opt "children" kvs with
+            | Some (Json.List kids) ->
+              Json.Obj [ (name, Json.List (List.map skel kids)) ]
+            | _ -> Json.Str name)
+          | _ -> Json.Null
+        in
+        match Json.member "spans" env with
+        | Some (Json.List spans) when spans <> [] ->
+          (Json.List (List.map skel spans), tag_ok)
+        | _ -> (Json.Null, false)))
+  in
+  let dash = Service.dashboard_html svc in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  let dash_ok = contains dash "<svg" && contains dash "</html>" in
+  Service.close svc;
+  let pctl p =
+    let xs = Array.copy lat in
+    Array.sort compare xs;
+    let k = int_of_float (p *. float_of_int (Array.length xs - 1)) in
+    xs.(max 0 (min (Array.length xs - 1) k))
+  in
+  let verdict b = if b then "ok" else "FAILED" in
+  let t = Table.create ~headers:[ "gate"; "verdict" ] ~aligns:[ Table.L; L ] in
+  Table.add_row t
+    [ "output identical to uncached reference"; verdict identical ];
+  Table.add_row t
+    [
+      Fmt.str "error budget (%d error(s) / %d requests)" errs req_total;
+      verdict budget_ok;
+    ];
+  Table.add_row t [ "traced probe envelope + span tree"; verdict trace_ok ];
+  Table.add_row t [ "dashboard render"; verdict dash_ok ];
+  Fmt.pr "%a" Table.pp t;
+  Fmt.pr
+    "@.  (%d W2 programs replayed sequentially; wall latency p50 %.0f us,@.\
+    \   p99 %.0f us on this host — latency values stay out of the@.\
+    \   artifact, which carries only the deterministic series windows,@.\
+    \   the verdicts and the traced probe's span skeleton)@."
+    n (pctl 0.50) (pctl 0.99);
+  emit "slo"
+    (Json.Obj
+       [
+         ("schema", Json.Str "bench-slo/1");
+         ("status_schema", Json.Str status_tag);
+         ("programs", Json.Int n);
+         ("requests", Json.Int req_total);
+         ("errors", Json.Int errs);
+         ("identical", Json.Bool identical);
+         ("error_budget_ok", Json.Bool budget_ok);
+         ("trace_ok", Json.Bool trace_ok);
+         ("dashboard_ok", Json.Bool dash_ok);
+         ("series", Json.Obj (("latency_us", lat_summary) :: det_series));
+         ("span_skeleton", skeleton);
+       ]);
+  if not (identical && budget_ok && trace_ok && dash_ok) then begin
+    Fmt.pr "@.slo: FAILED — a service-level objective is not met@.";
+    exit 1
+  end
+  else Fmt.pr "@.slo: OK — %d request(s), every objective met@." req_total
+
+(* ------------------------------------------------------------------ *)
 (* E10: Bechamel microbenchmarks                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1322,9 +1578,13 @@ let compare_artifacts ~threshold old_path new_path =
     | Some (Json.List l) -> l
     | _
       when Json.path [ "artifacts"; "compile_speed" ] j <> None
-           || Json.path [ "artifacts"; "serve" ] j <> None ->
-      (* a compile-speed- or serve-only document: nothing to diff per
-         kernel, but the corresponding gates below still apply *)
+           || Json.path [ "artifacts"; "serve" ] j <> None
+           || Json.path [ "artifacts"; "slo" ] j <> None
+           || Json.path [ "artifacts"; "campaign" ] j <> None
+           || Json.path [ "artifacts"; "campaign-quick" ] j <> None ->
+      (* a compile-speed-, serve-, slo- or campaign-only document:
+         nothing to diff per kernel, but the corresponding gates below
+         still apply *)
       []
     | _ ->
       Fmt.epr
@@ -1553,10 +1813,114 @@ let compare_artifacts ~threshold old_path new_path =
       | _ -> ());
       "gated"
   in
+  (* service-level objectives (E19): the schema tags must match exactly
+     — a document from another schema generation is rejected outright
+     (exit 2), never silently diffed — and the identity, error-budget,
+     trace and dashboard verdicts of the new document gate whenever it
+     carries the artifact; the error count may not rise against the
+     old document when both carry it *)
+  let slo_note =
+    let check_schema path j =
+      (match jstr "schema" j with
+      | Some "bench-slo/1" -> ()
+      | Some s ->
+        Fmt.epr
+          "compare: %s: slo artifact schema %S (this tool reads bench-slo/1)@."
+          path s;
+        exit 2
+      | None ->
+        Fmt.epr "compare: %s: slo artifact carries no schema tag@." path;
+        exit 2);
+      match jstr "status_schema" j with
+      | Some "w2cd-status/1" -> ()
+      | Some s ->
+        Fmt.epr
+          "compare: %s: status snapshot schema %S (this tool reads \
+           w2cd-status/1)@."
+          path s;
+        exit 2
+      | None ->
+        Fmt.epr "compare: %s: slo artifact carries no status_schema@." path;
+        exit 2
+    in
+    match Json.path [ "artifacts"; "slo" ] new_doc with
+    | None -> "absent (skipped)"
+    | Some sn ->
+      check_schema new_path sn;
+      (match Json.member "identical" sn with
+      | Some (Json.Bool true) -> ()
+      | _ ->
+        flag "slo: replayed service output diverges from the uncached \
+              reference");
+      (match Json.member "error_budget_ok" sn with
+      | Some (Json.Bool true) -> ()
+      | _ -> flag "slo: error budget violated (>1 failed request per 100)");
+      (match Json.member "trace_ok" sn with
+      | Some (Json.Bool true) -> ()
+      | _ -> flag "slo: traced probe round-trip failed");
+      (match Json.member "dashboard_ok" sn with
+      | Some (Json.Bool true) -> ()
+      | _ -> flag "slo: dashboard render failed");
+      (match Json.path [ "artifacts"; "slo" ] old_doc with
+      | None -> ()
+      | Some so ->
+        check_schema old_path so;
+        (match (jint "errors" so, jint "errors" sn) with
+        | Some o, Some n when n > o ->
+          flag "slo: request errors rose %d -> %d" o n
+        | _ -> ()));
+      "gated"
+  in
+  (* campaign pass-rate windows: when both documents carry a campaign
+     artifact, the per-seed-window pass rate may not fall by more than
+     [threshold] percentage points and no window may disappear — a
+     verdict regression localizes to a seed range instead of one
+     corpus-wide scalar *)
+  let campaign_note =
+    let doc_campaign j =
+      match Json.path [ "artifacts"; "campaign" ] j with
+      | Some c -> Some c
+      | None -> Json.path [ "artifacts"; "campaign-quick" ] j
+    in
+    match (doc_campaign old_doc, doc_campaign new_doc) with
+    | Some co, Some cn ->
+      let wins j =
+        match Json.path [ "pass_rate"; "windows" ] j with
+        | Some (Json.List l) -> l
+        | _ -> []
+      in
+      let rate w =
+        match (jint "count" w, jnum "sum" w) with
+        | Some c, Some s when c > 0 -> Some (100.0 *. s /. float_of_int c)
+        | _ -> None
+      in
+      let new_wins = wins cn in
+      List.iter
+        (fun wo ->
+          let idx = Option.value ~default:(-1) (jint "window" wo) in
+          match
+            List.find_opt (fun w -> jint "window" w = Some idx) new_wins
+          with
+          | None ->
+            flag "campaign: seed window %d missing from %s" idx new_path
+          | Some wn -> (
+            match (rate wo, rate wn) with
+            | Some o, Some n when o -. n > threshold ->
+              flag
+                "campaign: window %d pass rate fell %.1f%% -> %.1f%% \
+                 (threshold %.1fpp)"
+                idx o n threshold
+            | _ -> ()))
+        (wins co);
+      "gated"
+    | _ -> "absent (skipped)"
+  in
   section "E15: regression sentinel";
   Fmt.pr "%a" Table.pp t;
   Fmt.pr "  compile-speed artifact: %s@." cs_note;
   Fmt.pr "  serve artifact: %s@." serve_note;
+  Fmt.pr "  slo artifact: %s@." slo_note;
+  Fmt.pr "  campaign pass-rate windows: %s@." campaign_note;
   if !regressions = [] then begin
     Fmt.pr "@.compare: OK — %d kernel(s) within %.1f%% of %s@."
       (List.length old_ks) threshold old_path;
@@ -1594,6 +1958,10 @@ let json_of_campaign (s : Campaign.summary) : Json.t =
       ("gap", json_of_histogram s.Campaign.gap);
       ("eff", json_of_histogram s.Campaign.eff);
       ("code_size", json_of_histogram s.Campaign.csize);
+      (* per-seed-window verdict rates on the seed logical clock —
+         deterministic (the pass indicator per seed is), so --compare
+         can gate pass-rate per window; see the campaign section there *)
+      ("pass_rate", Sp_obs.Series.to_json s.Campaign.pass_rate);
       ( "failures",
         Json.List
           (List.map
@@ -1779,6 +2147,7 @@ let all () =
   table_trace_overhead ();
   table_compile_speed ();
   table_serve ();
+  table_slo ();
   bechamel ()
 
 let () =
@@ -1919,6 +2288,7 @@ let () =
     | "compile-speed" -> table_compile_speed ()
     | "compile-speed-quick" -> table_compile_speed ~quick:true ()
     | "serve" -> table_serve ()
+    | "slo" -> table_slo ()
     | "campaign" -> table_campaign ~seeds ~bank ~jobs ()
     | "campaign-quick" -> table_campaign ~quick:true ~seeds ~bank ~jobs ()
     | "campaign-sweep" -> table_campaign_sweep ~seeds ~bank ~jobs ()

@@ -1,9 +1,11 @@
 (** [w2cd] — the W2 compile daemon.
 
     {v
-      w2cd serve SOCKET [--cache N] [-j N]     run the daemon
-      w2cd request SOCKET FILE.w2 [-m MACHINE] [--inject SITE@K]
+      w2cd serve SOCKET [--cache N] [-j N] [--log FILE]
+      w2cd request SOCKET FILE.w2 [-m MACHINE] [--inject SITE@K] [--trace ID]
       w2cd stats SOCKET                        cache statistics (JSON)
+      w2cd status SOCKET                       health snapshot (JSON)
+      w2cd dashboard SOCKET                    telemetry dashboard (HTML)
       w2cd ping SOCKET                         liveness probe
     v}
 
@@ -79,10 +81,16 @@ let cmd_request =
                  raises on the server, exercising its degradation \
                  path.")
   in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"ID"
+           ~doc:"Client-supplied trace id: the response becomes a JSON \
+                 envelope carrying the request's span tree (phase \
+                 latencies) alongside the compile output.")
+  in
   let file =
     Arg.(required & pos 1 (some file) None & info [] ~docv:"FILE.w2")
   in
-  let run socket machine inject file =
+  let run socket machine inject trace file =
     let inject =
       match inject with
       | None -> None
@@ -108,12 +116,18 @@ let cmd_request =
         Fmt.epr "w2cd: %s@." m;
         exit 1
     in
+    (match trace with
+    | Some id
+      when id = "" || String.exists (fun c -> c = ' ' || c = '\n') id ->
+      Fmt.epr "w2cd: bad trace id %S (no spaces or newlines)@." id;
+      exit 2
+    | _ -> ());
     print_or_die
-      (roundtrip socket (Service.Compile { machine; inject; source }))
+      (roundtrip socket (Service.Compile { machine; inject; trace; source }))
   in
   Cmd.v
     (Cmd.info "request" ~doc:"Compile one W2 file through the daemon")
-    Term.(ret (const run $ socket_arg $ machine $ inject $ file))
+    Term.(ret (const run $ socket_arg $ machine $ inject $ trace $ file))
 
 let cmd_stats =
   let run socket =
@@ -126,6 +140,33 @@ let cmd_stats =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Print the daemon's cache statistics as JSON")
+    Term.(ret (const run $ socket_arg))
+
+let cmd_status =
+  let run socket =
+    match roundtrip socket Service.Status with
+    | Service.Ok body ->
+      print_string body;
+      print_newline ();
+      `Ok ()
+    | r -> print_or_die r
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:"Print the daemon's telemetry health snapshot as JSON")
+    Term.(ret (const run $ socket_arg))
+
+let cmd_dashboard =
+  let run socket =
+    match roundtrip socket Service.Dashboard with
+    | Service.Ok body ->
+      print_string body;
+      `Ok ()
+    | r -> print_or_die r
+  in
+  Cmd.v
+    (Cmd.info "dashboard"
+       ~doc:"Print the daemon's self-contained HTML telemetry dashboard")
     Term.(ret (const run $ socket_arg))
 
 let cmd_ping =
@@ -221,7 +262,13 @@ let cmd_serve =
     Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
            ~doc:"Worker domains for batched requests.")
   in
-  let run socket cache jobs =
+  let log =
+    Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE"
+           ~doc:"Append one JSON line per request (sequence number, \
+                 verb, trace id, outcome, latency, span tree when \
+                 traced) to FILE.")
+  in
+  let run socket cache jobs log =
     if jobs < 1 then begin
       Fmt.epr "w2cd: --jobs must be >= 1 (got %d)@." jobs;
       exit 2
@@ -240,7 +287,21 @@ let cmd_serve =
     Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
     Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-    let service = Service.create ~cache_capacity:cache ~jobs () in
+    let log_oc =
+      match log with
+      | None -> None
+      | Some path -> (
+        match
+          open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+        with
+        | oc ->
+          at_exit (fun () -> try close_out oc with Sys_error _ -> ());
+          Some oc
+        | exception Sys_error m ->
+          Fmt.epr "w2cd: cannot open log %s: %s@." path m;
+          exit 1)
+    in
+    let service = Service.create ~cache_capacity:cache ~jobs ?log:log_oc () in
     Fmt.epr "w2cd: serving on %s (cache=%d, jobs=%d)@." socket cache jobs;
     let rec accept_loop () =
       (match Unix.accept listen_fd with
@@ -256,11 +317,14 @@ let cmd_serve =
   in
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the compile daemon on a Unix socket")
-    Term.(const run $ socket_arg $ cache $ jobs)
+    Term.(const run $ socket_arg $ cache $ jobs $ log)
 
 let () =
   let doc = "compile service for the W2-to-VLIW compiler" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "w2cd" ~version:"1.0" ~doc)
-          [ cmd_serve; cmd_request; cmd_stats; cmd_ping ]))
+          [
+            cmd_serve; cmd_request; cmd_stats; cmd_status; cmd_dashboard;
+            cmd_ping;
+          ]))

@@ -227,12 +227,34 @@ $JSONV "$OBS/camp1.json" schema_version \
   artifacts/campaign-quick/gap/count \
   artifacts/campaign-quick/eff/count \
   artifacts/campaign-quick/code_size/count \
+  artifacts/campaign-quick/pass_rate/schema=series/1 \
+  artifacts/campaign-quick/pass_rate/windows/0/count \
   artifacts/campaign-quick/unminimized >/dev/null
 cmp -s "$OBS/camp1.json" "$OBS/camp2.json" || {
   echo "FAIL: campaign artifact differs between identical runs"
   exit 1
 }
 echo "   clean campaign + byte-stable artifact: ok"
+
+echo "== campaign sentinel: per-window pass-rate gate must fire"
+$BENCH --compare "$OBS/camp1.json" "$OBS/camp2.json" >/dev/null || {
+  echo "FAIL: campaign gate rejected two identical artifacts"
+  exit 1
+}
+# zero one seed window's pass sum: that window's rate collapses and the
+# sentinel must localize the regression to it
+awk '/"pass_rate"/ { in_pr = 1 }
+     in_pr && /"sum":/ && !done { sub(/"sum": [0-9.]+/, "\"sum\": 0"); done = 1 }
+     { print }' "$OBS/camp1.json" >"$OBS/camp-window-bad.json"
+cmp -s "$OBS/camp1.json" "$OBS/camp-window-bad.json" && {
+  echo "FAIL: pass-rate doctoring changed nothing"
+  exit 1
+}
+if $BENCH --compare "$OBS/camp1.json" "$OBS/camp-window-bad.json" >/dev/null; then
+  echo "FAIL: per-window pass-rate gate did not fire"
+  exit 1
+fi
+echo "   pass-rate window gate: ok"
 
 echo "== campaign sentinel: injected fault must be caught, minimized, banked"
 mkdir -p "$OBS/bank"
@@ -289,10 +311,50 @@ if $BENCH --compare "$OBS/sv1.json" "$OBS/sv-bad.json" >/dev/null; then
 fi
 echo "   serve table + identity gate: ok"
 
+echo "== slo smoke: telemetry replay, byte-stable artifact, gated compare"
+$BENCH --table slo --emit-json "$OBS/slo1.json" >/dev/null || {
+  echo "FAIL: --table slo missed a service-level objective"
+  $BENCH --table slo || true
+  exit 1
+}
+$BENCH --table slo --emit-json "$OBS/slo2.json" >/dev/null
+$JSONV "$OBS/slo1.json" schema_version \
+  artifacts/slo/schema=bench-slo/1 \
+  artifacts/slo/status_schema=w2cd-status/1 \
+  artifacts/slo/identical=true \
+  artifacts/slo/error_budget_ok=true \
+  artifacts/slo/trace_ok=true \
+  artifacts/slo/dashboard_ok=true \
+  artifacts/slo/series/occupancy/windows/0/count \
+  artifacts/slo/span_skeleton/0/request >/dev/null
+cmp -s "$OBS/slo1.json" "$OBS/slo2.json" || {
+  echo "FAIL: slo artifact differs between identical runs"
+  exit 1
+}
+$BENCH --compare "$OBS/slo1.json" "$OBS/slo2.json" >/dev/null || {
+  echo "FAIL: slo gate rejected two identical artifacts"
+  exit 1
+}
+# the identity gate must fire on a doctored artifact ...
+sed 's/"identical": true/"identical": false/' "$OBS/slo1.json" \
+  >"$OBS/slo-bad.json"
+if $BENCH --compare "$OBS/slo1.json" "$OBS/slo-bad.json" >/dev/null; then
+  echo "FAIL: slo identity gate did not fire"
+  exit 1
+fi
+# ... and a foreign schema generation is rejected outright, never diffed
+sed 's|"schema": "bench-slo/1"|"schema": "bench-slo/9"|' "$OBS/slo1.json" \
+  >"$OBS/slo-schema.json"
+if $BENCH --compare "$OBS/slo1.json" "$OBS/slo-schema.json" >/dev/null 2>&1; then
+  echo "FAIL: slo schema mismatch was not rejected"
+  exit 1
+fi
+echo "   slo table + identity/schema gates: ok"
+
 echo "== w2cd smoke: daemon round-trip byte-identical to offline w2c"
 W2CD=./_build/default/bin/w2cd.exe
 SOCK="$OBS/w2cd.sock"
-"$W2CD" serve "$SOCK" --cache 128 2>/dev/null &
+"$W2CD" serve "$SOCK" --cache 128 --log "$OBS/reqlog.jsonl" 2>/dev/null &
 W2CD_PID=$!
 i=0
 while [ ! -S "$SOCK" ]; do
@@ -328,6 +390,53 @@ test -n "$hits" && test "$hits" -gt 0 || {
   exit 1
 }
 echo "   round-trip x2 + hit rate: ok"
+
+echo "== w2cd smoke: status, dashboard, traced request, request log"
+# the daemon has answered 2 suite passes of compile requests; its health
+# snapshot must account for every one of them on the logical clock
+K=$(ls "$OBS"/kernels/*.w2 | wc -l | tr -d ' ')
+"$W2CD" status "$SOCK" >"$OBS/daemon-status.json"
+$JSONV "$OBS/daemon-status.json" \
+  schema=w2cd-status/1 \
+  telemetry=true \
+  "requests/compile=$((2 * K))" \
+  error_budget/ok=true \
+  series/latency_us/windows/0/count \
+  series/occupancy/windows/0/count \
+  cache/entries >/dev/null
+"$W2CD" dashboard "$SOCK" >"$OBS/dash.html"
+grep -q "<svg" "$OBS/dash.html" || {
+  echo "FAIL: dashboard carries no inline SVG sparkline"
+  exit 1
+}
+if grep -qE "https?://|<script src|<link" "$OBS/dash.html"; then
+  echo "FAIL: dashboard references external resources"
+  exit 1
+fi
+# a traced request comes back as a versioned envelope: trace id, the
+# request's sequence number (ping + 2K compiles + stats + status +
+# dashboard came before it) and the span tree alongside the output
+"$W2CD" request "$SOCK" examples/saxpy.w2 --trace ci-1 >"$OBS/traced.json"
+$JSONV "$OBS/traced.json" \
+  schema=w2cd-trace/1 \
+  trace=ci-1 \
+  "seq=$((2 * K + 4))" \
+  spans/0/name=request \
+  output >/dev/null
+# every request also landed in the daemon's JSONL log, one line each
+test -s "$OBS/reqlog.jsonl" || {
+  echo "FAIL: daemon wrote no request log"
+  exit 1
+}
+head -1 "$OBS/reqlog.jsonl" >"$OBS/reqlog-first.json"
+$JSONV "$OBS/reqlog-first.json" schema=w2cd-reqlog/1 seq=0 verb lat_us \
+  >/dev/null
+logged=$(wc -l <"$OBS/reqlog.jsonl" | tr -d ' ')
+test "$logged" -eq $((2 * K + 5)) || {
+  echo "FAIL: request log has $logged lines, expected $((2 * K + 5))"
+  exit 1
+}
+echo "   status + dashboard + trace envelope + request log: ok"
 
 echo "== w2cd smoke: stale socket reclaimed, clean shutdown unlinks it"
 # SIGKILL skips the daemon's cleanup, orphaning the socket file

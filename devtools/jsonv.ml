@@ -1,14 +1,24 @@
-(** [jsonv FILE [PATH ...]] — validate observability JSON in CI.
+(** [jsonv FILE [CHECK ...]] — validate observability JSON in CI.
 
     Parses FILE with the strict parser ([Sp_obs.Json.of_string]; exit 1
-    with a message on malformed input), then requires every PATH to
-    resolve to a present, non-null value. Path components are separated
-    by '/' (metric names contain dots, so '.' is not a separator):
+    with a message on malformed input), then evaluates every CHECK.
 
-    {v jsonv metrics.json metrics/modsched.fuel_spent/value v}
+    A CHECK is either a PATH — which must resolve to a present,
+    non-null value — or [PATH=VALUE], which additionally requires the
+    resolved scalar (string, int, float or bool) to print as VALUE, so
+    a schema tag or a counter can be pinned exactly:
 
-    A numeric component indexes into an array, so
-    [traceEvents/0/name] checks the first event of a Chrome trace. *)
+    {v
+      jsonv metrics.json metrics/modsched.fuel_spent/value
+      jsonv status.json schema=w2cd-status/1 requests/compile=40
+    v}
+
+    Path components are separated by '/' (metric names contain dots,
+    so '.' is not a separator); a numeric component indexes into an
+    array, so [traceEvents/0/name] checks the first event of a Chrome
+    trace. The expected VALUE is everything after the {e first} '=' —
+    schema tags like [w2cd-status/1] contain '/', so a compared path
+    must not contain '=' (checked paths never do). *)
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("jsonv: " ^ m); exit 1) fmt
 
@@ -24,9 +34,16 @@ let lookup j comp =
   | Sp_obs.Json.List l, Some i -> List.nth_opt l i
   | _ -> Sp_obs.Json.member comp j
 
+let scalar_string = function
+  | Sp_obs.Json.Str s -> Some s
+  | Sp_obs.Json.Int i -> Some (string_of_int i)
+  | Sp_obs.Json.Bool b -> Some (string_of_bool b)
+  | Sp_obs.Json.Float _ as f -> Some (Sp_obs.Json.to_string f)
+  | _ -> None
+
 let () =
   match Array.to_list Sys.argv with
-  | _ :: file :: paths ->
+  | _ :: file :: checks ->
     let j =
       match Sp_obs.Json.of_string (read_file file) with
       | j -> j
@@ -34,7 +51,14 @@ let () =
       | exception Sys_error m -> fail "%s" m
     in
     List.iter
-      (fun path ->
+      (fun check ->
+        let path, expect =
+          match String.index_opt check '=' with
+          | Some i ->
+            ( String.sub check 0 i,
+              Some (String.sub check (i + 1) (String.length check - i - 1)) )
+          | None -> (check, None)
+        in
         let comps = String.split_on_char '/' path in
         let v =
           List.fold_left
@@ -44,13 +68,21 @@ let () =
               | Some j -> lookup j comp)
             (Some j) comps
         in
-        match v with
-        | None | Some Sp_obs.Json.Null ->
+        match (v, expect) with
+        | (None | Some Sp_obs.Json.Null), _ ->
           fail "%s: required key %s missing or null" file path
-        | Some _ -> ())
-      paths;
-    Printf.printf "jsonv: %s ok (%d key(s) checked)\n" file
-      (List.length paths)
+        | Some _, None -> ()
+        | Some jv, Some want -> (
+          match scalar_string jv with
+          | None ->
+            fail "%s: %s is not a scalar (cannot compare to %S)" file path want
+          | Some got ->
+            if got <> want then
+              fail "%s: %s is %S, expected %S" file path got want))
+      checks;
+    Printf.printf "jsonv: %s ok (%d check(s))\n" file (List.length checks)
   | _ ->
-    prerr_endline "usage: jsonv FILE [PATH ...]   (PATH components split on '/')";
+    prerr_endline
+      "usage: jsonv FILE [PATH | PATH=VALUE ...]   (PATH components split \
+       on '/')";
     exit 1

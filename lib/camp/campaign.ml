@@ -127,6 +127,7 @@ type summary = {
   gap : Histogram.t;                (** ii - mii over pipelined loops *)
   eff : Histogram.t;                (** mii/ii over pipelined loops *)
   csize : Histogram.t;              (** emitted code size per program *)
+  pass_rate : Sp_obs.Series.t;      (** pass indicator on the seed clock *)
   failures : failure list;          (** minimized, in seed order *)
   unminimized : int;                (** failures beyond the bank cap *)
 }
@@ -134,6 +135,14 @@ type summary = {
 let gap_hist () = Histogram.create ~lo:0.0 ~width:1.0 ~buckets:16
 let eff_hist () = Histogram.create ~lo:0.0 ~width:0.05 ~buckets:21
 let csize_hist () = Histogram.create ~lo:0.0 ~width:50.0 ~buckets:40
+
+(* The seed is the logical clock: windows of 128 seeds localize a
+   verdict-rate change, and 16384 retained seeds keep the standard
+   10k-seed gate fully resident (a 100k nightly keeps the newest
+   shards — totals still cover everything). *)
+let pass_series () =
+  Sp_obs.Series.create ~capacity:16384 ~window:128 ~lo:0.0 ~width:1.0
+    ~buckets:2 ()
 
 let empty_summary () =
   {
@@ -144,6 +153,7 @@ let empty_summary () =
     gap = gap_hist ();
     eff = eff_hist ();
     csize = csize_hist ();
+    pass_rate = pass_series ();
     failures = [];
     unminimized = 0;
   }
@@ -160,6 +170,8 @@ let fold_probe (s : summary) (p : probe) : summary =
   List.iter (fun g -> Histogram.add s.gap (float_of_int g)) p.p_gaps;
   List.iter (Histogram.add s.eff) p.p_effs;
   Option.iter (fun c -> Histogram.add s.csize (float_of_int c)) p.p_code_size;
+  Sp_obs.Series.add ~seq:p.p_seed s.pass_rate
+    (if p.p_kind = Oracle.Pass then 1.0 else 0.0);
   {
     s with
     total = s.total + 1;
@@ -181,6 +193,7 @@ let merge (a : summary) (b : summary) : summary =
     gap = Histogram.merge a.gap b.gap;
     eff = Histogram.merge a.eff b.eff;
     csize = Histogram.merge a.csize b.csize;
+    pass_rate = Sp_obs.Series.merge a.pass_rate b.pass_rate;
     failures = a.failures @ b.failures;
     unminimized = a.unminimized + b.unminimized;
   }

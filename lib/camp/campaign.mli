@@ -43,6 +43,13 @@ type summary = {
   gap : Sp_util.Histogram.t;       (** ii - mii over pipelined loops *)
   eff : Sp_util.Histogram.t;       (** mii/ii over pipelined loops *)
   csize : Sp_util.Histogram.t;     (** emitted code size per program *)
+  pass_rate : Sp_obs.Series.t;
+      (** pass indicator per seed (1.0 pass / 0.0 fail) on the seed
+          logical clock, windowed per {!Sp_obs.Series} — the artifact
+          surfaces per-window verdict rates so a throughput or
+          pass-rate regression localizes to a seed range. Shards over
+          disjoint seed ranges merge associatively like the
+          histograms. *)
   failures : failure list;         (** minimized, in seed order *)
   unminimized : int;               (** failures beyond the bank cap *)
 }

@@ -258,3 +258,116 @@ let to_html ~title (views : loop_view list) : string =
     views;
   Buffer.add_string buf "</body></html>\n";
   Buffer.contents buf
+
+(* ---- service dashboard --------------------------------------------- *)
+
+type strip = { st_name : string; st_points : float list }
+type grid = { g_name : string; g_filled : int; g_total : int }
+
+type dash = {
+  d_title : string;
+  d_tiles : (string * string) list;
+  d_strips : strip list;
+  d_grids : grid list;
+}
+
+(* One sparkline: a polyline over the points, y-normalized to the
+   observed [min, max] (a flat series draws a midline), plus the last
+   value as text. Pure text generation — same inputs, same bytes. *)
+let svg_sparkline buf (s : strip) =
+  let pts = Array.of_list s.st_points in
+  let n = Array.length pts in
+  let w = max 120 (n * 6) and h = 36 in
+  Printf.bprintf buf "<div class=\"strip\"><span class=\"lbl\">%s</span>"
+    (html_escape s.st_name);
+  if n = 0 then Buffer.add_string buf "<span class=\"meta\">no samples</span>"
+  else begin
+    let mn = Array.fold_left Float.min infinity pts in
+    let mx = Array.fold_left Float.max neg_infinity pts in
+    let span = mx -. mn in
+    Printf.bprintf buf
+      "<svg width=\"%d\" height=\"%d\" role=\"img\" aria-label=\"%s\">\
+       <polyline fill=\"none\" stroke=\"#4e79a7\" stroke-width=\"1.5\" \
+       points=\""
+      w h (html_escape s.st_name);
+    Array.iteri
+      (fun i v ->
+        let x =
+          if n = 1 then w / 2
+          else i * (w - 8) / (n - 1) + 4
+        in
+        let y =
+          if span <= 0. then float_of_int (h / 2)
+          else
+            float_of_int (h - 6)
+            -. ((v -. mn) /. span *. float_of_int (h - 12))
+        in
+        Printf.bprintf buf "%s%d,%.1f" (if i = 0 then "" else " ") x y)
+      pts;
+    Printf.bprintf buf
+      "\"/></svg><span class=\"meta\">min %g · last %g · max %g</span>" mn
+      pts.(n - 1) mx
+  end;
+  Buffer.add_string buf "</div>\n"
+
+(* Occupancy grid: [g_total] cells, the first [g_filled] colored — the
+   cache's fill level at a glance. *)
+let occupancy_grid buf (g : grid) =
+  Printf.bprintf buf
+    "<div class=\"grid\"><span class=\"lbl\">%s</span><span \
+     class=\"meta\">%d / %d</span><br/>\n"
+    (html_escape g.g_name) g.g_filled g.g_total;
+  let per_row = 32 in
+  let cellpx = 10 in
+  let total = max g.g_total 1 in
+  let rows = (total + per_row - 1) / per_row in
+  Printf.bprintf buf "<svg width=\"%d\" height=\"%d\" role=\"img\" \
+                      aria-label=\"occupancy\">\n"
+    (per_row * (cellpx + 2))
+    (rows * (cellpx + 2));
+  for i = 0 to total - 1 do
+    let x = i mod per_row * (cellpx + 2) in
+    let y = i / per_row * (cellpx + 2) in
+    Printf.bprintf buf
+      "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"%s\"/>\n" x y
+      cellpx cellpx
+      (if i < g.g_filled then "#59a14f" else "#e8e8e8")
+  done;
+  Buffer.add_string buf "</svg></div>\n"
+
+let dash_style =
+  {|<style>
+body { font-family: sans-serif; margin: 1.5em; color: #222; }
+h1 { font-size: 1.3em; }
+.tiles { display: flex; flex-wrap: wrap; gap: 10px; margin-bottom: 1em; }
+.tile { border: 1px solid #ccc; border-radius: 6px; padding: 8px 14px; background: #fafafa; }
+.tile .k { color: #666; font-size: 0.8em; display: block; }
+.tile .v { font-family: monospace; font-size: 1.2em; }
+.strip, .grid { margin: 0.6em 0; }
+.lbl { display: inline-block; width: 14em; font-family: monospace; font-size: 0.85em; vertical-align: top; }
+.meta { color: #555; font-size: 0.85em; margin-left: 0.8em; }
+</style>|}
+
+let dashboard (d : dash) : string =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf
+    "<!DOCTYPE html>\n\
+     <html><head><meta charset=\"utf-8\">\n\
+     <title>%s</title>\n\
+     %s\n\
+     </head><body>\n\
+     <h1>%s</h1>\n"
+    (html_escape d.d_title) dash_style (html_escape d.d_title);
+  Buffer.add_string buf "<div class=\"tiles\">\n";
+  List.iter
+    (fun (k, v) ->
+      Printf.bprintf buf
+        "<div class=\"tile\"><span class=\"k\">%s</span><span \
+         class=\"v\">%s</span></div>\n"
+        (html_escape k) (html_escape v))
+    d.d_tiles;
+  Buffer.add_string buf "</div>\n";
+  List.iter (fun s -> svg_sparkline buf s) d.d_strips;
+  List.iter (fun g -> occupancy_grid buf g) d.d_grids;
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf

@@ -49,3 +49,33 @@ val to_ascii : loop_view -> string
 val to_html : title:string -> loop_view list -> string
 (** One self-contained HTML document for a program's pipelined loops.
     Deterministic: a pure function of the views. *)
+
+(** {1 Service dashboard}
+
+    The live health view of a running [w2cd] daemon: headline stat
+    tiles, sparkline strips over telemetry series windows, and cache
+    occupancy grids. Flat inputs keep this module ignorant of the
+    service — the daemon builds the records from its telemetry. Like
+    {!to_html}, the output is a single self-contained HTML document
+    with inline SVG and CSS (no external scripts, stylesheets or
+    fonts) and a pure function of its inputs. *)
+
+type strip = {
+  st_name : string;
+  st_points : float list;  (** oldest first — one point per window *)
+}
+
+type grid = {
+  g_name : string;
+  g_filled : int;  (** colored cells, e.g. live cache entries *)
+  g_total : int;   (** total cells, e.g. cache capacity *)
+}
+
+type dash = {
+  d_title : string;
+  d_tiles : (string * string) list;  (** headline key/value stats *)
+  d_strips : strip list;
+  d_grids : grid list;
+}
+
+val dashboard : dash -> string

@@ -49,8 +49,48 @@ val inject : event list -> unit
     shared one, or the enclosing {!collect}'s), preserving their
     order. *)
 
+val with_recording : (unit -> 'a) -> ('a, exn) result * event list
+(** [with_recording f] forces tracing on for this domain, runs [f]
+    with recording redirected into a private buffer (like {!collect}),
+    then restores the previous on/off state. Returns [f]'s outcome —
+    an escaping exception is {e returned}, not re-raised, so the
+    events recorded up to the escape are kept — with the events oldest
+    first. The shared buffer and the clock base are untouched; an
+    enclosing {!collect} (a parallel compile task) or a globally
+    enabled trace never sees the recorded events. Used by the compile
+    service to capture one request's span tree. *)
+
 val events : unit -> event list
 (** Buffered events in start-time order. *)
+
+(** {1 Span trees} *)
+
+type tree =
+  | Node of {
+      t_name : string;
+      t_dur : int64;
+      t_args : (string * value) list;
+      t_children : tree list;
+    }
+
+val tree_of_events : event list -> tree list
+(** Reconstruct the span forest from a completion-ordered event list
+    (what {!collect} / {!with_recording} return): a span's children
+    are the spans and instants its [ts, ts+dur] interval contains,
+    oldest first. Instants become zero-duration leaves. *)
+
+val skeleton_json : tree -> Json.t
+val skeletons_json : tree list -> Json.t
+(** Names and nesting only — no timestamps, durations or attributes —
+    so the skeleton of a deterministic computation is byte-stable and
+    comparable across runs, job counts and machines. A leaf renders as
+    a bare string, an inner node as [{"name", "children"}]. *)
+
+val tree_json : tree -> Json.t
+val trees_json : tree list -> Json.t
+(** Full form: name, [dur_us], attributes and children — for inline
+    trace responses and daemon-side JSONL logs, where wall-clock
+    durations are wanted. *)
 
 val to_chrome : unit -> Json.t
 (** The buffer as a Chrome [trace_event] document:

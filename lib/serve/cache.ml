@@ -15,6 +15,7 @@ module Sunit = Sp_core.Sunit
 module Modsched = Sp_core.Modsched
 module Machine = Sp_machine.Machine
 module Metrics = Sp_obs.Metrics
+module Trace = Sp_obs.Trace
 
 let site = "serve.cache.lookup"
 let () = Sp_util.Fault.register site
@@ -187,7 +188,7 @@ let hook t : Compile.cache =
       { Compile.cp_hit = None; cp_commit = ignore }
     end
     else begin
-      let c = Fingerprint.canon g m in
+      let c = Trace.span "cache.fingerprint" (fun () -> Fingerprint.canon g m) in
       let n = Array.length g.Ddg.units in
       let cp_commit (cs : Compile.cached_sched) =
         let times = cs.Compile.cs_schedule.Modsched.times in
@@ -203,6 +204,7 @@ let hook t : Compile.cache =
           }
       in
       let hit =
+        Trace.span "cache.probe" (fun () ->
         match find t c.Fingerprint.fp with
         | None ->
           note_miss t;
@@ -225,7 +227,8 @@ let hook t : Compile.cache =
             let times =
               Array.init n (fun i -> e.en_times.(c.Fingerprint.perm.(i)))
             in
-            if schedule_ok m g ~s ~times then begin
+            if Trace.span "cache.verify" (fun () -> schedule_ok m g ~s ~times)
+            then begin
               note_hit t;
               Metrics.incr m_hit;
               Some
@@ -246,7 +249,7 @@ let hook t : Compile.cache =
               Metrics.incr m_miss;
               None
             end
-          end
+          end)
       in
       { Compile.cp_hit = hit; cp_commit }
     end

@@ -1,5 +1,6 @@
 (** The compile service: request/response model, wire framing and the
-    in-process engine the [w2cd] daemon and [bench --table serve] share.
+    in-process engine the [w2cd] daemon and [bench --table serve] /
+    [--table slo] share.
 
     Wire protocol (over a Unix-domain stream socket): each message is
     one {e frame} — a 4-byte big-endian payload length followed by the
@@ -8,23 +9,52 @@
     exactly one response frame per request, {e in request order}.
 
     Request payloads (first line is the verb; the rest is the body):
-    - [compile MACHINE[ inject=SITE@K]\n<W2 source>] — compile the
-      source for MACHINE (warp, toy, serial, warpNx); the optional
-      inject token arms a deterministic fault for this request only.
-    - [stats] — cache statistics as JSON.
+    - [compile MACHINE[ inject=SITE@K][ trace=ID]\n<W2 source>] —
+      compile the source for MACHINE (warp, toy, serial, warpNx). The
+      optional inject token arms a deterministic fault for this
+      request only; the optional trace id (any token without spaces or
+      newlines) asks for the request's span tree back.
+    - [stats] — cache statistics as JSON (schema [w2cd-stats/2]).
+    - [status] — the daemon's health snapshot as JSON (schema
+      [w2cd-status/1]): uptime in requests, request/error counters, an
+      error-budget verdict, rolling telemetry series windows
+      ({!Sp_obs.Series}) and cache occupancy.
+    - [dashboard] — a self-contained HTML dashboard of the same
+      telemetry ({!Sp_obs.Render.dashboard}).
     - [ping] — liveness probe; answers [pong].
 
-    Response payloads: [ok\n<body>] or [error\n<message>]. A compile
-    body is byte-identical to offline [w2c compile FILE] stdout — the
-    CI round-trip smoke compares them with [cmp]. *)
+    Response payloads: [ok\n<body>] or [error\n<message>]. An untraced
+    compile body is byte-identical to offline [w2c compile FILE]
+    stdout — the CI round-trip smoke compares them with [cmp]. A
+    {e traced} compile body is instead a JSON envelope (schema
+    [w2cd-trace/1]) carrying the trace id, the request sequence
+    number, the span tree (decode → fingerprint → cache probe →
+    schedule → verify → encode phases, with durations in µs) and the
+    ordinary compile output under ["output"]. Error messages carry the
+    request's identity ([... [req N]] or [... [req N trace=ID]]) so a
+    failure is attributable from the payload alone.
+
+    {b Telemetry and determinism.} The engine stamps every admitted
+    request with a logical sequence number and records latency, batch
+    occupancy, failure/fault outcomes and per-batch cache movement
+    into {!Sp_obs.Series} ring buffers keyed by that logical clock —
+    wall time appears only as series values, never in the window
+    structure, so counter-valued snapshots are deterministic functions
+    of the request stream. Telemetry can be disabled at {!create}
+    ([~telemetry:false]), which restores the PR 7 request path
+    byte-for-byte with no clock reads (the E14 zero-cost guard
+    measures this). *)
 
 type request =
   | Compile of {
       machine : string;
       inject : (string * int) option;
+      trace : string option;
       source : string;
     }
   | Stats
+  | Status
+  | Dashboard
   | Ping
 
 type response = Ok of string | Err of string
@@ -50,13 +80,31 @@ module Frame : sig
       [Failure] on a truncated or oversized frame. *)
 end
 
+(** {1 Schema tags} *)
+
+val stats_schema : string
+val status_schema : string
+val trace_schema : string
+val reqlog_schema : string
+
 (** {1 The engine} *)
 
 type t
 
-val create : ?cache_capacity:int -> ?jobs:int -> unit -> t
+val create :
+  ?cache_capacity:int ->
+  ?jobs:int ->
+  ?telemetry:bool ->
+  ?log:out_channel ->
+  unit ->
+  t
 (** [cache_capacity] defaults to 256 ([0] disables the schedule cache);
-    [jobs] is the domain-pool width requests batch onto (default 1). *)
+    [jobs] is the domain-pool width requests batch onto (default 1);
+    [telemetry] (default true) enables the sequence clock and rolling
+    series; [log] appends one JSON line per request (schema
+    [w2cd-reqlog/1]: seq, verb, trace id, outcome, error message,
+    latency, span tree when traced) — it requires telemetry and is
+    flushed per batch. *)
 
 val close : t -> unit
 (** Shut the pool down. The service must not be used afterwards. *)
@@ -69,10 +117,23 @@ val handle : t -> request -> response
 
 val handle_batch : t -> request list -> response list
 (** Responses in request order. Requests run concurrently on the pool —
-    except when any request of the batch arms a fault, in which case the
-    whole batch runs sequentially on the calling domain so the armed
-    site cannot leak into (or crash) a sibling request; the arm/disarm
-    window is scoped to the one requesting compile. *)
+    except when any request of the batch arms a fault or carries a
+    trace id, in which case the whole batch runs sequentially on the
+    calling domain: an armed site must not leak into a sibling request,
+    and a traced request's span tree (cache probes included) must
+    depend only on the requests admitted before it, never on worker
+    scheduling — that is what makes the tree identical at any [jobs]
+    width. *)
 
 val stats_json : t -> string
 (** The [stats] response body. *)
+
+val status_json : t -> string
+(** The [status] response body. *)
+
+val dashboard_html : t -> string
+(** The [dashboard] response body. *)
+
+val telemetry_seq : t -> int
+(** Requests admitted so far (0 when telemetry is off) — the logical
+    clock harnesses key artifacts on. *)

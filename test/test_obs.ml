@@ -537,6 +537,141 @@ let prop_utilization_sums =
       in
       Float.abs (recovered -. float_of_int sim.Sp_vliw.Sim.dyn_ops) < 1e-6)
 
+(* ---- Series: rolling time series on a logical clock ----------------- *)
+
+let test_series_ring () =
+  let s =
+    Series.create ~capacity:4 ~window:4 ~lo:0.0 ~width:1.0 ~buckets:8 ()
+  in
+  for i = 0 to 9 do
+    Series.add s (float_of_int i)
+  done;
+  Alcotest.(check int) "total count survives eviction" 10 (Series.count s);
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "newest capacity retained, oldest first"
+    [ (6, 6.0); (7, 7.0); (8, 8.0); (9, 9.0) ]
+    (Series.retained s)
+
+let test_series_windows () =
+  let s =
+    Series.create ~capacity:64 ~window:4 ~lo:0.0 ~width:1.0 ~buckets:16 ()
+  in
+  (* seqs 0..9 fall into windows 0 (0..3), 1 (4..7), 2 (8..9) *)
+  for i = 0 to 9 do
+    Series.add s (float_of_int i)
+  done;
+  (match Series.windows s with
+  | [ w0; w1; w2 ] ->
+    Alcotest.(check int) "w0 index" 0 w0.Series.w_index;
+    Alcotest.(check int) "w0 count" 4 w0.Series.w_count;
+    Alcotest.(check (float 1e-9)) "w0 sum" 6.0 w0.Series.w_sum;
+    Alcotest.(check (float 1e-9)) "w1 min" 4.0 w1.Series.w_min;
+    Alcotest.(check (float 1e-9)) "w1 max" 7.0 w1.Series.w_max;
+    Alcotest.(check int) "w2 count" 2 w2.Series.w_count;
+    (match Series.quantile w1 0.5 with
+    | Some v ->
+      Alcotest.(check bool) "w1 median in range" true (v >= 4.0 && v <= 7.0)
+    | None -> Alcotest.fail "median of a full window")
+  | ws ->
+    Alcotest.fail (Printf.sprintf "expected 3 windows, got %d" (List.length ws)));
+  (* a window index with no samples is empty, and empty windows have no
+     quantiles *)
+  let empty = Series.window_at s 7 in
+  Alcotest.(check int) "empty window count" 0 empty.Series.w_count;
+  Alcotest.(check bool)
+    "empty window quantiles are None" true
+    (Series.quantile empty 0.5 = None && Series.quantile empty 0.99 = None)
+
+let test_series_shard_merge () =
+  let shape () =
+    Series.create ~capacity:8 ~window:4 ~lo:0.0 ~width:1.0 ~buckets:8 ()
+  in
+  let a = shape () and b = shape () in
+  List.iter (fun i -> Series.add ~seq:i a 1.0) [ 0; 1; 2 ];
+  List.iter (fun i -> Series.add ~seq:i b 0.0) [ 5; 6 ];
+  let m = Series.merge a b in
+  Alcotest.(check int) "merged total" 5 (Series.count m);
+  Alcotest.(check (list int))
+    "merged seqs in order" [ 0; 1; 2; 5; 6 ]
+    (List.map fst (Series.retained m));
+  let j = Series.to_json m in
+  Alcotest.(check bool)
+    "series snapshot is versioned" true
+    (Json.member "schema" j = Some (Json.Str "series/1"));
+  Alcotest.(check string)
+    "snapshot deterministic" (Json.to_string j)
+    (Json.to_string (Series.to_json m))
+
+let win_eq a b =
+  a.Series.w_index = b.Series.w_index
+  && a.Series.w_count = b.Series.w_count
+  && Float.abs (a.Series.w_sum -. b.Series.w_sum) < 1e-9
+  && (a.Series.w_count = 0
+     || Float.abs (a.Series.w_min -. b.Series.w_min) < 1e-9
+        && Float.abs (a.Series.w_max -. b.Series.w_max) < 1e-9)
+  && a.Series.w_hist.Sp_util.Histogram.counts
+     = b.Series.w_hist.Sp_util.Histogram.counts
+
+let prop_series_merge_window =
+  (* shards that each saw a slice of one window combine into its true
+     aggregate in any order: associative, commutative, empty identity *)
+  let slice =
+    QCheck2.Gen.(
+      small_list
+        (pair (int_range 8 11) (map (fun i -> float_of_int i /. 2.0) (int_range 0 19))))
+  in
+  QCheck2.Test.make
+    ~name:"series: window merge associative, commutative, unital" ~count:100
+    QCheck2.Gen.(triple slice slice slice)
+    (fun (xs, ys, zs) ->
+      let mk samples =
+        let s =
+          Series.create ~capacity:64 ~window:4 ~lo:0.0 ~width:1.0 ~buckets:10 ()
+        in
+        List.iter (fun (seq, v) -> Series.add ~seq s v) samples;
+        Series.window_at s 2
+      in
+      let wa = mk xs and wb = mk ys and wc = mk zs in
+      win_eq
+        (Series.merge_window (Series.merge_window wa wb) wc)
+        (Series.merge_window wa (Series.merge_window wb wc))
+      && win_eq (Series.merge_window wa wb) (Series.merge_window wb wa)
+      && win_eq wa (Series.merge_window wa (mk [])))
+
+(* ---- span-tree reconstruction --------------------------------------- *)
+
+let test_trace_tree () =
+  let shared_before = Trace.events () in
+  let r, evs =
+    Trace.with_recording (fun () ->
+        Trace.span "outer" (fun () ->
+            Trace.span "inner1" (fun () -> ());
+            Trace.instant "mark";
+            Trace.span "inner2" (fun () -> ());
+            17))
+  in
+  (match r with
+  | Result.Ok v -> Alcotest.(check int) "result" 17 v
+  | Result.Error _ -> Alcotest.fail "no error expected");
+  Alcotest.(check bool)
+    "recording leaves global state untouched" true
+    ((not (Trace.enabled ())) && Trace.events () = shared_before);
+  let trees = Trace.tree_of_events evs in
+  Alcotest.(check string)
+    "skeleton nests children under their parent"
+    {|[{"name":"outer","children":["inner1","mark","inner2"]}]|}
+    (Json.to_string (Trace.skeletons_json trees));
+  (* the full form carries durations in microseconds *)
+  match trees with
+  | [ Trace.Node n ] ->
+    Alcotest.(check int) "three children" 3 (List.length n.t_children);
+    Alcotest.(check bool)
+      "full json has dur_us" true
+      (match Trace.tree_json (Trace.Node n) with
+      | Json.Obj kvs -> List.mem_assoc "dur_us" kvs
+      | _ -> false)
+  | _ -> Alcotest.fail "expected one root span"
+
 let qt = QCheck_alcotest.to_alcotest
 
 (* ---- metrics under parallelism -------------------------------------- *)
@@ -585,6 +720,11 @@ let suite =
     Alcotest.test_case "explain fuel out" `Quick test_explain_fuel_out;
     Alcotest.test_case "render views" `Quick test_render_views;
     Alcotest.test_case "profile degraded" `Quick test_profile_degraded;
+    Alcotest.test_case "series ring wraparound" `Quick test_series_ring;
+    Alcotest.test_case "series windows" `Quick test_series_windows;
+    Alcotest.test_case "series shard merge" `Quick test_series_shard_merge;
+    Alcotest.test_case "trace span tree" `Quick test_trace_tree;
+    qt prop_series_merge_window;
     qt prop_utilization_sums;
     qt prop_metrics_parallel_increments;
   ]

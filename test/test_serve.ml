@@ -314,7 +314,7 @@ let test_cache_concurrent () =
   Fun.protect ~finally:(fun () -> Service.close service) @@ fun () ->
   let progs = [ prog_a; prog_b; prog_c ] in
   let rq src =
-    Service.Compile { machine = "warp"; inject = None; source = src }
+    Service.Compile { machine = "warp"; inject = None; trace = None; source = src }
   in
   let batch = List.concat_map (fun s -> [ rq s; rq s; rq s; rq s ]) progs in
   let reference =
@@ -353,14 +353,28 @@ let test_codec_roundtrip () =
   let rqs =
     [
       Service.Compile
-        { machine = "warp"; inject = None; source = "program p; begin end." };
+        { machine = "warp"; inject = None; trace = None;
+          source = "program p; begin end." };
       Service.Compile
         {
           machine = "toy";
           inject = Some ("modsched.place", 3);
+          trace = None;
           source = "body\nwith\nnewlines";
         };
+      Service.Compile
+        { machine = "warp"; inject = None; trace = Some "req-0007";
+          source = "program p; begin end." };
+      Service.Compile
+        {
+          machine = "serial";
+          inject = Some ("modsched.place", 1);
+          trace = Some "both-tokens";
+          source = "body";
+        };
       Service.Stats;
+      Service.Status;
+      Service.Dashboard;
       Service.Ping;
     ]
   in
@@ -373,6 +387,12 @@ let test_codec_roundtrip () =
   (match Service.parse_request "verb nobody knows" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "junk verb accepted");
+  (match Service.parse_request "compile warp trace=\nbody" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty trace id accepted");
+  (match Service.parse_request "compile warp color=red\nbody" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown request token accepted");
   List.iter
     (fun resp ->
       Alcotest.(check bool)
@@ -410,7 +430,7 @@ let test_service_matches_offline () =
     (fun src ->
       match
         Service.handle service
-          (Service.Compile { machine = "warp"; inject = None; source = src })
+          (Service.Compile { machine = "warp"; inject = None; trace = None; source = src })
       with
       | Service.Ok body ->
         Alcotest.(check string) "matches w2c compile" (offline src) body
@@ -423,14 +443,15 @@ let test_service_error_paths () =
   (match
      Service.handle service
        (Service.Compile
-          { machine = "warp9000"; inject = None; source = prog_a })
+          { machine = "warp9000"; inject = None; trace = None; source = prog_a })
    with
   | Service.Err _ -> ()
   | Service.Ok _ -> Alcotest.fail "unknown machine accepted");
   (match
      Service.handle service
        (Service.Compile
-          { machine = "warp"; inject = None; source = "program oops" })
+          { machine = "warp"; inject = None; trace = None;
+            source = "program oops" })
    with
   | Service.Err _ -> ()
   | Service.Ok _ -> Alcotest.fail "syntax error compiled");
@@ -440,6 +461,7 @@ let test_service_error_paths () =
          {
            machine = "warp";
            inject = Some ("no.such.site", 1);
+           trace = None;
            source = prog_a;
          })
   with
@@ -460,7 +482,7 @@ let test_stats_verb () =
   Fun.protect ~finally:(fun () -> Service.close service) @@ fun () ->
   ignore
     (Service.handle service
-       (Service.Compile { machine = "warp"; inject = None; source = prog_a }));
+       (Service.Compile { machine = "warp"; inject = None; trace = None; source = prog_a }));
   match Service.handle service Service.Stats with
   | Service.Err e -> Alcotest.fail e
   | Service.Ok body -> (
@@ -479,7 +501,8 @@ let test_inject_does_not_leak () =
   (match
      Service.handle service
        (Service.Compile
-          { machine = "warp"; inject = Some (Cache.site, 1); source = prog_a })
+          { machine = "warp"; inject = Some (Cache.site, 1); trace = None;
+            source = prog_a })
    with
   | Service.Ok body ->
     Alcotest.(check bool)
@@ -492,7 +515,7 @@ let test_inject_does_not_leak () =
      clean request compiles fresh and matches the offline compiler *)
   match
     Service.handle service
-      (Service.Compile { machine = "warp"; inject = None; source = prog_a })
+      (Service.Compile { machine = "warp"; inject = None; trace = None; source = prog_a })
   with
   | Service.Ok body ->
     Alcotest.(check string) "clean request after injection" reference body
@@ -503,7 +526,7 @@ let test_inject_in_batch_stays_scoped () =
   Fun.protect ~finally:(fun () -> Service.close service) @@ fun () ->
   let reference = offline prog_b in
   let rq inject =
-    Service.Compile { machine = "warp"; inject; source = prog_b }
+    Service.Compile { machine = "warp"; inject; trace = None; source = prog_b }
   in
   (* one armed request sandwiched between clean ones: the batch runs
      sequentially and only the armed request degrades *)
@@ -519,6 +542,277 @@ let test_inject_in_batch_stays_scoped () =
   | rs ->
     Alcotest.fail
       (Printf.sprintf "expected 3 ok responses, got %d" (List.length rs))
+
+(* ---- request-scoped tracing and telemetry --------------------------- *)
+
+(** Names-and-nesting of a [trees_json] value — durations stripped, so
+    two runs of the same request compare equal. *)
+let rec skel (j : Json.t) : Json.t =
+  match j with
+  | Json.Obj kvs -> (
+    let name =
+      match List.assoc_opt "name" kvs with
+      | Some (Json.Str s) -> s
+      | _ -> "?"
+    in
+    match List.assoc_opt "children" kvs with
+    | Some (Json.List kids) -> Json.Obj [ (name, Json.List (List.map skel kids)) ]
+    | _ -> Json.Str name)
+  | Json.List l -> Json.List (List.map skel l)
+  | _ -> Json.Null
+
+let test_traced_roundtrip () =
+  let service = Service.create ~cache_capacity:4 () in
+  Fun.protect ~finally:(fun () -> Service.close service) @@ fun () ->
+  let reference = offline prog_a in
+  match
+    Service.handle service
+      (Service.Compile
+         { machine = "warp"; inject = None; trace = Some "t-42";
+           source = prog_a })
+  with
+  | Service.Err e -> Alcotest.fail e
+  | Service.Ok body ->
+    let env = Json.of_string body in
+    Alcotest.(check bool)
+      "envelope schema" true
+      (Json.member "schema" env = Some (Json.Str Service.trace_schema));
+    Alcotest.(check bool)
+      "trace id echoed" true
+      (Json.member "trace" env = Some (Json.Str "t-42"));
+    Alcotest.(check bool)
+      "first request is seq 0" true
+      (Json.member "seq" env = Some (Json.Int 0));
+    (match Json.member "output" env with
+    | Some (Json.Str out) ->
+      Alcotest.(check string) "output matches offline compiler" reference out
+    | _ -> Alcotest.fail "envelope carries no output");
+    (match Json.member "spans" env with
+    | Some (Json.List (_ :: _ as spans)) ->
+      (* the root request span must nest the protocol phases *)
+      let s = Json.to_string (skel (Json.List spans)) in
+      let contains needle =
+        let nh = String.length s and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub s i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      List.iter
+        (fun phase ->
+          Alcotest.(check bool) (phase ^ " span present") true (contains phase))
+        [ "request"; "request.decode"; "request.schedule"; "request.encode" ]
+    | _ -> Alcotest.fail "envelope carries no spans");
+    (* a traced request leaves global tracing alone *)
+    Alcotest.(check bool) "tracing still off" false (Sp_obs.Trace.enabled ())
+
+let test_error_identity () =
+  let service = Service.create ~cache_capacity:4 () in
+  Fun.protect ~finally:(fun () -> Service.close service) @@ fun () ->
+  let ends_with suffix s =
+    let ns = String.length s and n = String.length suffix in
+    ns >= n && String.sub s (ns - n) n = suffix
+  in
+  (match
+     Service.handle service
+       (Service.Compile
+          { machine = "warp"; inject = None; trace = None;
+            source = "program oops" })
+   with
+  | Service.Err msg ->
+    Alcotest.(check bool) "untraced error carries [req 0]" true
+      (ends_with "[req 0]" msg)
+  | Service.Ok _ -> Alcotest.fail "syntax error compiled");
+  match
+    Service.handle service
+      (Service.Compile
+         { machine = "warp"; inject = None; trace = Some "tid";
+           source = "program oops" })
+  with
+  | Service.Err msg ->
+    Alcotest.(check bool) "traced error carries seq and trace id" true
+      (ends_with "[req 1 trace=tid]" msg)
+  | Service.Ok _ -> Alcotest.fail "syntax error compiled"
+
+let test_status_verb () =
+  let service = Service.create ~cache_capacity:4 () in
+  Fun.protect ~finally:(fun () -> Service.close service) @@ fun () ->
+  let compile src =
+    Service.Compile { machine = "warp"; inject = None; trace = None; source = src }
+  in
+  ignore (Service.handle service (compile prog_a));
+  ignore (Service.handle service (compile "program oops"));
+  (match Service.handle service Service.Status with
+  | Service.Err e -> Alcotest.fail e
+  | Service.Ok body ->
+    let j = Json.of_string body in
+    Alcotest.(check bool)
+      "status schema" true
+      (Json.member "schema" j = Some (Json.Str Service.status_schema));
+    Alcotest.(check bool)
+      "telemetry on" true
+      (Json.member "telemetry" j = Some (Json.Bool true));
+    (* the status request is the third admitted request *)
+    Alcotest.(check bool)
+      "total counts every verb" true
+      (Json.path [ "requests"; "total" ] j = Some (Json.Int 3));
+    Alcotest.(check bool)
+      "compile counter" true
+      (Json.path [ "requests"; "compile" ] j = Some (Json.Int 2));
+    Alcotest.(check bool)
+      "error counter" true
+      (Json.path [ "requests"; "error" ] j = Some (Json.Int 1));
+    (match Json.path [ "series"; "latency_us"; "windows" ] j with
+    | Some (Json.List (_ :: _)) -> ()
+    | _ -> Alcotest.fail "no latency windows after requests");
+    match Json.path [ "error_budget"; "ok" ] j with
+    | Some (Json.Bool _) -> ()
+    | _ -> Alcotest.fail "no error budget verdict");
+  (* the dashboard renders the same telemetry as self-contained HTML *)
+  match Service.handle service Service.Dashboard with
+  | Service.Err e -> Alcotest.fail e
+  | Service.Ok html ->
+    let contains needle =
+      let nh = String.length html and nn = String.length needle in
+      let rec go i =
+        i + nn <= nh && (String.sub html i nn = needle || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool) "html document" true (contains "</html>");
+    List.iter
+      (fun banned ->
+        Alcotest.(check bool) ("no " ^ banned) false (contains banned))
+      [ "http://"; "https://"; "<script src"; "<link" ]
+
+let test_telemetry_disabled () =
+  let service = Service.create ~cache_capacity:4 ~telemetry:false () in
+  Fun.protect ~finally:(fun () -> Service.close service) @@ fun () ->
+  let reference = offline prog_a in
+  (match
+     Service.handle service
+       (Service.Compile
+          { machine = "warp"; inject = None; trace = None; source = prog_a })
+   with
+  | Service.Ok body ->
+    Alcotest.(check string) "output unchanged without telemetry" reference body
+  | Service.Err e -> Alcotest.fail e);
+  Alcotest.(check int) "no sequence clock" 0 (Service.telemetry_seq service);
+  (match
+     Service.handle service
+       (Service.Compile
+          { machine = "warp"; inject = None; trace = None;
+            source = "program oops" })
+   with
+  | Service.Err msg ->
+    (* no telemetry, no sequence number to stamp errors with *)
+    let contains needle =
+      let nh = String.length msg and nn = String.length needle in
+      let rec go i =
+        i + nn <= nh && (String.sub msg i nn = needle || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool) "no [req N] suffix" false (contains "[req ")
+  | Service.Ok _ -> Alcotest.fail "syntax error compiled");
+  match Service.handle service Service.Status with
+  | Service.Err e -> Alcotest.fail e
+  | Service.Ok body ->
+    let j = Json.of_string body in
+    Alcotest.(check bool)
+      "status says telemetry off" true
+      (Json.member "telemetry" j = Some (Json.Bool false));
+    Alcotest.(check bool) "no series" true (Json.member "series" j = None)
+
+let test_request_log () =
+  let path = Filename.temp_file "w2cd_reqlog" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let oc = open_out path in
+  let service = Service.create ~cache_capacity:4 ~log:oc () in
+  ignore
+    (Service.handle service
+       (Service.Compile
+          { machine = "warp"; inject = None; trace = None; source = prog_a }));
+  ignore
+    (Service.handle service
+       (Service.Compile
+          { machine = "warp"; inject = None; trace = Some "lg";
+            source = prog_a }));
+  Service.close service;
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  match List.rev_map Json.of_string !lines with
+  | [ l0; l1 ] ->
+    Alcotest.(check bool)
+      "log schema" true
+      (Json.member "schema" l0 = Some (Json.Str Service.reqlog_schema));
+    Alcotest.(check bool)
+      "seq 0 then 1" true
+      (Json.member "seq" l0 = Some (Json.Int 0)
+      && Json.member "seq" l1 = Some (Json.Int 1));
+    Alcotest.(check bool)
+      "untraced line has null trace, no spans" true
+      (Json.member "trace" l0 = Some Json.Null
+      && Json.member "spans" l0 = None);
+    Alcotest.(check bool)
+      "traced line carries id and spans" true
+      (Json.member "trace" l1 = Some (Json.Str "lg")
+      && Json.member "spans" l1 <> None)
+  | ls ->
+    Alcotest.fail
+      (Printf.sprintf "expected 2 log lines, got %d" (List.length ls))
+
+(** The determinism contract of traced requests: the span skeleton of a
+    request depends only on the request itself (and the cache state
+    admitted before it — disabled here), never on the pool width or on
+    batch co-residents. *)
+let prop_trace_skeleton_stable =
+  QCheck2.Test.make
+    ~name:"traced span skeleton independent of jobs and batch mix" ~count:10
+    QCheck2.Gen.(pair (int_bound 2) (list_size (int_bound 4) (int_bound 2)))
+    (fun (pi, mates) ->
+      let progs = [| prog_a; prog_b; prog_c |] in
+      let traced =
+        Service.Compile
+          { machine = "warp"; inject = None; trace = Some "t";
+            source = progs.(pi) }
+      in
+      let plain j =
+        Service.Compile
+          { machine = "warp"; inject = None; trace = None; source = progs.(j) }
+      in
+      let skeleton_at ~jobs batch pick =
+        let svc = Service.create ~cache_capacity:0 ~jobs () in
+        Fun.protect ~finally:(fun () -> Service.close svc) @@ fun () ->
+        match List.nth (Service.handle_batch svc batch) pick with
+        | Service.Ok body -> (
+          match Json.member "spans" (Json.of_string body) with
+          | Some spans -> Json.to_string (skel spans)
+          | None -> QCheck2.Test.fail_report "traced response without spans")
+        | Service.Err e -> QCheck2.Test.fail_report e
+      in
+      let solo1 = skeleton_at ~jobs:1 [ traced ] 0 in
+      let solo8 = skeleton_at ~jobs:8 [ traced ] 0 in
+      let mixed =
+        skeleton_at ~jobs:4
+          (List.map plain mates @ [ traced ])
+          (List.length mates)
+      in
+      if solo1 <> solo8 then
+        QCheck2.Test.fail_reportf "jobs changed the skeleton:\n%s\n%s" solo1
+          solo8;
+      if solo1 <> mixed then
+        QCheck2.Test.fail_reportf "co-residents changed the skeleton:\n%s\n%s"
+          solo1 mixed;
+      true)
 
 let suite =
   let qt = QCheck_alcotest.to_alcotest in
@@ -545,4 +839,10 @@ let suite =
     ("stats verb", `Quick, test_stats_verb);
     ("injected fault stays in its request", `Quick, test_inject_does_not_leak);
     ("injection inside a batch", `Quick, test_inject_in_batch_stays_scoped);
+    ("traced request round trip", `Quick, test_traced_roundtrip);
+    ("errors carry request identity", `Quick, test_error_identity);
+    ("status and dashboard verbs", `Quick, test_status_verb);
+    ("telemetry disabled", `Quick, test_telemetry_disabled);
+    ("request log", `Quick, test_request_log);
+    qt prop_trace_skeleton_stable;
   ]
