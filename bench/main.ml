@@ -55,7 +55,27 @@ let section title =
     check diffs for. *)
 let artifacts : (string * Json.t) list ref = ref []
 
-let emit name j = artifacts := (name, j) :: !artifacts
+(** Default schema tag for the artifact [name] — ["bench-NAME/1"].
+    Bump the generation suffix when an artifact's shape changes
+    incompatibly; [--compare] rejects cross-generation diffs outright
+    and [devtools/jsonv] pins the tags in CI. *)
+let artifact_schema name = "bench-" ^ name ^ "/1"
+
+(** Register an artifact, stamping its schema tag here so no generator
+    can forget one: an object that already carries ["schema"] (e.g. the
+    slo artifact's [bench-slo/1]) keeps it, any other object gets
+    {!artifact_schema}[ name] prepended, and a non-object is wrapped. *)
+let emit name j =
+  let j =
+    match j with
+    | Json.Obj kvs when List.mem_assoc "schema" kvs -> j
+    | Json.Obj kvs ->
+      Json.Obj (("schema", Json.Str (artifact_schema name)) :: kvs)
+    | other ->
+      Json.Obj
+        [ ("schema", Json.Str (artifact_schema name)); ("value", other) ]
+  in
+  artifacts := (name, j) :: !artifacts
 
 let json_of_table (t : Table.t) : Json.t =
   Json.Obj
@@ -819,6 +839,110 @@ let table_optimal ?(quick = false) () =
     under a capped budget), plus per-resource utilization of the
     simulated execution. The JSON artifact of this table is the
     repo-root BENCH_pipeline.json (EXPERIMENTS.md E13). *)
+(* ---- per-loop attribution fields (E13 artifact, --attribute) ------ *)
+
+(** Rejecting cause of a placement failure, as a short stable string. *)
+let fail_reason = function
+  | Sp_obs.Explain.Window_empty _ -> "window empty"
+  | Sp_obs.Explain.No_slot { resource; _ } -> resource ^ " residue"
+  | Sp_obs.Explain.No_wrap _ -> "wrap"
+
+(** Extra fields joined onto each pipeline-artifact loop object so
+    [--compare --attribute] can name the cause of a regression: which
+    interval-bound constraint binds (and on what), per-probed-interval
+    placement-failure counts with the rejecting residue, and the
+    deterministic work-cost counters. All pure functions of the
+    compilation — the artifact stays byte-stable. *)
+let loop_attribution ~events ~cost l_id =
+  let mine f =
+    List.filter_map (fun (l, e) -> if l = l_id then f e else None) events
+  in
+  let bounds =
+    match
+      mine (function
+        | Sp_obs.Explain.Bounds { ctl_bound; binding; critical; _ } ->
+          Some (ctl_bound, binding, critical)
+        | _ -> None)
+    with
+    | (ctl, binding, critical) :: _ ->
+      [
+        ("ctl_bound", Json.Int ctl);
+        ("binding", Json.Str binding);
+        ("binding_detail", Json.Str critical);
+      ]
+    | [] -> []
+  in
+  let fails =
+    mine (function
+      | Sp_obs.Explain.Probe_fail { s; fail; _ } ->
+        Some (s, fail_reason fail)
+      | _ -> None)
+  in
+  let probe_fails =
+    List.map
+      (fun s ->
+        let fs = List.filter (fun (s', _) -> s' = s) fails in
+        (* the last failure is the one that abandoned this interval *)
+        let reason = snd (List.nth fs (List.length fs - 1)) in
+        Json.Obj
+          [
+            ("ii", Json.Int s);
+            ("fails", Json.Int (List.length fs));
+            ("reason", Json.Str reason);
+          ])
+      (List.sort_uniq compare (List.map fst fails))
+  in
+  let cells = Sp_obs.Cost.cells cost in
+  let counters =
+    List.map
+      (fun c ->
+        ( Sp_obs.Cost.counter_name c,
+          Json.Int
+            (List.fold_left
+               (fun acc ((l, _), cs) ->
+                 if l = l_id then
+                   acc + Option.value ~default:0 (List.assoc_opt c cs)
+                 else acc)
+               0 cells) ))
+      Sp_obs.Cost.all_counters
+  in
+  bounds
+  @ [
+      ("probe_fails", Json.List probe_fails);
+      ("cost_total", Json.Int (Sp_obs.Cost.loop_total cost ~loop:l_id));
+      ("cost", Json.Obj counters);
+    ]
+
+(** [Profile.to_json] output with the attribution fields appended to
+    every loop object (joined on the [loop] id) and the kernel's total
+    work-unit count at top level. *)
+let augment_kernel_json kjson ~events ~cost =
+  match kjson with
+  | Json.Obj kvs ->
+    Json.Obj
+      (List.map
+         (fun (k, v) ->
+           match (k, v) with
+           | "loops", Json.List ls ->
+             ( k,
+               Json.List
+                 (List.map
+                    (function
+                      | Json.Obj lkvs ->
+                        let id =
+                          match List.assoc_opt "loop" lkvs with
+                          | Some (Json.Int i) -> i
+                          | _ -> -1
+                        in
+                        Json.Obj
+                          (lkvs @ loop_attribution ~events ~cost id)
+                      | lj -> lj)
+                    ls) )
+           | _ -> (k, v))
+         kvs
+      @ [ ("cost_total", Json.Int (Sp_obs.Cost.total cost)) ])
+  | j -> j
+
 let table_pipeline () =
   section
     "E13: pipeline profile — achieved II vs bounds and FU utilization \
@@ -840,10 +964,23 @@ let table_pipeline () =
   let util u name =
     match List.assoc_opt name u with Some x -> pct x | None -> "-"
   in
+  let explain_was = Sp_obs.Explain.enabled () in
+  let cost_was = Sp_obs.Cost.enabled () in
+  if not explain_was then Sp_obs.Explain.enable ();
+  if not cost_was then Sp_obs.Cost.enable ();
   let reports =
+    Fun.protect
+      ~finally:(fun () ->
+        if not explain_was then Sp_obs.Explain.disable ();
+        if not cost_was then Sp_obs.Cost.disable ())
+    @@ fun () ->
     List.map
       (fun k ->
-        let meas = Kernel.run ~config Machine.warp k in
+        let (meas, events), cost =
+          Sp_obs.Cost.collect (fun () ->
+              Sp_obs.Explain.collect (fun () ->
+                  Kernel.run ~config Machine.warp k))
+        in
         let r = Kernel.profile Machine.warp meas in
         List.iter
           (fun (l : Sp_obs.Profile.loop) ->
@@ -867,15 +1004,10 @@ let table_pipeline () =
                 l.Sp_obs.Profile.lp_status;
               ])
           r.Sp_obs.Profile.r_loops;
-        r)
+        augment_kernel_json (Sp_obs.Profile.to_json r) ~events ~cost)
       Livermore.all
   in
-  emit "pipeline"
-    (Json.Obj
-       [
-         ( "kernels",
-           Json.List (List.map Sp_obs.Profile.to_json reports) );
-       ]);
+  emit "pipeline" (Json.Obj [ ("kernels", Json.List reports) ]);
   Fmt.pr "%a" Table.pp t;
   Fmt.pr
     "@.  (utilization columns are whole-execution busy fractions from the@.\
@@ -883,6 +1015,96 @@ let table_pipeline () =
     \   verdict under a 400k-fuel budget, '?' = budget exhausted or@.\
     \   loop not pipelined; see BENCH_pipeline.json for the full per-@.\
     \   kernel reports including MRT occupancy and register pressure)@."
+
+(* ------------------------------------------------------------------ *)
+(* E20: deterministic work-cost accounting                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Compile-only cost profiles of the Livermore suite. Every number is
+    a deterministic work-unit count ({!Sp_obs.Cost}) — no wall clock —
+    so the artifact is byte-identical across runs, machines, and any
+    [--jobs] width (the shard-merge identity this table exists to
+    pin). *)
+let table_cost ~jobs () =
+  section
+    (Fmt.str
+       "E20: work-cost accounting (Livermore, compile only, %d job(s))"
+       jobs);
+  let config = { C.default with C.jobs } in
+  (* phases whose steps bump work counters today; the artifact still
+     carries every cell, so a counter added to mve/emit/validate later
+     shows up there without a schema change *)
+  let shown =
+    [ Sp_obs.Cost.P_ddg; P_compact; P_bounds; P_search; P_other ]
+  in
+  let t =
+    Table.create
+      ~headers:
+        ("kernel" :: "total"
+        :: List.map Sp_obs.Cost.phase_name shown)
+      ~aligns:(Table.L :: List.init (1 + List.length shown) (fun _ -> Table.R))
+  in
+  let phase_total prof ph =
+    List.fold_left
+      (fun acc ((_, p), cs) ->
+        if p = ph then
+          acc + List.fold_left (fun a (_, n) -> a + n) 0 cs
+        else acc)
+      0
+      (Sp_obs.Cost.cells prof)
+  in
+  let cost_was = Sp_obs.Cost.enabled () in
+  if not cost_was then Sp_obs.Cost.enable ();
+  let profiles =
+    Fun.protect
+      ~finally:(fun () -> if not cost_was then Sp_obs.Cost.disable ())
+    @@ fun () ->
+    List.map
+      (fun k ->
+        let p = Kernel.program k in
+        let (_ : C.result), prof =
+          Sp_obs.Cost.collect (fun () -> C.program ~config Machine.warp p)
+        in
+        Table.add_row t
+          (k.Kernel.name
+          :: string_of_int (Sp_obs.Cost.total prof)
+          :: List.map
+               (fun ph -> string_of_int (phase_total prof ph))
+               shown);
+        (k.Kernel.name, prof))
+      Livermore.all
+  in
+  let grand =
+    List.fold_left
+      (fun acc (_, prof) -> Sp_obs.Cost.merge acc prof)
+      Sp_obs.Cost.empty profiles
+  in
+  emit "cost"
+    (Json.Obj
+       [
+         ( "kernels",
+           Json.List
+             (List.map
+                (fun (name, prof) ->
+                  Json.Obj
+                    [
+                      ("kernel", Json.Str name);
+                      ("cost", Sp_obs.Cost.to_json prof);
+                    ])
+                profiles) );
+         ( "totals",
+           Json.Obj
+             (List.map
+                (fun (c, n) -> (Sp_obs.Cost.counter_name c, Json.Int n))
+                (Sp_obs.Cost.counter_totals grand)) );
+       ]);
+  Fmt.pr "%a" Table.pp t;
+  Fmt.pr
+    "@.  (work units, not cycles: MRT probes, Spath relaxations, heap@.\
+    \   ops, DDG edges — identical for any --jobs width; suite total@.\
+    \   %d units; see BENCH --emit-json artifacts/cost for per-loop@.\
+    \   per-phase cells)@."
+    (Sp_obs.Cost.total grand)
 
 (* ------------------------------------------------------------------ *)
 (* E14: tracing overhead smoke                                          *)
@@ -961,12 +1183,31 @@ begin for k := 0 to 63 do a[k] := a[k] + 1.5; end.|}
   let seq_on = Service.telemetry_seq svc_on in
   Service.close svc_on;
   let ev_service = List.length (Sp_obs.Trace.events ()) in
+  (* the work-cost profiler obeys the same contract: disabled (the
+     default), a compile records zero units and a tight loop over the
+     counting entry point allocates nothing on the minor heap; enabled,
+     the same compile records work. The allocation bound allows the few
+     words [Gc.minor_words] itself boxes around the sample. *)
+  Sp_obs.Cost.clear ();
+  compile ();
+  let cost_off = Sp_obs.Cost.total (Sp_obs.Cost.snapshot ()) in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 100_000 do
+    Sp_obs.Cost.incr Sp_obs.Cost.Mrt_probe
+  done;
+  let cost_alloc = Gc.minor_words () -. w0 in
+  let cost_zero_alloc = cost_alloc <= 64.0 in
+  Sp_obs.Cost.enable ();
+  compile ();
+  let cost_on = Sp_obs.Cost.total (Sp_obs.Cost.snapshot ()) in
+  Sp_obs.Cost.disable ();
   let ok =
     ev_off = 0 && ev_on > 0
     && t_off <= (2.0 *. t_on) +. 0.05
     && xp_off = 0 && xp_on > 0 && views_off = 0 && views_on > 0
     && seq_off = 0 && status_off_bare && seq_on = iters && ev_service = 0
     && t_tele_off <= (2.0 *. t_tele_on) +. 0.05
+    && cost_off = 0 && cost_on > 0 && cost_zero_alloc
   in
   emit "trace_overhead"
     (Json.Obj
@@ -981,6 +1222,9 @@ begin for k := 0 to 63 do a[k] := a[k] + 1.5; end.|}
          ("telemetry_seq_disabled", Json.Int seq_off);
          ("telemetry_seq_enabled", Json.Int seq_on);
          ("service_untraced_events", Json.Int ev_service);
+         ("cost_units_disabled", Json.Int cost_off);
+         ("cost_units_enabled", Json.Int cost_on);
+         ("cost_zero_alloc", Json.Bool cost_zero_alloc);
          ("ok", Json.Bool ok);
        ]);
   Fmt.pr
@@ -988,9 +1232,10 @@ begin for k := 0 to 63 do a[k] := a[k] + 1.5; end.|}
     \  %d compiles untraced: %d events, %.3fs@.\
     \  explain events on/off: %d/%d; render views on/off: %d/%d@.\
     \  %d service requests, telemetry off/on: %.3fs/%.3fs, seq %d/%d@.\
+    \  cost units on/off: %d/%d; disabled counting allocated %.0f words@.\
     \  trace-overhead: %s@."
     iters ev_on t_on iters ev_off t_off xp_on xp_off views_on views_off
-    iters t_tele_off t_tele_on seq_off seq_on
+    iters t_tele_off t_tele_on seq_off seq_on cost_on cost_off cost_alloc
     (if ok then "ok" else "FAILED");
   if not ok then exit 1
 
@@ -1555,7 +1800,7 @@ begin for k := 0 to 99 do a[k] := a[k] + 1.5; end.|}
     busy fraction legitimately).
 
     Exit status: 0 clean, 1 any regression, 2 unusable input. *)
-let compare_artifacts ~threshold old_path new_path =
+let compare_artifacts ~threshold ~attribute old_path new_path =
   let read_file path =
     let ic = open_in_bin path in
     let n = in_channel_length ic in
@@ -1607,6 +1852,38 @@ let compare_artifacts ~threshold old_path new_path =
   in
   let old_doc = load old_path in
   let new_doc = load new_path in
+  (* every artifact of a current document is schema-tagged at [emit];
+     diffing across schema generations is rejected outright for every
+     artifact, exactly as the slo gate always did. An untagged artifact
+     in the old document predates the stamping and is tolerated (its
+     per-artifact gates still apply); the new document must carry
+     tags. *)
+  (match Json.member "artifacts" new_doc with
+  | Some (Json.Obj kvs) ->
+    List.iter
+      (fun (name, jn) ->
+        let tag j = jstr "schema" j in
+        match tag jn with
+        | None ->
+          Fmt.epr
+            "compare: %s: artifact %s carries no schema tag (regenerate \
+             with a current bench --emit-json)@."
+            new_path name;
+          exit 2
+        | Some n -> (
+          match
+            Option.bind (Json.path [ "artifacts"; name ] old_doc) tag
+          with
+          | Some o when o <> n ->
+            Fmt.epr
+              "compare: artifact %s: schema %S in %s vs %S in %s — \
+               documents from different schema generations are never \
+               diffed@."
+              name o old_path n new_path;
+            exit 2
+          | _ -> ()))
+      kvs
+  | _ -> ());
   let old_ks = kernels old_path old_doc in
   let new_ks = kernels new_path new_doc in
   let find_kernel name l =
@@ -1614,6 +1891,97 @@ let compare_artifacts ~threshold old_path new_path =
   in
   let regressions = ref [] in
   let flag fmt = Fmt.kstr (fun m -> regressions := m :: !regressions) fmt in
+  (* --attribute: for every gated per-loop regression, join the two
+     documents' attribution fields (interval bounds and binding
+     constraint, per-interval placement-failure counts, work-cost
+     counters) and emit a one-line cause. Old documents that predate
+     the fields degrade to an explicit note, never an error. *)
+  let attributions = ref [] in
+  let attribute_loop name id lo ln =
+    if attribute then begin
+      let pfails j =
+        match Json.member "probe_fails" j with
+        | Some (Json.List l) ->
+          Some
+            (List.filter_map
+               (fun e ->
+                 match (jint "ii" e, jint "fails" e) with
+                 | Some i, Some f ->
+                   Some
+                     (i, (f, Option.value ~default:"?" (jstr "reason" e)))
+                 | _ -> None)
+               l)
+        | _ -> None
+      in
+      let costs j =
+        match Json.member "cost" j with
+        | Some (Json.Obj kvs) ->
+          Some
+            (List.filter_map
+               (fun (k, v) ->
+                 match v with Json.Int i -> Some (k, i) | _ -> None)
+               kvs)
+        | _ -> None
+      in
+      let parts = ref [] in
+      let part fmt = Fmt.kstr (fun m -> parts := m :: !parts) fmt in
+      let bound key binding_name =
+        match (jint key lo, jint key ln) with
+        | Some o, Some n when n <> o ->
+          part "%s %s %d -> %d%s" key
+            (if n > o then "rose" else "fell")
+            o n
+            (if jstr "binding" ln = Some binding_name then
+               match jstr "binding_detail" ln with
+               | Some d when d <> "" -> " (binding, on " ^ d ^ ")"
+               | _ -> " (binding)"
+             else "")
+        | _ -> ()
+      in
+      bound "res_mii" "resource";
+      bound "rec_mii" "recurrence";
+      (match (jstr "binding" lo, jstr "binding" ln) with
+      | Some o, Some n when o <> n ->
+        part "binding constraint %s -> %s" o n
+      | _ -> ());
+      (match (pfails lo, pfails ln, jint "achieved_ii" lo) with
+      | Some po, Some pn, Some old_ii ->
+        let at ii l =
+          match List.assoc_opt ii l with Some c -> c | None -> (0, "")
+        in
+        let fo, _ = at old_ii po in
+        let fn, reason = at old_ii pn in
+        if fn > fo then
+          part "%d new placement failure(s) at II=%d (%s)" (fn - fo)
+            old_ii reason
+      | _ -> ());
+      (match (costs lo, costs ln) with
+      | Some co, Some cn ->
+        (* the biggest relative mover among the work counters *)
+        let worst =
+          List.fold_left
+            (fun acc (k, o) ->
+              match List.assoc_opt k cn with
+              | Some n when o > 0 ->
+                let d = 100.0 *. float_of_int (n - o) /. float_of_int o in
+                if abs_float d > abs_float (snd acc) then (k, d) else acc
+              | _ -> acc)
+            ("", 0.0) co
+        in
+        if fst worst <> "" && abs_float (snd worst) >= 10.0 then
+          part "%s %+.0f%%" (fst worst) (snd worst)
+      | _ -> ());
+      let cause =
+        if !parts <> [] then String.concat "; " (List.rev !parts)
+        else if costs lo = None || costs ln = None then
+          "artifact predates attribution fields (regenerate with a \
+           current bench --table pipeline)"
+        else "no bound, probe or cost change recorded"
+      in
+      attributions :=
+        Fmt.str "%s loop %d: %s" name id cause :: !attributions
+    end
+  in
   let t =
     Table.create
       ~headers:[ "kernel"; "cycles"; "MFLOPS"; "code"; "ii"; "util"; "verdict" ]
@@ -1674,11 +2042,13 @@ let compare_artifacts ~threshold old_path new_path =
                      flag "%s: loop %d no longer pipelines (was ii=%d, now %s)"
                        name id o
                        (Option.value ~default:"?" (jstr "status" ln));
+                     attribute_loop name id lo ln;
                      Some (Printf.sprintf "l%d:%d->none" id o)
                    | Some n when n > o ->
                      bad := "loop" :: !bad;
                      flag "%s: loop %d initiation interval rose %d -> %d" name
                        id o n;
+                     attribute_loop name id lo ln;
                      Some (Printf.sprintf "l%d:%d->%d" id o n)
                    | Some n when n < o -> Some (Printf.sprintf "l%d:%d->%d" id o n)
                    | Some _ -> Some (Printf.sprintf "l%d:+0" id)))
@@ -1832,12 +2202,11 @@ let compare_artifacts ~threshold old_path new_path =
         Fmt.epr "compare: %s: slo artifact carries no schema tag@." path;
         exit 2);
       match jstr "status_schema" j with
-      | Some "w2cd-status/1" -> ()
+      | Some s when s = Sp_serve.Service.status_schema -> ()
       | Some s ->
         Fmt.epr
-          "compare: %s: status snapshot schema %S (this tool reads \
-           w2cd-status/1)@."
-          path s;
+          "compare: %s: status snapshot schema %S (this tool reads %s)@."
+          path s Sp_serve.Service.status_schema;
         exit 2
       | None ->
         Fmt.epr "compare: %s: slo artifact carries no status_schema@." path;
@@ -1930,6 +2299,15 @@ let compare_artifacts ~threshold old_path new_path =
     Fmt.pr "@.compare: %d regression(s) against %s:@."
       (List.length !regressions) old_path;
     List.iter (fun m -> Fmt.pr "  %s@." m) (List.rev !regressions);
+    if attribute then begin
+      Fmt.pr "@.attribution:@.";
+      if !attributions = [] then
+        Fmt.pr
+          "  (no per-loop regression to attribute — the flags above \
+           concern kernel-level or non-pipeline artifacts)@."
+      else
+        List.iter (fun m -> Fmt.pr "  %s@." m) (List.rev !attributions)
+    end;
     1
   end
 
@@ -1958,6 +2336,22 @@ let json_of_campaign (s : Campaign.summary) : Json.t =
       ("gap", json_of_histogram s.Campaign.gap);
       ("eff", json_of_histogram s.Campaign.eff);
       ("code_size", json_of_histogram s.Campaign.csize);
+      (* deterministic work-unit distributions: per program, per compile
+         phase, and the top-N most expensive programs — counts, not
+         clocks, so identical at any jobs width *)
+      ("cost", json_of_histogram s.Campaign.cost);
+      ( "cost_by_phase",
+        Json.Obj
+          (List.map
+             (fun (name, h) -> (name, json_of_histogram h))
+             s.Campaign.cost_by_phase) );
+      ( "expensive",
+        Json.List
+          (List.map
+             (fun (seed, units) ->
+               Json.Obj
+                 [ ("seed", Json.Int seed); ("units", Json.Int units) ])
+             s.Campaign.expensive) );
       (* per-seed-window verdict rates on the seed logical clock —
          deterministic (the pass indicator per seed is), so --compare
          can gate pass-rate per window; see the campaign section there *)
@@ -2006,6 +2400,19 @@ let print_campaign_summary (s : Campaign.summary) =
   Fmt.pr "  efficiency   : mean %.3f@." (Histogram.mean s.Campaign.eff);
   Fmt.pr "  code size    : mean %.1f instruction words@."
     (Histogram.mean s.Campaign.csize);
+  Fmt.pr "  compile cost : mean %.0f work units@."
+    (Histogram.mean s.Campaign.cost);
+  if s.Campaign.expensive <> [] then begin
+    let et =
+      Table.create ~headers:[ "costly seed"; "work units" ]
+        ~aligns:[ Table.R; R ]
+    in
+    List.iter
+      (fun (seed, units) ->
+        Table.add_row et [ string_of_int seed; string_of_int units ])
+      s.Campaign.expensive;
+    Fmt.pr "%a@." Table.pp et
+  end;
   List.iter
     (fun (f : Campaign.failure) ->
       Fmt.pr "  FAIL seed %d: %s (%s) minimized %d -> %d nodes in %d evals%s@."
@@ -2144,6 +2551,7 @@ let all () =
   table_scale ();
   table_optimal ();
   table_pipeline ();
+  table_cost ~jobs:1 ();
   table_trace_overhead ();
   table_compile_speed ();
   table_serve ();
@@ -2189,6 +2597,15 @@ let () =
     | Some [ o; n ], rest -> (Some (o, n), rest)
     | _, rest -> (None, rest)
   in
+  let attribute, args =
+    match peel "--attribute" 0 args with
+    | Some _, rest -> (true, rest)
+    | None, rest -> (false, rest)
+  in
+  if attribute && compare_spec = None then begin
+    Fmt.epr "--attribute only applies to --compare OLD NEW@.";
+    exit 2
+  end;
   let threshold, args =
     match peel "--threshold" 1 args with
     | Some [ p ], rest -> (
@@ -2264,7 +2681,7 @@ let () =
         (String.concat " " args);
       exit 2
     end;
-    exit (compare_artifacts ~threshold old_path new_path)
+    exit (compare_artifacts ~threshold ~attribute old_path new_path)
   | None -> ());
   (match args with
   | [] -> all ()
@@ -2284,6 +2701,7 @@ let () =
     | "optimal" -> table_optimal ()
     | "optimal-quick" -> table_optimal ~quick:true ()
     | "pipeline" -> table_pipeline ()
+    | "cost" -> table_cost ~jobs ()
     | "trace-overhead" -> table_trace_overhead ()
     | "compile-speed" -> table_compile_speed ()
     | "compile-speed-quick" -> table_compile_speed ~quick:true ()

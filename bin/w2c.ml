@@ -322,14 +322,77 @@ let render_arg =
                as one self-contained HTML file (inline SVG, no external \
                references).")
 
+(* The four cost outputs bundled into one term so each command adds a
+   single parameter. *)
+type cost_out = {
+  co_report : string option;  (** human report; "-" = stdout *)
+  co_json : string option;
+  co_folded : string option;
+  co_html : string option;
+}
+
+let cost_term =
+  let cost =
+    Arg.(value & opt ~vopt:(Some "-") (some string) None
+         & info [ "cost" ] ~docv:"FILE"
+             ~doc:"Count the compiler's deterministic work units — MRT \
+                   placement probes, Spath relaxations and frontier \
+                   insertions, ready-heap operations, exact-search \
+                   nodes by prune reason, dependence edges, \
+                   schedule-cache verification edge checks — \
+                   attributed per loop and compile phase, and print \
+                   the report to FILE (stdout when the flag has no \
+                   argument). Counts are pure functions of the \
+                   compilation: identical at any -j and on any \
+                   machine. Wall time and GC words appear in this \
+                   report only, never in the JSON or folded outputs.")
+  in
+  let cost_json =
+    Arg.(value & opt (some string) None
+         & info [ "cost-json" ] ~docv:"FILE"
+             ~doc:"Write the cost profile as a deterministic cost/1 \
+                   JSON artifact (byte-stable across runs and job \
+                   counts; no wall clock).")
+  in
+  let cost_folded =
+    Arg.(value & opt (some string) None
+         & info [ "cost-folded" ] ~docv:"FILE"
+             ~doc:"Write the cost profile as folded stacks \
+                   (loop;phase;counter value), one line per nonzero \
+                   cell — the input format of standard flame-graph \
+                   tooling.")
+  in
+  let cost_html =
+    Arg.(value & opt (some string) None
+         & info [ "cost-html" ] ~docv:"FILE"
+             ~doc:"Write a self-contained HTML flame graph and treemap \
+                   of the cost profile (inline SVG, no external \
+                   references).")
+  in
+  Term.(
+    const (fun co_report co_json co_folded co_html ->
+        { co_report; co_json; co_folded; co_html })
+    $ cost $ cost_json $ cost_folded $ cost_html)
+
+let cost_wanted c =
+  c.co_report <> None || c.co_json <> None || c.co_folded <> None
+  || c.co_html <> None
+
 (** Run the command body with tracing armed when requested, and dump
     trace/metrics/explain files afterwards — also on a structured
     failure, so a degraded compile still leaves its evidence behind. *)
+let no_cost =
+  { co_report = None; co_json = None; co_folded = None; co_html = None }
+
 let with_obs ~trace ~metrics ?(explain = None) ?(explain_json = None)
-    ?(render = None) f =
+    ?(render = None) ?(cost = no_cost) f =
   if trace <> None then Sp_obs.Trace.enable ();
   if explain <> None || explain_json <> None then Sp_obs.Explain.enable ();
   if render <> None then Sp_obs.Render.enable ();
+  if cost_wanted cost then Sp_obs.Cost.enable ();
+  (* the report-only wall/GC observation wraps the whole command body;
+     it never reaches the JSON/folded/flame artifacts *)
+  let f = if cost_wanted cost then fun () -> Sp_obs.Cost.observe f else f in
   Fun.protect
     ~finally:(fun () ->
       (match trace with
@@ -358,6 +421,38 @@ let with_obs ~trace ~metrics ?(explain = None) ?(explain_json = None)
         Sp_obs.Json.to_channel ~pretty:true oc (Sp_obs.Explain.to_json ());
         output_char oc '\n';
         close_out oc);
+      (if cost_wanted cost then begin
+         let prof = Sp_obs.Cost.snapshot () in
+         (match cost.co_report with
+         | None -> ()
+         | Some "-" -> print_string (Sp_obs.Cost.report prof)
+         | Some path ->
+           let oc = open_out path in
+           output_string oc (Sp_obs.Cost.report prof);
+           close_out oc);
+         (match cost.co_json with
+         | None -> ()
+         | Some path ->
+           let oc = open_out path in
+           Sp_obs.Json.to_channel ~pretty:true oc (Sp_obs.Cost.to_json prof);
+           output_char oc '\n';
+           close_out oc);
+         (match cost.co_folded with
+         | None -> ()
+         | Some path ->
+           let oc = open_out path in
+           output_string oc (Sp_obs.Cost.folded prof);
+           close_out oc);
+         match cost.co_html with
+         | None -> ()
+         | Some path ->
+           let oc = open_out path in
+           output_string oc
+             (Sp_obs.Render.flame_html ~title:"compile cost"
+                (Sp_obs.Cost.flame prof));
+           close_out oc
+       end);
+      Sp_obs.Cost.disable ();
       Sp_obs.Explain.disable ();
       Sp_obs.Render.disable ())
     f
@@ -427,8 +522,8 @@ let cmd_dot =
 
 let cmd_compile =
   let run m config validate inject unroll trace metrics explain explain_json
-      render profile file =
-    with_obs ~trace ~metrics ~explain ~explain_json ~render @@ fun () ->
+      render cost profile file =
+    with_obs ~trace ~metrics ~explain ~explain_json ~render ~cost @@ fun () ->
     let* () = arm_inject inject in
     Fun.protect ~finally:Sp_util.Fault.disarm @@ fun () ->
     let* p = or_msg (fun () -> load ~unroll file) in
@@ -458,12 +553,12 @@ let cmd_compile =
             (const run $ machine_arg $ config_term $ validate_arg
              $ inject_arg $ unroll_arg $ trace_arg $ metrics_arg
              $ explain_arg $ explain_json_arg $ render_arg
-             $ profile_arg $ file_arg))
+             $ cost_term $ profile_arg $ file_arg))
 
 let cmd_schedule =
-  let run m config inject trace metrics explain explain_json render profile
-      file =
-    with_obs ~trace ~metrics ~explain ~explain_json ~render @@ fun () ->
+  let run m config inject trace metrics explain explain_json render cost
+      profile file =
+    with_obs ~trace ~metrics ~explain ~explain_json ~render ~cost @@ fun () ->
     let* () = arm_inject inject in
     Fun.protect ~finally:Sp_util.Fault.disarm @@ fun () ->
     let* p = or_msg (fun () -> load file) in
@@ -485,7 +580,7 @@ let cmd_schedule =
     Term.(term_result
             (const run $ machine_arg $ config_term $ inject_arg $ trace_arg
              $ metrics_arg $ explain_arg $ explain_json_arg $ render_arg
-             $ profile_arg $ file_arg))
+             $ cost_term $ profile_arg $ file_arg))
 
 let cmd_run =
   let verify =
@@ -499,8 +594,8 @@ let cmd_run =
                  structured failure, not a crash).")
   in
   let run m config verify validate max_cycles inject unroll trace metrics
-      explain explain_json render profile file =
-    with_obs ~trace ~metrics ~explain ~explain_json ~render @@ fun () ->
+      explain explain_json render cost profile file =
+    with_obs ~trace ~metrics ~explain ~explain_json ~render ~cost @@ fun () ->
     let* () = arm_inject inject in
     Fun.protect ~finally:Sp_util.Fault.disarm @@ fun () ->
     let* p = or_msg (fun () -> load ~unroll file) in
@@ -556,7 +651,7 @@ let cmd_run =
             (const run $ machine_arg $ config_term $ verify $ validate_arg
              $ max_cycles $ inject_arg $ unroll_arg $ trace_arg
              $ metrics_arg $ explain_arg $ explain_json_arg $ render_arg
-             $ profile_arg $ file_arg))
+             $ cost_term $ profile_arg $ file_arg))
 
 let () =
   let doc = "software-pipelining compiler for a Warp-like VLIW cell" in

@@ -302,6 +302,10 @@ let cmd_serve =
           exit 1)
     in
     let service = Service.create ~cache_capacity:cache ~jobs ?log:log_oc () in
+    (* deterministic work counting feeds the status/dashboard cost
+       section; captures are per-request domain-local, so this costs
+       one branch per instrumented site on the compile path *)
+    Sp_obs.Cost.enable ();
     Fmt.epr "w2cd: serving on %s (cache=%d, jobs=%d)@." socket cache jobs;
     let rec accept_loop () =
       (match Unix.accept listen_fd with

@@ -170,6 +170,14 @@ for f in examples/saxpy.w2 examples/conv1d.w2; do
     echo "FAIL: $f: explain log differs between -j 1 and -j 8"
     exit 1
   }
+  # work-cost profiles count deterministic units, so they obey the
+  # same identity: a shard merge at any width reproduces -j 1 exactly
+  $W2C schedule "$f" -j 1 --cost-json "$OBS/cj1.json" >/dev/null
+  $W2C schedule "$f" -j 8 --cost-json "$OBS/cj8.json" >/dev/null
+  cmp -s "$OBS/cj1.json" "$OBS/cj8.json" || {
+    echo "FAIL: $f: cost profile differs between -j 1 and -j 8"
+    exit 1
+  }
 done
 echo "   -j determinism: ok"
 
@@ -212,6 +220,62 @@ if $BENCH --compare BENCH_pipeline.json "$OBS/pipe-bad.json" >/dev/null; then
   exit 1
 fi
 echo "   sentinel firing path: ok"
+
+echo "== cost accounting: --table cost byte-identical across job counts"
+$BENCH --table cost --emit-json "$OBS/cost1.json" >/dev/null
+$BENCH --table cost --jobs 8 --emit-json "$OBS/cost8.json" >/dev/null
+$JSONV "$OBS/cost1.json" \
+  artifacts/cost/schema=bench-cost/1 \
+  artifacts/cost/kernels/0/cost/schema=cost/1 \
+  artifacts/cost/kernels/0/cost/total \
+  artifacts/cost/totals/mrt.probes >/dev/null
+cmp -s "$OBS/cost1.json" "$OBS/cost8.json" || {
+  echo "FAIL: --table cost artifact differs between --jobs 1 and --jobs 8"
+  exit 1
+}
+# the artifact is pure work-unit counts: any wall-clock or GC field
+# leaking in would break cross-machine byte-stability
+if grep -qE '"(wall_ns|minor_words|seconds|elapsed|time_us)"' "$OBS/cost1.json"; then
+  echo "FAIL: cost artifact carries wall-clock or GC fields"
+  exit 1
+fi
+echo "   cost artifact: ok"
+
+echo "== regression attribution: doctored profile must name its cause"
+# raise loop 0's achieved II and resource bound in the first kernel:
+# the sentinel must flag the regression and --attribute must point at
+# the changed binding constraint
+awk '!r && /"res_mii": [0-9]+/ { sub(/"res_mii": [0-9]+/, "\"res_mii\": 99"); r=1 }
+     !a && /"achieved_ii": [0-9]+/ { sub(/"achieved_ii": [0-9]+/, "\"achieved_ii\": 99"); a=1 }
+     { print }' "$OBS/pipe.json" >"$OBS/pipe-attr.json"
+if $BENCH --compare "$OBS/pipe.json" "$OBS/pipe-attr.json" --attribute \
+  >"$OBS/attr.out"; then
+  echo "FAIL: attribution compare did not fire on a doctored profile"
+  exit 1
+fi
+grep -qE "res_mii rose [0-9]+ -> 99 \(binding" "$OBS/attr.out" || {
+  echo "FAIL: attribution did not name the changed binding constraint"
+  cat "$OBS/attr.out"
+  exit 1
+}
+# a clean pair must attribute nothing
+$BENCH --compare "$OBS/pipe.json" "$OBS/pipe.json" --attribute \
+  >"$OBS/attr-clean.out" || {
+  echo "FAIL: attribution compare rejected two identical artifacts"
+  exit 1
+}
+if grep -q "attribution:" "$OBS/attr-clean.out"; then
+  echo "FAIL: clean pair produced attribution lines"
+  exit 1
+fi
+# artifacts from different schema generations are rejected outright
+sed 's|"schema": "bench-pipeline/1"|"schema": "bench-pipeline/9"|' \
+  "$OBS/pipe.json" >"$OBS/pipe-schema.json"
+if $BENCH --compare "$OBS/pipe.json" "$OBS/pipe-schema.json" >/dev/null 2>&1; then
+  echo "FAIL: pipeline schema mismatch was not rejected"
+  exit 1
+fi
+echo "   attribution + schema gates: ok"
 
 echo "== campaign smoke: clean quick sweep, byte-stable artifact"
 $BENCH --table campaign-quick --emit-json "$OBS/camp1.json" >/dev/null || {
@@ -320,7 +384,7 @@ $BENCH --table slo --emit-json "$OBS/slo1.json" >/dev/null || {
 $BENCH --table slo --emit-json "$OBS/slo2.json" >/dev/null
 $JSONV "$OBS/slo1.json" schema_version \
   artifacts/slo/schema=bench-slo/1 \
-  artifacts/slo/status_schema=w2cd-status/1 \
+  artifacts/slo/status_schema=w2cd-status/2 \
   artifacts/slo/identical=true \
   artifacts/slo/error_budget_ok=true \
   artifacts/slo/trace_ok=true \
@@ -397,12 +461,15 @@ echo "== w2cd smoke: status, dashboard, traced request, request log"
 K=$(ls "$OBS"/kernels/*.w2 | wc -l | tr -d ' ')
 "$W2CD" status "$SOCK" >"$OBS/daemon-status.json"
 $JSONV "$OBS/daemon-status.json" \
-  schema=w2cd-status/1 \
+  schema=w2cd-status/2 \
   telemetry=true \
   "requests/compile=$((2 * K))" \
   error_budget/ok=true \
   series/latency_us/windows/0/count \
   series/occupancy/windows/0/count \
+  series/cost/windows/0/count \
+  cost/enabled=true \
+  "cost/compiles_measured=$((2 * K))" \
   cache/entries >/dev/null
 "$W2CD" dashboard "$SOCK" >"$OBS/dash.html"
 grep -q "<svg" "$OBS/dash.html" || {

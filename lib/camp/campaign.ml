@@ -67,6 +67,10 @@ type probe = {
   p_gaps : int list;         (** ii - mii per pipelined loop *)
   p_effs : float list;       (** mii/ii per pipelined loop *)
   p_code_size : int option;
+  p_cost_total : int;        (** deterministic work units for this seed *)
+  p_cost_phases : (string * int) list;
+      (** phase name -> work units, {!Sp_obs.Cost.all_phases} order,
+          nonzero only *)
 }
 
 (* "degraded: <msg>" counts as one bucket, not one per message *)
@@ -74,7 +78,24 @@ let status_tag st =
   let s = Compile.status_to_string st in
   match String.index_opt s ':' with Some i -> String.sub s 0 i | None -> s
 
-let probe_of_outcome seed (o : Oracle.outcome) : probe =
+let probe_of_outcome seed ~cost (o : Oracle.outcome) : probe =
+  let module Cost = Sp_obs.Cost in
+  let phase_totals =
+    (* per-phase work across every loop of this program's compiles *)
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun ((_, ph), cs) ->
+        let t = List.fold_left (fun a (_, n) -> a + n) 0 cs in
+        let k = Cost.phase_name ph in
+        Hashtbl.replace tbl k (t + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+      (Cost.cells cost);
+    List.filter_map
+      (fun ph ->
+        match Hashtbl.find_opt tbl (Cost.phase_name ph) with
+        | Some t when t > 0 -> Some (Cost.phase_name ph, t)
+        | _ -> None)
+      Cost.all_phases
+  in
   let statuses, gaps, effs, code_size =
     match o.Oracle.result with
     | None -> ([], [], [], None)
@@ -103,6 +124,8 @@ let probe_of_outcome seed (o : Oracle.outcome) : probe =
     p_gaps = gaps;
     p_effs = effs;
     p_code_size = code_size;
+    p_cost_total = Cost.total cost;
+    p_cost_phases = phase_totals;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -127,6 +150,14 @@ type summary = {
   gap : Histogram.t;                (** ii - mii over pipelined loops *)
   eff : Histogram.t;                (** mii/ii over pipelined loops *)
   csize : Histogram.t;              (** emitted code size per program *)
+  cost : Histogram.t;               (** work units per program *)
+  cost_by_phase : (string * Histogram.t) list;
+      (** per compile phase, the distribution of that phase's work
+          units over the population — fixed key set
+          ({!Sp_obs.Cost.all_phases} names), so merge is pointwise *)
+  expensive : (int * int) list;
+      (** the [expensive_n] most expensive programs as (seed, work
+          units), sorted units descending then seed ascending *)
   pass_rate : Sp_obs.Series.t;      (** pass indicator on the seed clock *)
   failures : failure list;          (** minimized, in seed order *)
   unminimized : int;                (** failures beyond the bank cap *)
@@ -135,6 +166,22 @@ type summary = {
 let gap_hist () = Histogram.create ~lo:0.0 ~width:1.0 ~buckets:16
 let eff_hist () = Histogram.create ~lo:0.0 ~width:0.05 ~buckets:21
 let csize_hist () = Histogram.create ~lo:0.0 ~width:50.0 ~buckets:40
+let cost_hist () = Histogram.create ~lo:0.0 ~width:2000.0 ~buckets:40
+let phase_hist () = Histogram.create ~lo:0.0 ~width:500.0 ~buckets:40
+let expensive_n = 10
+
+(* top-N by (units desc, seed asc): truncating the sorted union of two
+   top-N lists is the top-N of the union, so the merge stays
+   associative *)
+let merge_expensive a b =
+  let cmp (s1, t1) (s2, t2) =
+    if t1 <> t2 then compare t2 t1 else compare s1 s2
+  in
+  let rec take n = function
+    | x :: rest when n > 0 -> x :: take (n - 1) rest
+    | _ -> []
+  in
+  take expensive_n (List.sort_uniq cmp (a @ b))
 
 (* The seed is the logical clock: windows of 128 seeds localize a
    verdict-rate change, and 16384 retained seeds keep the standard
@@ -153,6 +200,12 @@ let empty_summary () =
     gap = gap_hist ();
     eff = eff_hist ();
     csize = csize_hist ();
+    cost = cost_hist ();
+    cost_by_phase =
+      List.map
+        (fun ph -> (Sp_obs.Cost.phase_name ph, phase_hist ()))
+        Sp_obs.Cost.all_phases;
+    expensive = [];
     pass_rate = pass_series ();
     failures = [];
     unminimized = 0;
@@ -170,6 +223,14 @@ let fold_probe (s : summary) (p : probe) : summary =
   List.iter (fun g -> Histogram.add s.gap (float_of_int g)) p.p_gaps;
   List.iter (Histogram.add s.eff) p.p_effs;
   Option.iter (fun c -> Histogram.add s.csize (float_of_int c)) p.p_code_size;
+  Histogram.add s.cost (float_of_int p.p_cost_total);
+  List.iter
+    (fun (name, h) ->
+      let units =
+        Option.value ~default:0 (List.assoc_opt name p.p_cost_phases)
+      in
+      Histogram.add h (float_of_int units))
+    s.cost_by_phase;
   Sp_obs.Series.add ~seq:p.p_seed s.pass_rate
     (if p.p_kind = Oracle.Pass then 1.0 else 0.0);
   {
@@ -179,6 +240,7 @@ let fold_probe (s : summary) (p : probe) : summary =
     verdicts = bump s.verdicts (Oracle.kind_to_string p.p_kind) 1;
     statuses =
       List.fold_left (fun acc tag -> bump acc tag 1) s.statuses p.p_statuses;
+    expensive = merge_expensive s.expensive [ (p.p_seed, p.p_cost_total) ];
   }
 
 (** Associative merge of shard summaries: a campaign over a range
@@ -193,6 +255,14 @@ let merge (a : summary) (b : summary) : summary =
     gap = Histogram.merge a.gap b.gap;
     eff = Histogram.merge a.eff b.eff;
     csize = Histogram.merge a.csize b.csize;
+    cost = Histogram.merge a.cost b.cost;
+    cost_by_phase =
+      List.map2
+        (fun (name, ha) (name', hb) ->
+          assert (name = name');
+          (name, Histogram.merge ha hb))
+        a.cost_by_phase b.cost_by_phase;
+    expensive = merge_expensive a.expensive b.expensive;
     pass_rate = Sp_obs.Series.merge a.pass_rate b.pass_rate;
     failures = a.failures @ b.failures;
     unminimized = a.unminimized + b.unminimized;
@@ -218,8 +288,14 @@ let with_trigger (mode : mode) f =
 
 let probe_seed (cfg : cfg) seed : probe =
   let src = Wgen.print (Wgen.generate ~seed) in
-  let o = with_trigger cfg.mode (fun () -> Oracle.run cfg.oracle src) in
-  probe_of_outcome seed o
+  (* the profile is a pure function of the seed (work counts, no
+     clocks), so the summary's cost views are jobs-invariant like
+     everything else folded from probes *)
+  let o, cost =
+    Sp_obs.Cost.collect (fun () ->
+        with_trigger cfg.mode (fun () -> Oracle.run cfg.oracle src))
+  in
+  probe_of_outcome seed ~cost o
 
 (* ------------------------------------------------------------------ *)
 (* Minimize + bank                                                     *)
@@ -284,7 +360,21 @@ let run ?(on_progress = fun _ -> ()) (cfg : cfg) : summary =
   (* global fault state makes armed runs single-domain only *)
   let jobs = match cfg.mode with Clean -> max 1 cfg.jobs | Inject _ -> 1 in
   let pool = Sp_util.Pool.create ~jobs in
-  Fun.protect ~finally:(fun () -> Sp_util.Pool.shutdown pool) @@ fun () ->
+  (* cost accounting on for the whole campaign (collected per seed in
+     [probe_seed]); restored to its prior state on exit *)
+  let cost_was_on = Sp_obs.Cost.enabled () in
+  if not cost_was_on then Sp_obs.Cost.enable ();
+  Fun.protect ~finally:(fun () ->
+      if not cost_was_on then Sp_obs.Cost.disable ();
+      (* shard-skew diagnostics: how many seeds each domain ran *)
+      Array.iteri
+        (fun i c ->
+          Sp_obs.Metrics.set
+            (Sp_obs.Metrics.gauge (Printf.sprintf "camp.pool.worker%d.tasks" i))
+            (float_of_int c))
+        (Sp_util.Pool.worker_counts pool);
+      Sp_util.Pool.shutdown pool)
+  @@ fun () ->
   let chunk = max 32 (4 * jobs) in
   let rec go acc next =
     if next > cfg.hi then acc
@@ -309,6 +399,8 @@ let run ?(on_progress = fun _ -> ()) (cfg : cfg) : summary =
                 p_gaps = [];
                 p_effs = [];
                 p_code_size = None;
+                p_cost_total = 0;
+                p_cost_phases = [];
               })
           seeds outcomes
       in

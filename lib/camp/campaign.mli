@@ -43,6 +43,17 @@ type summary = {
   gap : Sp_util.Histogram.t;       (** ii - mii over pipelined loops *)
   eff : Sp_util.Histogram.t;       (** mii/ii over pipelined loops *)
   csize : Sp_util.Histogram.t;     (** emitted code size per program *)
+  cost : Sp_util.Histogram.t;
+      (** deterministic {!Sp_obs.Cost} work units per program — counts,
+          not clocks, so the distribution is identical at any [jobs] *)
+  cost_by_phase : (string * Sp_util.Histogram.t) list;
+      (** per compile phase ({!Sp_obs.Cost.all_phases} names, fixed key
+          set), the distribution of that phase's work units over the
+          population; merged pointwise across shards *)
+  expensive : (int * int) list;
+      (** the top-10 most expensive programs as (seed, work units),
+          units descending then seed ascending — truncation of the
+          sorted union, so shard merges stay associative *)
   pass_rate : Sp_obs.Series.t;
       (** pass indicator per seed (1.0 pass / 0.0 fail) on the seed
           logical clock, windowed per {!Sp_obs.Series} — the artifact

@@ -854,6 +854,7 @@ let loop_analyze ctx (pre : prelude) : staged =
   let l_id = pre.pr_l_id in
   let units = pre.pr_units in
   if Sp_obs.Explain.enabled () then Sp_obs.Explain.set_loop l_id;
+  Sp_obs.Cost.set_loop l_id;
   Sp_util.Log.debug "loop%d: enter, %d units" l_id (Array.length units - 1);
   (* live-out test: used more often in the whole program than inside
      the loop's body region — both counts taken by the same AST walker
@@ -868,13 +869,15 @@ let loop_analyze ctx (pre : prelude) : staged =
   Sp_util.Log.debug "loop%d: building full ddg" l_id;
   let g_full =
     Sp_obs.Trace.span ~args:loop_args "compile.ddg" (fun () ->
-        Ddg.build ~mve:false units)
+        Sp_obs.Cost.with_phase Sp_obs.Cost.P_ddg (fun () ->
+            Ddg.build ~mve:false units))
   in
   Sp_util.Log.debug "loop%d: compacting (%d edges)" l_id
     (List.length g_full.Ddg.edges);
   let pl =
     Sp_obs.Trace.span ~args:loop_args "compile.compact" (fun () ->
-        Listsched.compact ctx.m g_full)
+        Sp_obs.Cost.with_phase Sp_obs.Cost.P_compact (fun () ->
+            Listsched.compact ctx.m g_full))
   in
   let seq_len = Listsched.restart_interval g_full pl in
   Sp_util.Log.debug "loop%d: seq_len=%d" l_id seq_len;
@@ -882,13 +885,16 @@ let loop_analyze ctx (pre : prelude) : staged =
   (* pipelining graph: carried deps on expandable variables removed *)
   let g_mve =
     Sp_obs.Trace.span ~args:loop_args "compile.ddg" (fun () ->
-        Ddg.build ~mve:(ctx.cfg.mve_mode <> Mve.Off) ~live_out units)
+        Sp_obs.Cost.with_phase Sp_obs.Cost.P_ddg (fun () ->
+            Ddg.build ~mve:(ctx.cfg.mve_mode <> Mve.Off) ~live_out units))
   in
   Sp_util.Log.debug "loop%d: analyzing" l_id;
   let analysis, mii =
     Sp_obs.Trace.span ~args:loop_args "compile.mii" (fun () ->
-        let analysis = Modsched.analyze ~s_max:seq_len g_mve in
-        (analysis, Mii.compute ctx.m units ~rec_mii:analysis.Modsched.a_rec_mii))
+        Sp_obs.Cost.with_phase Sp_obs.Cost.P_bounds (fun () ->
+            let analysis = Modsched.analyze ~s_max:seq_len g_mve in
+            ( analysis,
+              Mii.compute ctx.m units ~rec_mii:analysis.Modsched.a_rec_mii )))
   in
   let scc = analysis.Modsched.a_scc in
   Sp_util.Log.debug "loop%d: analysis done" l_id;
@@ -1004,7 +1010,9 @@ let loop_analyze ctx (pre : prelude) : staged =
           match ctx.cfg.cache with
           | Some c when not (Sp_obs.Explain.enabled ()) ->
             Some
-              (c.cache_probe ctx.m g_mve ~mii:mii.Mii.mii ~max_ii:(seq_len - 1))
+              (Sp_obs.Cost.with_phase Sp_obs.Cost.P_cache (fun () ->
+                   c.cache_probe ctx.m g_mve ~mii:mii.Mii.mii
+                     ~max_ii:(seq_len - 1)))
           | _ -> None
         in
         let commit = Option.map (fun p -> p.cp_commit) probe in
@@ -1022,9 +1030,10 @@ let loop_analyze ctx (pre : prelude) : staged =
             (seq_len - 1);
           match
             Sp_obs.Trace.span ~args:loop_args "compile.modsched" (fun () ->
-                Modsched.schedule_with_budget ~search:ctx.cfg.search ~analysis
-                  ?fuel:ctx.cfg.fuel ctx.m g_mve ~mii:mii.Mii.mii
-                  ~max_ii:(seq_len - 1))
+                Sp_obs.Cost.with_phase Sp_obs.Cost.P_search (fun () ->
+                    Modsched.schedule_with_budget ~search:ctx.cfg.search
+                      ~analysis ?fuel:ctx.cfg.fuel ctx.m g_mve ~mii:mii.Mii.mii
+                      ~max_ii:(seq_len - 1)))
           with
           | Modsched.No_interval stats ->
             (S_fail (Not_profitable, Some stats), None)
@@ -1044,7 +1053,8 @@ let loop_analyze ctx (pre : prelude) : staged =
                 let sched', c =
                   Sp_obs.Trace.span ~args:loop_args "compile.certify"
                     (fun () ->
-                      certify ctx.m g_mve ~analysis ~mii:mii.Mii.mii sched)
+                      Sp_obs.Cost.with_phase Sp_obs.Cost.P_certify (fun () ->
+                          certify ctx.m g_mve ~analysis ~mii:mii.Mii.mii sched))
                 in
                 Sp_util.Log.debug "loop%d: certificate: %s" l_id
                   (cert_to_string c);
@@ -1081,6 +1091,7 @@ let loop_finish ctx (pre : prelude) (sg : staged) : Sunit.t list =
   let has_scc = sg.sg_has_scc in
   let res_use = sg.sg_res_use in
   if Sp_obs.Explain.enabled () then Sp_obs.Explain.set_loop l_id;
+  Sp_obs.Cost.set_loop l_id;
   let loop_args () = [ ("loop", Sp_obs.Trace.I l_id) ] in
   (* ---- pipelining decision: expansion and validation --------------- *)
   let attempt =
@@ -1090,8 +1101,9 @@ let loop_finish ctx (pre : prelude) (sg : staged) : Sunit.t list =
       try
         let mve =
           Sp_obs.Trace.span ~args:loop_args "compile.mve" (fun () ->
-              Mve.compute ~mode:ctx.cfg.mve_mode ctx.m g_mve sched
-                ~supply:ctx.vregs)
+              Sp_obs.Cost.with_phase Sp_obs.Cost.P_mve (fun () ->
+                  Mve.compute ~mode:ctx.cfg.mve_mode ctx.m g_mve sched
+                    ~supply:ctx.vregs))
         in
         Sp_util.Log.debug "loop%d: mve u=%d" l_id mve.Mve.unroll;
         if sg.sg_has_inner_loop && mve.Mve.unroll > 1 then
@@ -1108,12 +1120,14 @@ let loop_finish ctx (pre : prelude) (sg : staged) : Sunit.t list =
           | _ -> (
             let pf =
               Sp_obs.Trace.span ~args:loop_args "compile.emit" (fun () ->
-                  Emit.pipe_frags units sched mve)
+                  Sp_obs.Cost.with_phase Sp_obs.Cost.P_emit (fun () ->
+                      Emit.pipe_frags units sched mve))
             in
             Sp_util.Log.debug "loop%d: frags built" l_id;
             match
               Sp_obs.Trace.span ~args:loop_args "compile.validate" (fun () ->
-                  validate_frags ctx units pf)
+                  Sp_obs.Cost.with_phase Sp_obs.Cost.P_validate (fun () ->
+                      validate_frags ctx units pf))
             with
             | Some msg -> Error (Degraded msg, Some stats)
             | None -> Ok (sched, mve, pf, stats, cert))
@@ -1420,6 +1434,7 @@ let loop_finish ctx (pre : prelude) (sg : staged) : Sunit.t list =
   in
   (* whatever is scheduled next belongs to the enclosing level *)
   if Sp_obs.Explain.enabled () then Sp_obs.Explain.set_loop (-1);
+  Sp_obs.Cost.set_loop (-1);
   List.map (Sunit.of_op ctx.m ~sid:0) [ pre.pr_one_op; init_op ]
   @ pre.pr_hoisted
   @ [ loop_unit ]
@@ -1454,14 +1469,23 @@ let flush_items ctx (items : item list) : Sunit.t list =
     List.concat_map (function Now us -> us | Later _ -> assert false) items
   | _ ->
     (* Each analysis task runs with captured observability (log lines,
-       trace events, explain events): the captures are re-emitted in
-       loop order below, so the buffers end up byte-identical to a
-       fully sequential run — whether the tasks ran on one domain or
-       many. *)
+       trace events, explain events, cost profile): the captures are
+       re-emitted in loop order below, so the buffers end up
+       byte-identical to a fully sequential run — whether the tasks ran
+       on one domain or many. An analysis that raises is captured as
+       [Error] so its partial observability survives: the merge loop
+       injects everything recorded up to and including the failing loop
+       before re-raising, leaving failed loops attributable instead of
+       blank. *)
     let task (pre : prelude) () =
       Sp_util.Log.with_local_capture (fun () ->
           Sp_obs.Trace.collect (fun () ->
-              Sp_obs.Explain.collect (fun () -> loop_analyze ctx pre)))
+              Sp_obs.Explain.collect (fun () ->
+                  Sp_obs.Cost.collect (fun () ->
+                      match loop_analyze ctx pre with
+                      | sg -> Ok sg
+                      | exception e ->
+                        Error (e, Printexc.get_raw_backtrace ())))))
     in
     let tasks = List.map (fun p -> task p) pendings in
     let staged =
@@ -1481,14 +1505,17 @@ let flush_items ctx (items : item list) : Sunit.t list =
     List.concat_map
       (function
         | Now us -> us
-        | Later pre ->
-          let ((sg, explain_evs), trace_evs), log_lines =
+        | Later pre -> (
+          let (((outcome, cost), explain_evs), trace_evs), log_lines =
             Hashtbl.find results pre.pr_l_id
           in
           Sp_util.Log.replay log_lines;
           Sp_obs.Trace.inject trace_evs;
           Sp_obs.Explain.inject explain_evs;
-          loop_finish ctx pre sg)
+          Sp_obs.Cost.inject cost;
+          match outcome with
+          | Ok sg -> loop_finish ctx pre sg
+          | Error (e, bt) -> Printexc.raise_with_backtrace e bt))
       items
 
 let rec items_of_region ctx ~depth (r : Region.t) : item list =
@@ -1548,12 +1575,19 @@ let program ?(config = default) (m : Machine.t) (p : Program.t) : result =
   let units = units_of_region ctx ~depth:0 p.Program.body in
   Sp_util.Log.debug "top: %d units" (List.length units);
   let arr = renumber units in
-  let g = Sp_obs.Trace.span "compile.ddg" (fun () -> Ddg.build ~mve:false arr) in
+  let g =
+    Sp_obs.Trace.span "compile.ddg" (fun () ->
+        Sp_obs.Cost.with_phase Sp_obs.Cost.P_ddg (fun () ->
+            Ddg.build ~mve:false arr))
+  in
   let pl =
-    Sp_obs.Trace.span "compile.compact" (fun () -> Listsched.compact ctx.m g)
+    Sp_obs.Trace.span "compile.compact" (fun () ->
+        Sp_obs.Cost.with_phase Sp_obs.Cost.P_compact (fun () ->
+            Listsched.compact ctx.m g))
   in
   let code =
     Sp_obs.Trace.span "compile.emit" @@ fun () ->
+    Sp_obs.Cost.with_phase Sp_obs.Cost.P_emit @@ fun () ->
     let frag, _ = Emit.seq_frag arr pl ~r_len:pl.Listsched.len in
     let asm = Sp_vliw.Prog.Asm.create () in
     Sp_util.Log.debug "top: emitting";

@@ -292,6 +292,8 @@ let build ?(mve = true) ?(live_out = fun (_ : Vreg.t) -> false)
       (fun (src, dst, omega) delay l -> { src; dst; delay; omega } :: l)
       acc []
   in
+  if Sp_obs.Cost.enabled () then
+    Sp_obs.Cost.add Sp_obs.Cost.Ddg_edge (List.length edges);
   let succs = Array.make n [] and preds = Array.make n [] in
   List.iter
     (fun e ->

@@ -59,6 +59,7 @@ let compact (m : Machine.t) (g : Ddg.t) : placement =
     heap.(b) <- t
   in
   let push i =
+    Sp_obs.Cost.incr Sp_obs.Cost.Heap_op;
     heap.(!hn) <- i;
     incr hn;
     let c = ref (!hn - 1) in
@@ -68,6 +69,7 @@ let compact (m : Machine.t) (g : Ddg.t) : placement =
     done
   in
   let pop () =
+    Sp_obs.Cost.incr Sp_obs.Cost.Heap_op;
     let top = heap.(0) in
     decr hn;
     heap.(0) <- heap.(!hn);

@@ -95,6 +95,7 @@ module Modulo = struct
      tentatively increments the live counters and undoes them before
      returning, which keeps the check O(|resv|) without a side table. *)
   let fits t ~at resv =
+    Sp_obs.Cost.incr Sp_obs.Cost.Mrt_probe;
     let undo added =
       List.iter (fun (slot, rid) -> unbump t slot rid) added
     in
@@ -216,6 +217,7 @@ module Linear = struct
     end
 
   let fits t ~at resv =
+    Sp_obs.Cost.incr Sp_obs.Cost.Mrt_probe;
     let undo added =
       List.iter (fun (slot, rid) -> unbump t slot rid) added
     in

@@ -63,6 +63,7 @@ let snapshot b = { a = Array.sub b.a 0 (2 * b.len); len = b.len }
     pair's constraint value [d - s*w] is linear in [s], so comparing at
     [s_min] and [s_max] decides the whole range. *)
 let insert ~s_min ~s_max b d w =
+  Sp_obs.Cost.incr Sp_obs.Cost.Spath_insert;
   let v1 = d - (s_min * w) and v2 = d - (s_max * w) in
   let dominated = ref false in
   let i = ref 0 in
@@ -181,6 +182,8 @@ let has_positive_cycle ~n ~edges ~s =
         end)
       edges
   done;
+  if Sp_obs.Cost.enabled () then
+    Sp_obs.Cost.add Sp_obs.Cost.Spath_relax (!sweeps * List.length edges);
   !changed
 
 (** The recurrence-constrained lower bound on the initiation interval

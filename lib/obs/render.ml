@@ -371,3 +371,160 @@ let dashboard (d : dash) : string =
   List.iter (fun g -> occupancy_grid buf g) d.d_grids;
   Buffer.add_string buf "</body></html>\n";
   Buffer.contents buf
+
+(* ---- flame graph / treemap ------------------------------------------ *)
+
+type flame_node = {
+  fn_name : string;
+  fn_self : int;
+  fn_children : flame_node list;
+}
+
+let rec flame_value n =
+  List.fold_left (fun acc c -> acc + flame_value c) n.fn_self n.fn_children
+
+let flame_depth roots =
+  let rec go d n =
+    List.fold_left (fun acc c -> max acc (go (d + 1) c)) d n.fn_children
+  in
+  List.fold_left (fun acc n -> max acc (go 1 n)) 0 roots
+
+(* Stable color per label: a tiny deterministic hash into the palette,
+   so the same phase/counter is the same hue in every render. *)
+let flame_color name =
+  let h = ref 0 in
+  String.iter (fun c -> h := ((!h * 31) + Char.code c) land 0xffffff) name;
+  palette.(!h mod Array.length palette)
+
+let frame_h = 20
+
+(* Classic icicle layout (roots on top), widths proportional to
+   subtree value; children laid out left-to-right in list order, so the
+   output is a pure function of the nodes. *)
+let svg_flame buf roots ~width =
+  let total = List.fold_left (fun a n -> a + flame_value n) 0 roots in
+  if total > 0 then begin
+    let depth = flame_depth roots in
+    let h = depth * (frame_h + 2) in
+    let scale = float_of_int width /. float_of_int total in
+    Printf.bprintf buf
+      "<svg width=\"%d\" height=\"%d\" role=\"img\" aria-label=\"flame \
+       graph\">\n"
+      width h;
+    let rec draw x y (n : flame_node) =
+      let v = flame_value n in
+      let w = float_of_int v *. scale in
+      if w >= 0.5 then begin
+        Printf.bprintf buf
+          "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\" \
+           fill=\"%s\" stroke=\"#fff\"><title>%s: %d (%.1f%%)</title>\
+           </rect>\n"
+          x y w frame_h (flame_color n.fn_name) (html_escape n.fn_name) v
+          (100. *. float_of_int v /. float_of_int total);
+        if w >= 40. then
+          Printf.bprintf buf
+            "<text x=\"%.1f\" y=\"%d\" font-size=\"10\" \
+             font-family=\"monospace\" fill=\"#222\">%s</text>\n"
+            (x +. 3.)
+            (y + 14)
+            (html_escape
+               (let max_chars = int_of_float (w /. 6.5) in
+                if String.length n.fn_name > max_chars then
+                  String.sub n.fn_name 0 (max max_chars 1)
+                else n.fn_name))
+      end;
+      let cx = ref x in
+      List.iter
+        (fun c ->
+          draw !cx (y + frame_h + 2) c;
+          cx := !cx +. (float_of_int (flame_value c) *. scale))
+        n.fn_children
+    in
+    let x = ref 0. in
+    List.iter
+      (fun n ->
+        draw !x 0 n;
+        x := !x +. (float_of_int (flame_value n) *. scale))
+      roots;
+    Buffer.add_string buf "</svg>\n"
+  end
+
+(* Slice-and-dice treemap over the top level (alternating split
+   direction per depth): simple, deterministic, and good enough to eye
+   the heavy loops. *)
+let svg_treemap buf roots ~width ~height =
+  let total = List.fold_left (fun a n -> a + flame_value n) 0 roots in
+  if total > 0 then begin
+    Printf.bprintf buf
+      "<svg width=\"%d\" height=\"%d\" role=\"img\" aria-label=\"cost \
+       treemap\">\n"
+      width height;
+    let rec tile x y w h horiz label nodes sum =
+      let pos = ref 0. in
+      List.iter
+        (fun n ->
+          let v = flame_value n in
+          if v > 0 then begin
+            let frac = float_of_int v /. float_of_int sum in
+            let name =
+              if label = "" then n.fn_name else label ^ ";" ^ n.fn_name
+            in
+            let nx, ny, nw, nh =
+              if horiz then (x +. (!pos *. w), y, frac *. w, h)
+              else (x, y +. (!pos *. h), w, frac *. h)
+            in
+            pos := !pos +. frac;
+            if n.fn_children = [] then begin
+              Printf.bprintf buf
+                "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+                 fill=\"%s\" stroke=\"#fff\"><title>%s: %d</title></rect>\n"
+                nx ny nw nh
+                (flame_color n.fn_name)
+                (html_escape name) v;
+              if nw >= 60. && nh >= 14. then
+                Printf.bprintf buf
+                  "<text x=\"%.1f\" y=\"%.1f\" font-size=\"9\" \
+                   font-family=\"monospace\" fill=\"#222\">%s</text>\n"
+                  (nx +. 2.) (ny +. 11.)
+                  (html_escape n.fn_name)
+            end
+            else begin
+              Printf.bprintf buf
+                "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+                 fill=\"none\" stroke=\"#888\"><title>%s: %d</title>\
+                 </rect>\n"
+                nx ny nw nh (html_escape name) v;
+              tile nx ny nw nh (not horiz) name n.fn_children v
+            end
+          end)
+        nodes
+    in
+    tile 0. 0. (float_of_int width) (float_of_int height) true "" roots total;
+    Buffer.add_string buf "</svg>\n"
+  end
+
+let flame_html ~title (roots : flame_node list) : string =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf
+    "<!DOCTYPE html>\n\
+     <html><head><meta charset=\"utf-8\">\n\
+     <title>%s</title>\n\
+     %s\n\
+     </head><body>\n\
+     <h1>%s</h1>\n"
+    (html_escape title) style (html_escape title);
+  let total = List.fold_left (fun a n -> a + flame_value n) 0 roots in
+  if total = 0 then
+    Buffer.add_string buf "<p class=\"meta\">no work recorded.</p>\n"
+  else begin
+    Printf.bprintf buf
+      "<p class=\"meta\">%d work units (deterministic counts — no wall \
+       clock).</p>\n"
+      total;
+    Buffer.add_string buf "<h3>flame view (loop &gt; phase &gt; counter)</h3>\n";
+    svg_flame buf roots ~width:960;
+    Buffer.add_string buf "<h3>treemap</h3>\n";
+    svg_treemap buf roots ~width:960 ~height:320
+  end;
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf

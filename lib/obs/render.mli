@@ -79,3 +79,24 @@ type dash = {
 }
 
 val dashboard : dash -> string
+
+(** {1 Flame graph / treemap}
+
+    Hierarchical cost views for {!Cost} profiles (or any weighted
+    tree). A node's value is its own {!fn_self} plus its children's;
+    layout is icicle-style (roots on top) with a slice-and-dice treemap
+    beneath. Deterministic: same nodes, same bytes — no wall clock, no
+    randomized layout. *)
+
+type flame_node = {
+  fn_name : string;
+  fn_self : int;                 (** work attributed to this node alone *)
+  fn_children : flame_node list;
+}
+
+val flame_value : flame_node -> int
+(** [fn_self] plus all descendants. *)
+
+val flame_html : title:string -> flame_node list -> string
+(** One self-contained HTML document (inline SVG, no external
+    references), like {!to_html}. *)

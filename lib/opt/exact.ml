@@ -290,6 +290,11 @@ let solve ?fuel (m : Machine.t) (g : Ddg.t) ~(scc : Scc.t)
     in
     let finish verdict spent =
       Sp_obs.Metrics.incr ~by:spent m_fuel;
+      if Sp_obs.Cost.enabled () then begin
+        Sp_obs.Cost.add Sp_obs.Cost.Exact_node !nodes_expanded;
+        Sp_obs.Cost.add Sp_obs.Cost.Exact_prune_window !pruned_window;
+        Sp_obs.Cost.add Sp_obs.Cost.Exact_prune_resource !pruned_resource
+      end;
       if Sp_obs.Explain.enabled () then
         Sp_obs.Explain.record
           (Sp_obs.Explain.Exact_probe

@@ -101,6 +101,8 @@ let reset t =
 (* ---- hit-side verification ----------------------------------------- *)
 
 let schedule_ok (m : Machine.t) (g : Ddg.t) ~s ~(times : int array) =
+  if Sp_obs.Cost.enabled () then
+    Sp_obs.Cost.add Sp_obs.Cost.Cache_verify_edge (List.length g.Ddg.edges);
   let units = g.Ddg.units in
   let n = Array.length units in
   s >= 1
@@ -227,7 +229,10 @@ let hook t : Compile.cache =
             let times =
               Array.init n (fun i -> e.en_times.(c.Fingerprint.perm.(i)))
             in
-            if Trace.span "cache.verify" (fun () -> schedule_ok m g ~s ~times)
+            if
+              Trace.span "cache.verify" (fun () ->
+                  Sp_obs.Cost.with_phase Sp_obs.Cost.P_cache (fun () ->
+                      schedule_ok m g ~s ~times))
             then begin
               note_hit t;
               Metrics.incr m_hit;

@@ -5,6 +5,7 @@ module Machine = Sp_machine.Machine
 module Pool = Sp_util.Pool
 module Fault = Sp_util.Fault
 module Json = Sp_obs.Json
+module Metrics = Sp_obs.Metrics
 module Trace = Sp_obs.Trace
 module Series = Sp_obs.Series
 module Render = Sp_obs.Render
@@ -185,6 +186,9 @@ type telemetry = {
   s_misses : Series.t;
   s_rejects : Series.t;
   s_evictions : Series.t;
+  s_cost : Series.t;
+      (** deterministic work units per compile ({!Sp_obs.Cost} profile
+          total) — recorded only while cost accounting is enabled *)
 }
 
 let telemetry_window = 32
@@ -207,6 +211,7 @@ let make_telemetry () =
     s_misses = mk ~lo:0. ~width:1. ~buckets:64;
     s_rejects = mk ~lo:0. ~width:1. ~buckets:64;
     s_evictions = mk ~lo:0. ~width:1. ~buckets:64;
+    s_cost = mk ~lo:0. ~width:1000. ~buckets:128;
   }
 
 (* ---- the engine ----------------------------------------------------- *)
@@ -262,7 +267,7 @@ let cache_fields t =
   ]
 
 let stats_schema = "w2cd-stats/2"
-let status_schema = "w2cd-status/1"
+let status_schema = "w2cd-status/2"
 let trace_schema = "w2cd-trace/1"
 let reqlog_schema = "w2cd-reqlog/1"
 
@@ -283,6 +288,22 @@ let error_budget_fields (te : telemetry) =
     ("ok", Json.Bool (te.n_err * 100 <= reqs));
   ]
 
+(* Per-worker executed-task counts: shard-skew diagnostics, mirrored
+   into Metrics gauges so a stats snapshot carries them too. *)
+let pool_fields t =
+  let counts = Pool.worker_counts t.pool in
+  Array.iteri
+    (fun i c ->
+      Metrics.set
+        (Metrics.gauge (Printf.sprintf "serve.pool.worker%d.tasks" i))
+        (float_of_int c))
+    counts;
+  [
+    ("jobs", Json.Int (Pool.jobs t.pool));
+    ( "worker_tasks",
+      Json.List (Array.to_list (Array.map (fun c -> Json.Int c) counts)) );
+  ]
+
 let status_json t =
   let base =
     [
@@ -292,7 +313,11 @@ let status_json t =
   in
   let body =
     match t.tele with
-    | None -> [ ("cache", Json.Obj (cache_fields t)) ]
+    | None ->
+      [
+        ("cache", Json.Obj (cache_fields t));
+        ("pool", Json.Obj (pool_fields t));
+      ]
     | Some te ->
       [
         ("uptime_requests", Json.Int te.seq);
@@ -316,8 +341,16 @@ let status_json t =
               ("cache_misses", Series.to_json te.s_misses);
               ("cache_rejects", Series.to_json te.s_rejects);
               ("cache_evictions", Series.to_json te.s_evictions);
+              ("cost", Series.to_json te.s_cost);
+            ] );
+        ( "cost",
+          Json.Obj
+            [
+              ("enabled", Json.Bool (Sp_obs.Cost.enabled ()));
+              ("compiles_measured", Json.Int (Series.count te.s_cost));
             ] );
         ("cache", Json.Obj (cache_fields t));
+        ("pool", Json.Obj (pool_fields t));
       ]
   in
   Json.to_string ~pretty:true (Json.Obj (base @ body))
@@ -408,6 +441,8 @@ let dashboard_html t =
               st_points = hit_rate_strip te };
             { Render.st_name = "failures (per window)";
               st_points = window_sums te.s_failures };
+            { Render.st_name = "compile cost, work units (window mean)";
+              st_points = window_means te.s_cost };
           ];
         d_grids =
           [ { Render.g_name = "cache occupancy"; g_filled = cs.Cache.entries;
@@ -479,6 +514,8 @@ type outcome = {
   o_fault : bool;
   o_trace : string option;
   o_spans : Trace.tree list option;
+  o_cost : float option;
+      (** compile work units, when cost accounting is enabled *)
 }
 
 let run_one t = function
@@ -506,21 +543,25 @@ let verb_of = function
    so a co-scheduled request can neither see nor corrupt it. *)
 let exec_one t rq =
   let t0 = Monotonic_clock.now () in
-  let resp, spans =
-    match rq with
-    | Compile { machine; inject; trace = Some _; source } ->
-      let res, events =
-        Trace.with_recording (fun () ->
-            Trace.span "request" (fun () ->
-                compile_exec t ~machine ~inject ~source))
-      in
-      let resp =
-        match res with
-        | Result.Ok r -> r
-        | Result.Error e -> Err (describe_exn e)
-      in
-      (resp, Some (Trace.tree_of_events events))
-    | rq -> (run_one t rq, None)
+  (* cost capture is domain-local ([Cost.collect]), so co-scheduled
+     requests on other pool domains cannot bleed work units into this
+     one; the profile total feeds the cost series per request *)
+  let (resp, spans), cost =
+    Sp_obs.Cost.collect (fun () ->
+        match rq with
+        | Compile { machine; inject; trace = Some _; source } ->
+          let res, events =
+            Trace.with_recording (fun () ->
+                Trace.span "request" (fun () ->
+                    compile_exec t ~machine ~inject ~source))
+          in
+          let resp =
+            match res with
+            | Result.Ok r -> r
+            | Result.Error e -> Err (describe_exn e)
+          in
+          (resp, Some (Trace.tree_of_events events))
+        | rq -> (run_one t rq, None))
   in
   let lat_ns = Int64.sub (Monotonic_clock.now ()) t0 in
   {
@@ -530,6 +571,11 @@ let exec_one t rq =
     o_fault = (match rq with Compile { inject = Some _; _ } -> true | _ -> false);
     o_trace = (match rq with Compile { trace; _ } -> trace | _ -> None);
     o_spans = spans;
+    o_cost =
+      (match rq with
+      | Compile _ when Sp_obs.Cost.enabled () ->
+        Some (float_of_int (Sp_obs.Cost.total cost))
+      | _ -> None);
   }
 
 (* The final response for a traced compile wraps the compile output in
@@ -598,6 +644,7 @@ let record t (te : telemetry) ~seq0 outs =
       Series.add ~seq te.s_lat_us out.o_lat_us;
       Series.add ~seq te.s_failures (if failed then 1. else 0.);
       Series.add ~seq te.s_faults (if out.o_fault then 1. else 0.);
+      Option.iter (fun c -> Series.add ~seq te.s_cost c) out.o_cost;
       log_line t ~seq out)
     outs;
   (match t.log with Some oc -> flush oc | None -> ())
@@ -647,6 +694,7 @@ let handle_batch t rqs =
                    o_fault = false;
                    o_trace = None;
                    o_spans = None;
+                   o_cost = None;
                  })
              rqs
     in

@@ -33,6 +33,10 @@ type t = {
   batch_done : Condition.t; (* a batch's remaining-count reached 0 *)
   queue : (unit -> unit) Queue.t;
   mutable stop : bool;
+  executed : int Atomic.t array;
+      (* tasks run per slot: 0 = the submitting domain, 1.. = workers.
+         Each slot is bumped only by its own domain; atomics make the
+         cross-domain reads of skew snapshots well-defined. *)
 }
 
 let locked t f =
@@ -42,13 +46,14 @@ let locked t f =
 (* Pop-and-run jobs until the queue is empty and (for workers) the pool
    is stopped. Runs with the mutex held between jobs; released while a
    job executes. *)
-let worker t =
+let worker t ~slot =
   Mutex.lock t.m;
   let rec loop () =
     match Queue.take_opt t.queue with
     | Some job ->
       Mutex.unlock t.m;
       job ();
+      Atomic.incr t.executed.(slot);
       Mutex.lock t.m;
       loop ()
     | None ->
@@ -71,12 +76,16 @@ let create ~jobs =
       batch_done = Condition.create ();
       queue = Queue.create ();
       stop = false;
+      executed = Array.init jobs (fun _ -> Atomic.make 0);
     }
   in
-  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t.domains <-
+    List.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () -> worker t ~slot:(i + 1)));
   t
 
 let jobs t = t.jobs
+let worker_counts t = Array.map Atomic.get t.executed
 
 let shutdown t =
   let ds =
@@ -106,8 +115,16 @@ let try_run (type a) t (fs : (unit -> a) list) :
   | [ f ] ->
     (* single-task batches — the compile service's common case of one
        request in flight — skip the queue and condvar round trip *)
-    [ wrap f ]
-  | fs when t.jobs <= 1 -> List.map wrap fs
+    let r = wrap f in
+    Atomic.incr t.executed.(0);
+    [ r ]
+  | fs when t.jobs <= 1 ->
+    List.map
+      (fun f ->
+        let r = wrap f in
+        Atomic.incr t.executed.(0);
+        r)
+      fs
   | fs -> begin
     let fs = Array.of_list fs in
     let n = Array.length fs in
@@ -137,6 +154,7 @@ let try_run (type a) t (fs : (unit -> a) list) :
         | Some job ->
           Mutex.unlock t.m;
           job ();
+          Atomic.incr t.executed.(0);
           Mutex.lock t.m;
           drain ()
         | None -> if !remaining > 0 then (Condition.wait t.batch_done t.m; drain ())

@@ -15,6 +15,14 @@ val create : jobs:int -> t
 val jobs : t -> int
 (** Width the pool was created with (after clamping to [>= 1]). *)
 
+val worker_counts : t -> int array
+(** Tasks executed so far per slot — index 0 is the submitting domain
+    (which works through each batch's queue too), indices 1.. the
+    spawned workers. Length {!jobs}. Drivers surface this through
+    [Sp_obs.Metrics] so shard skew shows up in status snapshots; the
+    counts themselves are diagnostics, not part of any deterministic
+    artifact. *)
+
 val run : t -> (unit -> 'a) list -> 'a list
 (** [run t tasks] executes every task (on the pool's domains plus the
     calling domain) and returns their results in submission order.

@@ -696,6 +696,120 @@ let prop_metrics_parallel_increments =
          produced sequentially *)
       Metrics.counter_value c - before = domains * n)
 
+(* ---- deterministic work-cost accounting ------------------------------ *)
+
+(** Arbitrary profiles assembled from single-cell rows: loops -1..3,
+    every phase and counter reachable, including duplicate cells (the
+    interesting merge case). *)
+let gen_cost_profile =
+  QCheck2.Gen.(
+    map
+      (fun cells ->
+        List.fold_left
+          (fun acc (l, (p, (c, n))) ->
+            Cost.merge acc
+              (Cost.row ~loop:l
+                 (List.nth Cost.all_phases p)
+                 [ (List.nth Cost.all_counters c, n) ]))
+          Cost.empty cells)
+      (small_list
+         (pair (int_range (-1) 3)
+            (pair
+               (int_range 0 (List.length Cost.all_phases - 1))
+               (pair
+                  (int_range 0 (List.length Cost.all_counters - 1))
+                  (int_range 0 50))))))
+
+let prop_cost_merge_laws =
+  (* the shard-merge contract the parallel driver and the campaign rely
+     on: any bracketing and any order of shard merges yields the same
+     profile, with the empty profile as identity and totals additive *)
+  QCheck2.Test.make ~name:"cost: merge associative, commutative, unital"
+    ~count:200
+    QCheck2.Gen.(triple gen_cost_profile gen_cost_profile gen_cost_profile)
+    (fun (a, b, c) ->
+      Cost.equal
+        (Cost.merge (Cost.merge a b) c)
+        (Cost.merge a (Cost.merge b c))
+      && Cost.equal (Cost.merge a b) (Cost.merge b a)
+      && Cost.equal a (Cost.merge a Cost.empty)
+      && Cost.equal a (Cost.merge Cost.empty a)
+      && Cost.total (Cost.merge a b) = Cost.total a + Cost.total b)
+
+(** The [-j 1 ≡ -j N] identity end to end: compiling the same program
+    sequentially and on an 8-domain pool records byte-identical cost
+    profiles (collect/inject in loop order + commutative merge). *)
+let test_cost_jobs_identity () =
+  let profile_of ~jobs p =
+    let was = Cost.enabled () in
+    if not was then Cost.enable ();
+    Fun.protect
+      ~finally:(fun () -> if not was then Cost.disable ())
+      (fun () ->
+        let (_ : C.result), prof =
+          Cost.collect (fun () ->
+              C.program
+                ~config:{ C.default with C.jobs }
+                Machine.warp p)
+        in
+        prof)
+  in
+  let check name p =
+    let p1 = profile_of ~jobs:1 p and p8 = profile_of ~jobs:8 p in
+    Alcotest.(check bool) (name ^ ": profile nonempty") false (Cost.is_empty p1);
+    Alcotest.(check bool) (name ^ ": -j1 = -j8") true (Cost.equal p1 p8);
+    Alcotest.(check string)
+      (name ^ ": identical artifacts")
+      (Json.to_string (Cost.to_json p1))
+      (Json.to_string (Cost.to_json p8));
+    Alcotest.(check string)
+      (name ^ ": identical folded stacks")
+      (Cost.folded p1) (Cost.folded p8)
+  in
+  List.iter
+    (fun k ->
+      check k.Sp_kernels.Kernel.name (Sp_kernels.Kernel.program k))
+    (List.filteri (fun i _ -> i < 5) Sp_kernels.Livermore.all);
+  (* random sibling-loop corpus — the shape the parallel driver batches *)
+  let specs =
+    List.init 6 (fun i ->
+        {
+          Gen.seed = 100 + i;
+          trip = 17;
+          n_stmts = 3;
+          use_if = i mod 2 = 0;
+          use_accum = true;
+          use_chan = false;
+          carried_store = i mod 3 = 0;
+          empty_body = false;
+          maxlat = false;
+        })
+  in
+  let p, _, _ = Gen.build_many specs in
+  check "gen corpus" p
+
+let cost_fixture =
+  List.fold_left Cost.merge Cost.empty
+    [
+      Cost.row ~loop:0 Cost.P_ddg [ (Cost.Ddg_edge, 12) ];
+      Cost.row ~loop:0 Cost.P_search
+        [ (Cost.Mrt_probe, 40); (Cost.Heap_op, 7) ];
+      Cost.row ~loop:1 Cost.P_bounds [ (Cost.Spath_relax, 25) ];
+      Cost.row ~loop:(-1) Cost.P_other [ (Cost.Heap_op, 3) ];
+    ]
+
+(** Golden-file check of the flame/treemap render: pure function of the
+    profile (stable colors from a label hash, no clocks), so the HTML
+    is byte-stable. Regenerate [golden/cost_flame.golden] by pasting
+    the new output when the format changes deliberately. *)
+let test_cost_flame_golden () =
+  let got = Render.flame_html ~title:"cost profile" (Cost.flame cost_fixture) in
+  let ic = open_in "golden/cost_flame.golden" in
+  let n = in_channel_length ic in
+  let expected = really_input_string ic n in
+  close_in ic;
+  Alcotest.(check string) "flame html" expected got
+
 let suite =
   [
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
@@ -724,7 +838,10 @@ let suite =
     Alcotest.test_case "series windows" `Quick test_series_windows;
     Alcotest.test_case "series shard merge" `Quick test_series_shard_merge;
     Alcotest.test_case "trace span tree" `Quick test_trace_tree;
+    Alcotest.test_case "cost jobs identity" `Quick test_cost_jobs_identity;
+    Alcotest.test_case "cost flame golden" `Quick test_cost_flame_golden;
     qt prop_series_merge_window;
     qt prop_utilization_sums;
     qt prop_metrics_parallel_increments;
+    qt prop_cost_merge_laws;
   ]
