@@ -7,7 +7,8 @@
       main.exe --table 4-1      one artifact (example, 4-1, 4-2,
                                 lower-bound, code-size, mve, hier,
                                 scale, search, unroll, optimal,
-                                optimal-quick, pipeline,
+                                optimal-quick, optimal-learning,
+                                optimal-learning-quick, pipeline,
                                 trace-overhead, compile-speed,
                                 compile-speed-quick, serve, slo,
                                 campaign, campaign-quick,
@@ -76,6 +77,12 @@ let emit name j =
         [ ("schema", Json.Str (artifact_schema name)); ("value", other) ]
   in
   artifacts := (name, j) :: !artifacts
+
+(** Gated-table failures must fail the invocation, but artifacts are
+    written at the very end of [main] — so gating tables (campaign,
+    E21) record the failure here and the driver exits with it after
+    [write_artifacts]. *)
+let exit_status = ref 0
 
 let json_of_table (t : Table.t) : Json.t =
   Json.Obj
@@ -725,25 +732,40 @@ end.|}
 (* E12: heuristic vs exact — the optimality gap                         *)
 (* ------------------------------------------------------------------ *)
 
+(* Per-loop total of one work counter in a collected profile. *)
+let loop_counter prof l c =
+  List.fold_left
+    (fun acc ((l', _), cs) ->
+      if l' = l then
+        acc
+        + List.fold_left (fun a (c', n) -> if c' = c then a + n else a) 0 cs
+      else acc)
+    0
+    (Sp_obs.Cost.cells prof)
+
 (** Measure the paper's Section 4.1 near-optimality claim directly:
     every pipelined loop's heuristic interval is certified against the
-    exact modulo scheduler ([Sp_opt]). [quick] caps the fuel and trims
-    the kernel list for CI. *)
-let table_optimal ?(quick = false) () =
+    exact modulo scheduler ([Sp_opt]), with the search's work counters
+    (nodes expanded, nogood-bank hits, backjumps) read off the
+    {!Sp_obs.Cost} profile — deterministic counts, so the table is
+    byte-identical at any [--jobs] width. [quick] caps the fuel and
+    trims the kernel list for CI. *)
+let table_optimal ?(quick = false) ~jobs () =
   section
     (if quick then
        "E12: optimality gap — heuristic II vs exact II (quick, budget-capped)"
      else "E12: optimality gap — heuristic II vs exact II (Livermore)");
   let fuel = if quick then 200_000 else Sp_opt.Certify.default_fuel in
   let config =
-    { C.default with C.certifier = Some (Sp_opt.Certify.hook ~fuel ()) }
+    { C.default with C.jobs; certifier = Some (Sp_opt.Certify.hook ~fuel ()) }
   in
   let t =
     Table.create
       ~headers:
         [ "kernel"; "loop"; "mii"; "heur II"; "exact II"; "certificate";
-          "search probes/fuel"; "cert fuel" ]
-      ~aligns:[ Table.L; R; R; R; R; L; R; R ]
+          "search probes/fuel"; "cert fuel"; "nodes"; "nogood hits";
+          "backjumps" ]
+      ~aligns:[ Table.L; R; R; R; R; L; R; R; R; R; R ]
   in
   let n_opt = ref 0 and n_imp = ref 0 and n_unk = ref 0 in
   let count_loop (lr : C.loop_report) =
@@ -753,7 +775,7 @@ let table_optimal ?(quick = false) () =
     | Some (C.Cert_unknown _) -> incr n_unk
     | None -> ()
   in
-  let loop_rows name (lr : C.loop_report) =
+  let loop_rows prof name (lr : C.loop_report) =
     match lr.C.ii with
     | None -> ()
     | Some ii ->
@@ -771,6 +793,7 @@ let table_optimal ?(quick = false) () =
             string_of_int spent )
         | None -> (ii, "-", "-", "-")
       in
+      let cnt c = string_of_int (loop_counter prof lr.C.l_id c) in
       Table.add_row t
         [
           name;
@@ -781,6 +804,9 @@ let table_optimal ?(quick = false) () =
           cert_s;
           Printf.sprintf "%d/%d" lr.C.probed lr.C.fuel_spent;
           cert_fuel;
+          cnt Sp_obs.Cost.Exact_node;
+          cnt Sp_obs.Cost.Exact_nogood_hit;
+          cnt Sp_obs.Cost.Exact_backjump;
         ]
   in
   let kernels =
@@ -789,10 +815,17 @@ let table_optimal ?(quick = false) () =
         Livermore.k12_first_diff ]
     else Livermore.all
   in
+  let cost_was = Sp_obs.Cost.enabled () in
+  if not cost_was then Sp_obs.Cost.enable ();
+  Fun.protect
+    ~finally:(fun () -> if not cost_was then Sp_obs.Cost.disable ())
+  @@ fun () ->
   List.iter
     (fun k ->
-      let m = Kernel.run ~config Machine.warp k in
-      List.iter (loop_rows (m.Kernel.kernel ^ check_tag m)) m.Kernel.loops)
+      let m, prof =
+        Sp_obs.Cost.collect (fun () -> Kernel.run ~config Machine.warp k)
+      in
+      List.iter (loop_rows prof (m.Kernel.kernel ^ check_tag m)) m.Kernel.loops)
     kernels;
   emit (if quick then "optimal_quick" else "optimal") (json_of_table t);
   Fmt.pr "%a" Table.pp t;
@@ -828,6 +861,184 @@ let table_optimal ?(quick = false) () =
       !p_pip !p_opt
       (100.0 *. float_of_int !p_opt /. float_of_int (max 1 !p_pip))
       !p_imp !p_unk
+  end
+
+(* ------------------------------------------------------------------ *)
+(* E21: conflict learning A/B over the generated population             *)
+(* ------------------------------------------------------------------ *)
+
+(** E21: the learning ablation. Every certified loop of the generated
+    population is solved three ways — chronological search (learning
+    off), conflict-learned search (learning on), and the 4-member
+    proof portfolio — and the table reports per-loop verdicts, nodes
+    expanded and certifier fuel for the A/B pair, plus the node
+    reduction factor. All numbers are deterministic work counts, so
+    the table and artifact are byte-identical at any [--jobs] width;
+    the portfolio column is a live cross-check (a mismatch against the
+    single-member verdict fails the invocation). [quick] trims the
+    population and caps the fuel for CI. *)
+let table_optimal_learning ?(quick = false) ~jobs () =
+  section
+    (if quick then
+       "E21: conflict learning A/B — population subset (quick, \
+        budget-capped)"
+     else "E21: conflict learning A/B — 72-program population");
+  let fuel = if quick then 200_000 else Sp_opt.Certify.default_fuel in
+  let entries =
+    if quick then
+      List.filteri (fun i _ -> i < 12) Sp_kernels.Suite.all
+    else Sp_kernels.Suite.all
+  in
+  let cert_desc (lr : C.loop_report) =
+    match lr.C.cert with
+    | Some (C.Cert_optimal _) ->
+      Printf.sprintf "optimal@%d" (Option.value ~default:(-1) lr.C.ii)
+    | Some (C.Cert_improved { heur_ii; _ }) ->
+      Printf.sprintf "improved:%d->%d" heur_ii
+        (Option.value ~default:(-1) lr.C.ii)
+    | Some (C.Cert_unknown { proven_below; _ }) ->
+      Printf.sprintf "unknown>=%d" proven_below
+    | None -> "-"
+  in
+  let cert_spent (lr : C.loop_report) =
+    match lr.C.cert with
+    | Some (C.Cert_optimal { spent })
+    | Some (C.Cert_improved { spent; _ })
+    | Some (C.Cert_unknown { spent; _ }) -> spent
+    | None -> 0
+  in
+  (* one full population pass under one solver configuration: per
+     certified loop, (name, loop, mii, cert tag, cert fuel, nodes,
+     nogood hits, backjumps) *)
+  let pass ~learn ~portfolio =
+    let config =
+      {
+        C.default with
+        C.jobs;
+        certifier = Some (Sp_opt.Certify.hook ~fuel ~learn ~portfolio ());
+      }
+    in
+    List.concat_map
+      (fun (e : Suite.entry) ->
+        let p = Kernel.program e.Suite.kernel in
+        let r, prof =
+          Sp_obs.Cost.collect (fun () -> C.program ~config Machine.warp p)
+        in
+        List.filter_map
+          (fun (lr : C.loop_report) ->
+            if lr.C.cert = None then None
+            else
+              Some
+                ( e.Suite.kernel.Kernel.name,
+                  lr.C.l_id,
+                  lr.C.mii,
+                  cert_desc lr,
+                  cert_spent lr,
+                  loop_counter prof lr.C.l_id Sp_obs.Cost.Exact_node,
+                  loop_counter prof lr.C.l_id Sp_obs.Cost.Exact_nogood_hit,
+                  loop_counter prof lr.C.l_id Sp_obs.Cost.Exact_backjump ))
+          r.C.loops)
+      entries
+  in
+  let cost_was = Sp_obs.Cost.enabled () in
+  if not cost_was then Sp_obs.Cost.enable ();
+  Fun.protect
+    ~finally:(fun () -> if not cost_was then Sp_obs.Cost.disable ())
+  @@ fun () ->
+  let off = pass ~learn:false ~portfolio:1 in
+  let on = pass ~learn:true ~portfolio:1 in
+  let p4 = pass ~learn:true ~portfolio:4 in
+  let t =
+    Table.create
+      ~headers:
+        [ "program"; "loop"; "mii"; "off: cert"; "off: nodes"; "off: fuel";
+          "on: cert"; "on: nodes"; "on: fuel"; "nogood hits"; "backjumps";
+          "node redn"; "p4: cert" ]
+      ~aligns:
+        [ Table.L; R; R; L; R; R; L; R; R; R; R; R; L ]
+  in
+  let undecided tag =
+    String.length tag >= 7 && String.sub tag 0 7 = "unknown"
+  in
+  let n = List.length on in
+  let proven tags =
+    List.length (List.filter (fun (_, _, _, c, _, _, _, _) -> not (undecided c)) tags)
+  in
+  let disagree = ref [] in
+  let reductions = ref [] in
+  List.iter2
+    (fun ((name, l, mii, c_off, f_off, n_off, _, _) as _row_off)
+         (name', l', _, c_on, f_on, n_on, hits, bj) ->
+      assert (name = name' && l = l');
+      let _, _, _, c_p4, _, _, _, _ =
+        List.find
+          (fun (nm, ll, _, _, _, _, _, _) -> nm = name && ll = l)
+          p4
+      in
+      (* the A/B searches must agree wherever both decide; the
+         portfolio must agree with the single member outright *)
+      if c_off <> c_on && (not (undecided c_off)) && not (undecided c_on)
+      then disagree := Printf.sprintf "%s.%d: off %s / on %s" name l c_off c_on :: !disagree;
+      if c_p4 <> c_on then
+        disagree :=
+          Printf.sprintf "%s.%d: portfolio-4 %s / portfolio-1 %s" name l c_p4
+            c_on
+          :: !disagree;
+      let redn = float_of_int n_off /. float_of_int (max 1 n_on) in
+      if undecided c_off && not (undecided c_on) then
+        reductions := redn :: !reductions;
+      Table.add_row t
+        [
+          name; string_of_int l; string_of_int mii;
+          c_off; string_of_int n_off; string_of_int f_off;
+          c_on; string_of_int n_on; string_of_int f_on;
+          string_of_int hits; string_of_int bj;
+          Printf.sprintf "%.1fx" redn;
+          c_p4;
+        ])
+    off on;
+  Fmt.pr "%a" Table.pp t;
+  (* median node reduction over the loops the chronological search
+     could not decide — the loops learning must rescue *)
+  let median =
+    match List.sort compare !reductions with
+    | [] -> None
+    | l -> Some (List.nth l (List.length l / 2))
+  in
+  Fmt.pr
+    "@.  certified loops: %d   decided without learning: %d   with \
+     learning: %d@."
+    n (proven off) (proven on);
+  (match median with
+  | Some m ->
+    Fmt.pr
+      "  median node reduction on previously-unproven loops: %.0fx (%d \
+       loop(s))@."
+      m (List.length !reductions)
+  | None -> Fmt.pr "  (no previously-unproven loops in this population)@.");
+  emit
+    (if quick then "optimal-learning-quick" else "optimal-learning")
+    (Json.Obj
+       [
+         ("table", json_of_table t);
+         ("loops", Json.Int n);
+         ("proven_off", Json.Int (proven off));
+         ("proven_on", Json.Int (proven on));
+         ( "median_reduction",
+           match median with Some m -> Json.Float m | None -> Json.Null );
+         ("disagreements", Json.Int (List.length !disagree));
+       ]);
+  List.iter (fun d -> Fmt.pr "  DISAGREE %s@." d) (List.rev !disagree);
+  if !disagree <> [] then begin
+    Fmt.pr "@.optimal-learning: solver configurations disagree@.";
+    exit_status := 1
+  end
+  else if (not quick) && proven on < n then begin
+    Fmt.pr
+      "@.optimal-learning: %d loop(s) undecided at default fuel with \
+       learning on@."
+      (n - proven on);
+    exit_status := 1
   end
 
 (* ------------------------------------------------------------------ *)
@@ -2317,11 +2528,6 @@ let compare_artifacts ~threshold ~attribute old_path new_path =
 
 module Campaign = Sp_camp.Campaign
 
-(** Campaign failures must fail the invocation, but artifacts are
-    written at the very end of [main] — so campaign tables record the
-    failure here and the driver exits with it after [write_artifacts]. *)
-let exit_status = ref 0
-
 let json_of_campaign (s : Campaign.summary) : Json.t =
   Json.Obj
     [
@@ -2487,7 +2693,12 @@ let table_campaign ?(quick = false) ~seeds ~bank ~jobs () =
 
 (** E17b: graceful-degradation sweep — every registered compiler fault
     site armed across the population; loops must fall back cleanly
-    (degradation is graceful here), anything worse fails. *)
+    (degradation is graceful here), anything worse fails. One site
+    inverts: [Sp_opt.Exact.nogood_site] corrupts the learned-nogood
+    bank silently instead of degrading, so its rows are expected to
+    read [opt-diverge] — the differential oracle {e catching} the
+    corruption. Zero detections across that site's rows means the
+    detector is broken, and fails the sweep. *)
 let table_campaign_sweep ~seeds ~bank ~jobs () =
   let lo, hi = match seeds with Some r -> r | None -> (1, 200) in
   Sp_util.Fault.disarm () (* the sweep arms every site itself *);
@@ -2496,12 +2707,15 @@ let table_campaign_sweep ~seeds ~bank ~jobs () =
     { Campaign.default with Campaign.lo; hi; jobs; bank_dir = bank }
   in
   let results = Campaign.sweep cfg in
+  let doctor = Sp_opt.Exact.nogood_site in
   let t =
     Table.create
-      ~headers:[ "armed site"; "programs"; "pass"; "degraded loops"; "failures" ]
-      ~aligns:[ Table.L; R; R; R; R ]
+      ~headers:
+        [ "armed site"; "programs"; "pass"; "degraded loops"; "detected";
+          "failures" ]
+      ~aligns:[ Table.L; R; R; R; R; R ]
   in
-  let bad = ref 0 in
+  let bad = ref 0 and detected = ref 0 in
   List.iter
     (fun ((site, k), (s : Campaign.summary)) ->
       let degraded =
@@ -2509,14 +2723,25 @@ let table_campaign_sweep ~seeds ~bank ~jobs () =
           (fun acc (tag, n) -> if tag = "degraded" then acc + n else acc)
           0 s.Campaign.statuses
       in
+      let diverged =
+        Option.value ~default:0
+          (List.assoc_opt "opt-diverge" s.Campaign.verdicts)
+      in
       let failures = Campaign.failure_count s in
+      (* on the doctoring site, opt-diverge verdicts are the expected
+         detection, not a failure of the compiler under fault *)
+      let failures =
+        if site = doctor then failures - diverged else failures
+      in
       bad := !bad + failures;
+      if site = doctor then detected := !detected + diverged;
       Table.add_row t
         [
           Fmt.str "%s@%d" site k;
           string_of_int s.Campaign.total;
           string_of_int s.Campaign.pass;
           string_of_int degraded;
+          (if site = doctor then string_of_int diverged else "-");
           string_of_int failures;
         ])
     results;
@@ -2527,12 +2752,24 @@ let table_campaign_sweep ~seeds ~bank ~jobs () =
           (fun ((site, k), s) ->
             (Fmt.str "%s@%d" site k, json_of_campaign s))
           results));
+  let swept_doctor = List.exists (fun ((site, _), _) -> site = doctor) results in
   if !bad > 0 then begin
     Fmt.pr "@.sweep: %d non-graceful failure(s)@." !bad;
     exit_status := 1
   end
+  else if swept_doctor && !detected = 0 then begin
+    Fmt.pr
+      "@.sweep: corrupted nogood bank (%s) was never detected by the \
+       opt-diverge oracle@."
+      doctor;
+    exit_status := 1
+  end
   else
-    Fmt.pr "@.sweep: OK — every armed site degraded gracefully@."
+    Fmt.pr
+      "@.sweep: OK — every armed site degraded gracefully%s@."
+      (if swept_doctor then
+         Fmt.str " (and %s was caught %d time(s))" doctor !detected
+       else "")
 
 (* ------------------------------------------------------------------ *)
 
@@ -2549,7 +2786,8 @@ let all () =
   table_unroll ();
   table_hier ();
   table_scale ();
-  table_optimal ();
+  table_optimal ~jobs:1 ();
+  table_optimal_learning ~jobs:1 ();
   table_pipeline ();
   table_cost ~jobs:1 ();
   table_trace_overhead ();
@@ -2698,8 +2936,10 @@ let () =
     | "scale" -> table_scale ()
     | "search" -> table_search ()
     | "unroll" -> table_unroll ()
-    | "optimal" -> table_optimal ()
-    | "optimal-quick" -> table_optimal ~quick:true ()
+    | "optimal" -> table_optimal ~jobs ()
+    | "optimal-quick" -> table_optimal ~quick:true ~jobs ()
+    | "optimal-learning" -> table_optimal_learning ~jobs ()
+    | "optimal-learning-quick" -> table_optimal_learning ~quick:true ~jobs ()
     | "pipeline" -> table_pipeline ()
     | "cost" -> table_cost ~jobs ()
     | "trace-overhead" -> table_trace_overhead ()

@@ -128,6 +128,15 @@ let config_term =
                  --opt exact); exhaustion yields an unknown \
                  certificate, never a failure. Default 2e6.")
   in
+  let opt_portfolio =
+    Arg.(value & opt int 1 & info [ "opt-portfolio" ] ~docv:"K"
+           ~doc:"Decide each certified interval with K exact-solver \
+                 configurations (distinct variable orders and seeds) \
+                 in parallel (with --opt exact). Every member runs to \
+                 completion, the lowest-indexed decisive one is \
+                 committed and all decisive members must agree — so \
+                 the output is byte-identical for any K.")
+  in
   let jobs =
     Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
            ~doc:"Compile independent innermost loops on N domains \
@@ -143,7 +152,7 @@ let config_term =
                  is byte-identical with and without the cache.")
   in
   let mk no_pipeline mve_mode search if_exclusive threshold fuel opt opt_fuel
-      jobs cache =
+      opt_portfolio jobs cache =
     let jobs =
       match jobs with
       | Some n when n >= 1 -> n
@@ -152,6 +161,11 @@ let config_term =
         exit 2
       | None -> Sp_util.Pool.default_jobs ()
     in
+    if opt_portfolio < 1 then begin
+      Printf.eprintf "w2c: --opt-portfolio must be >= 1 (got %d)\n%!"
+        opt_portfolio;
+      exit 2
+    end;
     {
       C.pipeline = not no_pipeline;
       mve_mode;
@@ -164,7 +178,9 @@ let config_term =
       certifier =
         (match opt with
         | `Heur -> None
-        | `Exact -> Some (Sp_opt.Certify.hook ?fuel:opt_fuel ()));
+        | `Exact ->
+          Some
+            (Sp_opt.Certify.hook ?fuel:opt_fuel ~portfolio:opt_portfolio ()));
       jobs;
       cache =
         (if cache > 0 then
@@ -173,7 +189,7 @@ let config_term =
     }
   in
   Term.(const mk $ no_pipeline $ mve $ search $ if_exclusive $ threshold
-        $ fuel $ opt $ opt_fuel $ jobs $ cache)
+        $ fuel $ opt $ opt_fuel $ opt_portfolio $ jobs $ cache)
 
 let inject_conv =
   let parse s =

@@ -69,6 +69,21 @@ done
 $W2C run --validate --verify --opt exact --opt-fuel 200000 \
   examples/conv1d.w2 >/dev/null
 
+echo "== portfolio smoke: --opt-portfolio keeps the certificate"
+out=$($W2C run --validate --opt exact --opt-fuel 200000 --opt-portfolio 4 \
+  examples/saxpy.w2)
+case "$out" in
+*"cert: optimal"*) ;;
+*)
+  echo "FAIL: portfolio certification lost the optimality certificate"
+  echo "$out"
+  exit 1
+  ;;
+esac
+expect_fail "portfolio width 0" \
+  dune exec --no-build bin/w2c.exe -- run --opt exact --opt-portfolio 0 \
+  examples/saxpy.w2
+
 echo "== observability smoke: --trace/--metrics/--profile artifacts validate"
 JSONV="dune exec --no-build devtools/jsonv.exe --"
 OBS=$(mktemp -d)
@@ -152,6 +167,29 @@ cmp -s "$OBS/a.json" "$OBS/b.json" || {
   exit 1
 }
 echo "   emit-json stability: ok"
+
+echo "== bench smoke: learning certifier agrees and is jobs-invariant"
+dune exec --no-build bench/main.exe -- --table optimal-learning-quick \
+  --emit-json "$OBS/ol1.json" >/dev/null || {
+  echo "FAIL: optimal-learning-quick found a solver disagreement"
+  dune exec --no-build bench/main.exe -- --table optimal-learning-quick || true
+  exit 1
+}
+dune exec --no-build bench/main.exe -- --table optimal-learning-quick \
+  --jobs 2 --emit-json "$OBS/ol2.json" >/dev/null
+dune exec --no-build bench/main.exe -- --table optimal-learning-quick \
+  --jobs 8 --emit-json "$OBS/ol8.json" >/dev/null
+$JSONV "$OBS/ol1.json" \
+  artifacts/optimal-learning-quick/schema=bench-optimal-learning-quick/1 \
+  artifacts/optimal-learning-quick/loops \
+  artifacts/optimal-learning-quick/proven_on \
+  artifacts/optimal-learning-quick/disagreements=0 >/dev/null
+if ! cmp -s "$OBS/ol1.json" "$OBS/ol2.json" ||
+  ! cmp -s "$OBS/ol1.json" "$OBS/ol8.json"; then
+  echo "FAIL: optimal-learning artifact differs across --jobs"
+  exit 1
+fi
+echo "   learning + portfolio jobs-invariance: ok"
 
 echo "== bench smoke: tracing disabled stays zero-cost"
 dune exec --no-build bench/main.exe -- --table trace-overhead >/dev/null
@@ -344,6 +382,31 @@ $W2C run --validate --verify "$banked" >/dev/null || {
   exit 1
 }
 echo "   inject -> minimize -> bank -> replay: ok"
+
+echo "== campaign sentinel: corrupted nogood bank must be caught"
+mkdir -p "$OBS/optbank"
+if $BENCH --table campaign --seeds 1..8 --inject exact.nogood@1 \
+  --bank "$OBS/optbank" >/dev/null 2>&1; then
+  echo "FAIL: campaign did not fire on a corrupted nogood bank"
+  exit 1
+fi
+obanked=$(ls "$OBS/optbank"/opt-diverge_s*.w2 2>/dev/null | head -1)
+test -n "$obanked" || {
+  echo "FAIL: campaign banked no minimized opt-diverge_s*.w2 regression"
+  ls -l "$OBS/optbank" || true
+  exit 1
+}
+grep -q -- "-- camp: inject=exact.nogood@1" "$obanked" || {
+  echo "FAIL: banked opt-diverge regression does not record its trigger"
+  cat "$obanked"
+  exit 1
+}
+# trigger-less the reproducer compiles and certifies clean
+$W2C run --validate --verify "$obanked" >/dev/null || {
+  echo "FAIL: banked regression $obanked does not run clean without the fault"
+  exit 1
+}
+echo "   corrupted bank -> opt-diverge -> minimize -> bank: ok"
 
 echo "== serve smoke: cached compile byte-identical, warm hits, stable artifact"
 $BENCH --table serve --emit-json "$OBS/sv1.json" >/dev/null || {

@@ -41,6 +41,9 @@ type cfg = {
   bank_dir : string option;    (** where minimized repros are banked *)
   bank_cap : int;              (** max failures minimized+banked per run *)
   minimize_budget : int;       (** oracle evaluations per minimization *)
+  opt_every : int;             (** run the learn-on/off exact-certifier
+                                   oracle on every [opt_every]-th seed
+                                   (0 = never) *)
 }
 
 let default =
@@ -53,6 +56,7 @@ let default =
     bank_dir = None;
     bank_cap = 25;
     minimize_budget = 400;
+    opt_every = 16;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -286,14 +290,29 @@ let with_trigger (mode : mode) f =
     Fault.arm ~site ~after:k;
     Fun.protect ~finally:Fault.disarm f
 
+(* The opt differential is too expensive for every seed, so it samples
+   the population by absolute seed value — shard-invariant, like the
+   rest of the summary. Under injection it runs exactly when the armed
+   site is the nogood doctoring site (then on {e every} seed: the
+   corrupted bank is what the check exists to catch; the oracle itself
+   skips the check under any other armed site). *)
+let opt_checked (cfg : cfg) seed =
+  match cfg.mode with
+  | Clean -> cfg.opt_every > 0 && seed mod cfg.opt_every = 0
+  | Inject (site, _) -> site = Sp_opt.Exact.nogood_site
+
 let probe_seed (cfg : cfg) seed : probe =
   let src = Wgen.print (Wgen.generate ~seed) in
+  let ocfg =
+    if opt_checked cfg seed then { cfg.oracle with Oracle.check_opt = true }
+    else cfg.oracle
+  in
   (* the profile is a pure function of the seed (work counts, no
      clocks), so the summary's cost views are jobs-invariant like
      everything else folded from probes *)
   let o, cost =
     Sp_obs.Cost.collect (fun () ->
-        with_trigger cfg.mode (fun () -> Oracle.run cfg.oracle src))
+        with_trigger cfg.mode (fun () -> Oracle.run ocfg src))
   in
   probe_of_outcome seed ~cost o
 
@@ -304,12 +323,14 @@ let probe_seed (cfg : cfg) seed : probe =
 let minimize_failure (cfg : cfg) (p : probe) : failure =
   let ast = Wgen.generate ~seed:p.p_seed in
   let target = p.p_kind in
-  (* the jobs and cache oracles only matter when that is what broke *)
+  (* the jobs, cache and opt oracles only matter when that is what
+     broke *)
   let ocfg =
     {
       cfg.oracle with
       Oracle.check_jobs = target = Oracle.Jobs_diverge;
       check_cache = target = Oracle.Cache_diverge;
+      check_opt = target = Oracle.Opt_diverge;
     }
   in
   let predicate c =
@@ -432,7 +453,12 @@ let run ?(on_progress = fun _ -> ()) (cfg : cfg) : summary =
     all-pass — with {!Oracle.degraded_ok} set, loops that fell back
     cleanly count as passes; anything else (crash, mismatch, invalid,
     hang) is a failure and gets minimized and banked like any other.
-    Returns per-[site@k] summaries in deterministic site order. *)
+    Exception: the nogood doctoring site {!Sp_opt.Exact.nogood_site}
+    corrupts silently rather than degrading, so for it the expected
+    reading inverts — the [opt-diverge] oracle (enabled on every seed
+    under that site, see {!probe_seed}) must catch the corruption at
+    least once, and the caller gates on that. Returns per-[site@k]
+    summaries in deterministic site order. *)
 let sweep ?(ks = [ 1; 2 ]) (cfg : cfg) : ((string * int) * summary) list =
   let sites =
     Fault.sites () |> List.filter (fun s -> s <> Oracle.site)

@@ -19,10 +19,18 @@ type cfg = {
   bank_dir : string option;  (** where minimized repros are banked *)
   bank_cap : int;            (** max failures minimized+banked per run *)
   minimize_budget : int;     (** oracle evaluations per minimization *)
+  opt_every : int;
+      (** run the budget-capped learn-on vs learn-off exact-certifier
+          oracle on every [opt_every]-th seed (by absolute seed value,
+          so sampling is shard-invariant; 0 = never). When the armed
+          injection site is {!Sp_opt.Exact.nogood_site} the check runs
+          on every seed instead — the corrupted bank is what it
+          detects. *)
 }
 
 val default : cfg
-(** seeds 1..10000, sequential, clean mode, no banking, cap 25. *)
+(** seeds 1..10000, sequential, clean mode, no banking, cap 25, opt
+    differential every 16th seed. *)
 
 type failure = {
   f_seed : int;
@@ -82,4 +90,8 @@ val sweep : ?ks:int list -> cfg -> ((string * int) * summary) list
 (** Arm every registered compiler fault site at each hit count in [ks]
     (default [1; 2]) across the whole seed range, sequentially, with
     degradation counted as graceful. Each armed population is expected
-    to read all-pass; anything worse is minimized and banked. *)
+    to read all-pass — except {!Sp_opt.Exact.nogood_site}, whose
+    silent bank corruption must instead be {e caught} by the
+    [opt-diverge] oracle (run on every seed under that site); the
+    caller inverts the gate for those rows. Anything else worse than
+    graceful degradation is minimized and banked. *)

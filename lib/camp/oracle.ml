@@ -26,6 +26,13 @@
       cache — cold (populating) then warm (reusing) — produced a
       fingerprint differing from the direct compile (cache reuse must
       be invisible in the artifacts);
+    - {!Opt_diverge}: certifying the program's loops with the exact
+      scheduler's conflict learning on vs. off produced different
+      per-loop optimality verdicts. Learning is pure pruning, so the
+      two searches must agree wherever both decide; a disagreement
+      means an unsound learned nogood (exactly what arming
+      ["exact.nogood"] fabricates). Budget-capped ({!opt_fuel});
+      [Unknown] on either side is incomparable, not a divergence;
     - {!Degraded}: a loop fell back after a caught internal error or
       exhausted its fuel budget. In a clean run this is a failure (no
       fault is armed, so nothing should degrade); under [--inject] it
@@ -48,6 +55,7 @@ type kind =
   | Ii_bound
   | Jobs_diverge
   | Cache_diverge
+  | Opt_diverge
   | Degraded
   | Hang
 
@@ -59,6 +67,7 @@ let kind_to_string = function
   | Ii_bound -> "ii-bound"
   | Jobs_diverge -> "jobs-diverge"
   | Cache_diverge -> "cache-diverge"
+  | Opt_diverge -> "opt-diverge"
   | Degraded -> "degraded"
   | Hang -> "hang"
 
@@ -70,13 +79,14 @@ let kind_of_string = function
   | "ii-bound" -> Some Ii_bound
   | "jobs-diverge" -> Some Jobs_diverge
   | "cache-diverge" -> Some Cache_diverge
+  | "opt-diverge" -> Some Opt_diverge
   | "degraded" -> Some Degraded
   | "hang" -> Some Hang
   | _ -> None
 
 let all_kinds =
   [ Pass; Crash; Invalid; Mismatch; Ii_bound; Jobs_diverge; Cache_diverge;
-    Degraded; Hang ]
+    Opt_diverge; Degraded; Hang ]
 
 type verdict = { kind : kind; detail : string }
 
@@ -86,6 +96,8 @@ type config = {
   max_cycles : int;        (** simulation cycle watchdog *)
   check_jobs : bool;       (** run the [-j 1] vs [-j 2] divergence oracle *)
   check_cache : bool;      (** run the cold/warm schedule-cache oracle *)
+  check_opt : bool;        (** run the learn-on vs learn-off exact-certifier
+                               oracle *)
   degraded_ok : bool;      (** fault-sweep mode: degradation is graceful,
                                not a failure *)
 }
@@ -97,8 +109,11 @@ let default =
     max_cycles = 200_000;
     check_jobs = true;
     check_cache = true;
+    check_opt = false;
     degraded_ok = false;
   }
+
+let opt_fuel = 200_000
 
 type outcome = {
   verdict : verdict;
@@ -158,6 +173,68 @@ let first_map f reports = List.find_map f reports
 
 let compile_config (cfg : config) ~jobs =
   { Compile.default with Compile.jobs; fuel = cfg.fuel }
+
+(* Per-loop optimality-certificate tags of one certified compile.
+   [Unknown] collapses to one tag: how far an infeasibility proof got
+   before the budget ran out is budget- and order-dependent, so only
+   decided verdicts are comparable. *)
+let cert_tags (r : Compile.result) : (int * string) list =
+  List.filter_map
+    (fun (lr : Compile.loop_report) ->
+      match lr.Compile.cert with
+      | None -> None
+      | Some c ->
+        let ii = Option.value ~default:(-1) lr.Compile.ii in
+        let tag =
+          match c with
+          | Compile.Cert_optimal _ -> Printf.sprintf "optimal@%d" ii
+          | Compile.Cert_improved { heur_ii; _ } ->
+            Printf.sprintf "improved:%d->%d" heur_ii ii
+          | Compile.Cert_unknown _ -> "unknown"
+        in
+        Some (lr.Compile.l_id, tag))
+    r.Compile.loops
+
+(* The learn-on vs learn-off differential: conflict learning is pure
+   pruning, so wherever both budget-capped certifications decide they
+   must agree per loop. Skipped when a fault other than the nogood
+   doctoring site is armed — the two extra compiles would consume that
+   fault's trigger count (same reason the jobs and cache checks skip);
+   the ["exact.nogood"] site itself only fires inside the learn-on
+   certifier, which is precisely the corruption this check must
+   detect. *)
+let opt_divergence (cfg : config) (src : string) : string option =
+  let skip =
+    (not cfg.check_opt)
+    ||
+    match Fault.armed_spec () with
+    | None -> false
+    | Some (site, _) -> site <> Sp_opt.Exact.nogood_site
+  in
+  if skip then None
+  else begin
+    let certified learn =
+      let config =
+        {
+          (compile_config cfg ~jobs:1) with
+          Compile.certifier = Some (Sp_opt.Certify.hook ~fuel:opt_fuel ~learn ());
+        }
+      in
+      cert_tags
+        (Compile.program ~config cfg.machine (Sp_lang.Lower.compile_source src))
+    in
+    let off = certified false in
+    let on = certified true in
+    if List.length off <> List.length on then
+      Some "learn-on and learn-off certified different loop sets"
+    else
+      List.find_map
+        (fun ((l, a), (_, b)) ->
+          if a <> b && a <> "unknown" && b <> "unknown" then
+            Some (Printf.sprintf "loop%d: learn-off %s, learn-on %s" l a b)
+          else None)
+        (List.combine off on)
+  end
 
 (** Run the full oracle on [src]. Never raises. *)
 let run (cfg : config) (src : string) : outcome =
@@ -245,12 +322,15 @@ let run (cfg : config) (src : string) : outcome =
                   fail Cache_diverge
                     "cached compile fingerprint differs from direct" (Some r)
                 else
-                  match
-                    if cfg.degraded_ok then None
-                    else first_map degradation r.Compile.loops
-                  with
-                  | Some reason -> fail Degraded reason (Some r)
-                  | None -> fail Pass "" (Some r)
+                  match opt_divergence cfg src with
+                  | Some reason -> fail Opt_diverge reason (Some r)
+                  | None -> (
+                    match
+                      if cfg.degraded_ok then None
+                      else first_map degradation r.Compile.loops
+                    with
+                    | Some reason -> fail Degraded reason (Some r)
+                    | None -> fail Pass "" (Some r))
               end
             end
         end)

@@ -14,6 +14,8 @@ type kind =
   | Jobs_diverge  (** [-j 1] vs [-j 2] fingerprints differ *)
   | Cache_diverge (** compiling through a shared schedule cache (cold
                       then warm) changed the output fingerprint *)
+  | Opt_diverge   (** certifying with conflict learning on vs. off
+                      produced different per-loop optimality verdicts *)
   | Degraded      (** a loop fell back (caught error / spent budget) *)
   | Hang          (** simulation exceeded the cycle watchdog *)
 
@@ -29,12 +31,21 @@ type config = {
   max_cycles : int;    (** simulation cycle watchdog *)
   check_jobs : bool;   (** run the [-j 1] vs [-j 2] divergence oracle *)
   check_cache : bool;  (** run the cold/warm schedule-cache oracle *)
+  check_opt : bool;    (** run the learn-on vs learn-off exact-certifier
+                           oracle (budget-capped; off by default — the
+                           campaign samples seeds) *)
   degraded_ok : bool;  (** fault-sweep mode: degradation is graceful *)
 }
 
 val default : config
 (** warp machine, unlimited fuel, 200k-cycle watchdog, jobs and cache
-    checks on, degradation counted as a failure. *)
+    checks on, opt check off, degradation counted as a failure. *)
+
+val opt_fuel : int
+(** Certifier budget per loop for the [check_opt] compiles — capped
+    well below {!Sp_opt.Certify.default_fuel} so a fuzzing campaign
+    stays fast; intervals left [Unknown] on either side are
+    incomparable and never diverge. *)
 
 type outcome = {
   verdict : verdict;

@@ -15,14 +15,17 @@ type counter =
   | Exact_node
   | Exact_prune_window
   | Exact_prune_resource
+  | Exact_nogood_hit
+  | Exact_backjump
   | Ddg_edge
   | Cache_verify_edge
 
 let all_counters =
   [ Mrt_probe; Spath_relax; Spath_insert; Heap_op; Exact_node;
-    Exact_prune_window; Exact_prune_resource; Ddg_edge; Cache_verify_edge ]
+    Exact_prune_window; Exact_prune_resource; Exact_nogood_hit;
+    Exact_backjump; Ddg_edge; Cache_verify_edge ]
 
-let n_counters = 9
+let n_counters = 11
 
 let counter_index = function
   | Mrt_probe -> 0
@@ -32,8 +35,10 @@ let counter_index = function
   | Exact_node -> 4
   | Exact_prune_window -> 5
   | Exact_prune_resource -> 6
-  | Ddg_edge -> 7
-  | Cache_verify_edge -> 8
+  | Exact_nogood_hit -> 7
+  | Exact_backjump -> 8
+  | Ddg_edge -> 9
+  | Cache_verify_edge -> 10
 
 let counter_name = function
   | Mrt_probe -> "mrt.probes"
@@ -43,6 +48,8 @@ let counter_name = function
   | Exact_node -> "exact.nodes"
   | Exact_prune_window -> "exact.pruned_window"
   | Exact_prune_resource -> "exact.pruned_resource"
+  | Exact_nogood_hit -> "exact.nogood_hits"
+  | Exact_backjump -> "exact.backjumps"
   | Ddg_edge -> "ddg.edges"
   | Cache_verify_edge -> "cache.verify_edges"
 
@@ -178,6 +185,9 @@ let set_phase p =
       refresh st
     end
   end
+
+let current_loop () = (state ()).loop
+let current_phase () = phase_of_index (state ()).phase
 
 let with_phase p f =
   if not !on then f ()

@@ -39,6 +39,9 @@ type counter =
   | Exact_node           (** branch-and-bound nodes expanded ([Exact]) *)
   | Exact_prune_window   (** exact-search prunes: emptied windows *)
   | Exact_prune_resource (** exact-search prunes: resource conflicts *)
+  | Exact_nogood_hit     (** exact-search candidates rejected by the
+                             learned-nogood bank *)
+  | Exact_backjump       (** exact-search non-chronological backtracks *)
   | Ddg_edge             (** dependence edges built/walked ([Ddg.build]) *)
   | Cache_verify_edge    (** schedule-cache hit-verification edge checks *)
 
@@ -85,6 +88,14 @@ val with_phase : phase -> (unit -> 'a) -> 'a
 (** Run [f] under {!set_phase}, restoring the previous phase on every
     exit path (so a degrading loop still attributes its partial counts
     to the right phase). When disabled this is just [f ()]. *)
+
+val current_loop : unit -> int
+(** The loop stamp of the active recording state ([-1] outside any
+    loop). Drivers that fan work out under {!collect} re-stamp the
+    fresh state with this so collected profiles stay attributed. *)
+
+val current_phase : unit -> phase
+(** The phase stamp of the active recording state. *)
 
 val add : counter -> int -> unit
 (** Count [n] units of work against the current (loop, phase) cell. *)

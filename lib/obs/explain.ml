@@ -44,6 +44,10 @@ type event =
       pruned_window : int;
       pruned_resource : int;
       nodes : int;
+      nogood_hits : int;
+      backjumps : int;
+      learned : int;
+      reused : int;
     }
   | Outcome of { status : string; ii : int option; cert : string option }
 
@@ -76,6 +80,11 @@ let set_loop l =
   match !(Domain.DLS.get local) with
   | Some { l_loop; _ } -> l_loop := l
   | None -> cur_loop := l
+
+let current_loop () =
+  match !(Domain.DLS.get local) with
+  | Some { l_loop; _ } -> !l_loop
+  | None -> !cur_loop
 
 let record e =
   if !on then
@@ -155,13 +164,19 @@ let json_of_event (e : event) : Json.t =
       [ ("unroll", Json.Int unroll); ("mode", Json.Str mode);
         ("binding_reg", Json.Str binding_reg);
         ("binding_q", Json.Int binding_q); ("fits", Json.Bool fits) ]
-  | Exact_probe { s; verdict; spent; pruned_window; pruned_resource; nodes } ->
+  | Exact_probe
+      { s; verdict; spent; pruned_window; pruned_resource; nodes;
+        nogood_hits; backjumps; learned; reused } ->
     k "exact-probe"
       [ ("s", Json.Int s); ("verdict", Json.Str verdict);
         ("spent", Json.Int spent);
         ("pruned_window", Json.Int pruned_window);
         ("pruned_resource", Json.Int pruned_resource);
-        ("nodes", Json.Int nodes) ]
+        ("nodes", Json.Int nodes);
+        ("nogood_hits", Json.Int nogood_hits);
+        ("backjumps", Json.Int backjumps);
+        ("learned", Json.Int learned);
+        ("reused", Json.Int reused) ]
   | Outcome { status; ii; cert } ->
     k "outcome"
       [ ("status", Json.Str status); ("ii", opt_int ii);
@@ -249,10 +264,14 @@ let pp_event ppf = function
       (if binding_reg = "" then ""
        else Printf.sprintf ", forced by %s (q=%d)" binding_reg binding_q)
       (if fits then "" else " — REGISTER OVERFLOW")
-  | Exact_probe { s; verdict; spent; pruned_window; pruned_resource; nodes } ->
+  | Exact_probe
+      { s; verdict; spent; pruned_window; pruned_resource; nodes;
+        nogood_hits; backjumps; learned; reused } ->
     Fmt.pf ppf
-      "exact: II %d %s (%d nodes, prunes: %d window / %d resource, %d fuel)"
-      s verdict nodes pruned_window pruned_resource spent
+      "exact: II %d %s (%d nodes, prunes: %d window / %d resource / %d \
+       nogood, %d backjumps, learned %d, reused %d, %d fuel)"
+      s verdict nodes pruned_window pruned_resource nogood_hits backjumps
+      learned reused spent
   | Outcome { status; ii; cert } ->
     Fmt.pf ppf "outcome: %s%s%s" status
       (match ii with

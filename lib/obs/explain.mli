@@ -70,6 +70,10 @@ type event =
       pruned_window : int;
       pruned_resource : int;
       nodes : int;
+      nogood_hits : int;  (** candidates rejected by the nogood bank *)
+      backjumps : int;    (** non-chronological backtracks *)
+      learned : int;      (** nogoods recorded by this solve *)
+      reused : int;       (** nogoods carried in from a prior interval *)
     }
   | Outcome of { status : string; ii : int option; cert : string option }
 
@@ -85,6 +89,11 @@ val clear : unit -> unit
 val set_loop : int -> unit
 (** Stamp subsequent events with this loop id ([-1] = outside any
     loop). Set by the compiler driver at each loop reduction. *)
+
+val current_loop : unit -> int
+(** The active loop stamp. Drivers that fan work out under {!collect}
+    re-stamp the fresh buffer with this so collected events stay
+    attributed to the right loop. *)
 
 val record : event -> unit
 (** Append an event under the current loop stamp; no-op when disabled.

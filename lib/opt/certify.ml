@@ -15,16 +15,43 @@
     - {!Unknown} when the fuel budget runs out, recording how far the
       infeasibility proof got.
 
+    {2 Incremental re-solve}
+
+    The scan carries a learned-nogood bank from interval to interval:
+    before each new interval the bank is {!Nogood.carry}'d — primitive
+    nogoods (window, resource, cycle) are re-validated against the new
+    interval from their certificates and survive when the recorded
+    violation recurs; derived nogoods are dropped. The next solve
+    starts with the survivors instead of rediscovering them.
+
+    {2 Proof portfolio}
+
+    With [portfolio = K > 1], each interval is decided by K solver
+    configurations — distinct variable orders and residue-rotation
+    seeds, each with its own carried bank — run on a {!Sp_util.Pool}.
+    Determinization: {e every} member runs to completion (no racing
+    cancellation), the lowest-indexed decisive member is committed,
+    and all decisive members must agree on feasibility — a
+    disagreement means a solver soundness bug and raises. Because the
+    commit rule is a pure function of the member results, the outcome
+    is byte-identical whatever the pool width or machine load; when a
+    fault injection is armed the members run sequentially on the
+    calling domain so global hit counters stay deterministic.
+
     Every schedule handed back is re-verified here against the raw
     dependence, resource, and wrap constraints before anyone builds on
     it — the certifier must never be able to make the compiler emit a
     worse-than-checked kernel. *)
 
 module Ddg = Sp_core.Ddg
+module Scc = Sp_core.Scc
+module Spath = Sp_core.Spath
 module Mrt = Sp_core.Mrt
 module Sunit = Sp_core.Sunit
 module Modsched = Sp_core.Modsched
 module Machine = Sp_machine.Machine
+module Pool = Sp_util.Pool
+module Fault = Sp_util.Fault
 
 type certificate =
   | Optimal
@@ -62,37 +89,149 @@ let check_schedule (m : Machine.t) (g : Ddg.t) (sched : Modsched.schedule) =
         failwith "Sp_opt.Certify: wrap window violated")
     g.Ddg.units
 
-let run ?(fuel = default_fuel) ?analysis (m : Machine.t) (g : Ddg.t) ~mii ~ii :
-    outcome =
+(* Portfolio member i: variable orders cycle through the three
+   implemented ones; the seed (residue-rotation offset) is the member
+   index, so even same-order members explore distinct trajectories. *)
+let member_config ~learn i =
+  let order =
+    match i mod 3 with
+    | 0 -> Exact.O_program
+    | 1 -> Exact.O_most_constrained
+    | _ -> Exact.O_busiest
+  in
+  { Exact.learn; order; seed = i }
+
+(* Re-validation context for carrying a bank to interval [s]: window
+   bounds from the symbolic closure, resource limits from the machine. *)
+let carry_ctx (m : Machine.t) (g : Ddg.t) (a : Modsched.analysis) ~s :
+    Nogood.ctx =
+  let scc = a.Modsched.a_scc in
+  let n = Array.length g.Ddg.units in
+  let local_of = Array.make n 0 in
+  Array.iter
+    (fun members -> List.iteri (fun k v -> local_of.(v) <- k) members)
+    scc.Scc.comps;
+  let window ~u ~v =
+    let c = scc.Scc.comp_of.(u) in
+    if scc.Scc.comp_of.(v) <> c then None
+    else
+      match a.Modsched.a_spaths.(c) with
+      | None -> None
+      | Some sp when s < sp.Spath.s_min || s > sp.Spath.s_max -> None
+      | Some sp -> (
+        match
+          ( Spath.query sp ~s local_of.(u) local_of.(v),
+            Spath.query sp ~s local_of.(v) local_of.(u) )
+        with
+        | Some lo, Some neg_up -> Some (lo, -neg_up)
+        | _ -> None)
+  in
+  {
+    Nogood.units = g.Ddg.units;
+    limit = (fun rid -> (Machine.resource m rid).Machine.count);
+    window;
+  }
+
+let run ?(fuel = default_fuel) ?analysis ?(learn = true) ?(portfolio = 1)
+    (m : Machine.t) (g : Ddg.t) ~mii ~ii : outcome =
   let a =
     match analysis with
     | Some a -> a
     | None -> Modsched.analyze ~s_max:(max 1 (max mii ii)) g
   in
   let lo = max 1 (max mii a.Modsched.a_rec_mii) in
-  let rec go s ~spent ~intervals =
-    if s >= ii then { cert = Optimal; spent; intervals }
-    else
-      let r =
-        Exact.solve ~fuel:(fuel - spent) m g ~scc:a.Modsched.a_scc
-          ~spaths:a.Modsched.a_spaths ~s
-      in
-      let spent = spent + r.Exact.spent and intervals = intervals + 1 in
-      match r.Exact.verdict with
-      | Exact.Infeasible -> go (s + 1) ~spent ~intervals
-      | Exact.Out_of_budget ->
-        { cert = Unknown { proven_below = s }; spent; intervals }
-      | Exact.Feasible times ->
-        let sched = Modsched.mk_schedule g.Ddg.units ~s times in
-        check_schedule m g sched;
-        { cert = Improved sched; spent; intervals }
+  let k = max 1 portfolio in
+  let members = List.init k (member_config ~learn) in
+  let banks =
+    List.map (fun _ -> if learn then Some (Nogood.create ()) else None) members
   in
-  go lo ~spent:0 ~intervals:0
+  let solve_member ~fuel ~s (cfg, bank) =
+    Exact.solve ~fuel ~config:cfg ?bank m g ~scc:a.Modsched.a_scc
+      ~spaths:a.Modsched.a_spaths ~s
+  in
+  (* one interval, all members, deterministic commit *)
+  let decide pool ~fuel ~s : Exact.result =
+    (* carry each member's bank to this interval first: primitive
+       nogoods are only consulted at an interval their certificate was
+       re-validated against *)
+    let ctx = carry_ctx m g a ~s in
+    List.iter
+      (function Some b -> ignore (Nogood.carry b ctx ~s) | None -> ())
+      banks;
+    match (members, banks) with
+    | [ cfg ], [ bank ] -> solve_member ~fuel ~s (cfg, bank)
+    | _ ->
+      let loop = Sp_obs.Explain.current_loop () in
+      let cost_loop = Sp_obs.Cost.current_loop () in
+      let cost_phase = Sp_obs.Cost.current_phase () in
+      let task mb () =
+        (* collected state starts unstamped: restore the caller's
+           attribution so the committed member's work lands on the
+           right (loop, phase) cells *)
+        Sp_obs.Cost.collect (fun () ->
+            Sp_obs.Cost.set_loop cost_loop;
+            Sp_obs.Cost.set_phase cost_phase;
+            Sp_obs.Explain.collect (fun () ->
+                Sp_obs.Explain.set_loop loop;
+                solve_member ~fuel ~s mb))
+      in
+      let tasks = List.map task (List.combine members banks) in
+      let results =
+        match pool with
+        | Some p when not (Fault.is_armed ()) -> Pool.run p tasks
+        | _ -> List.map (fun t -> t ()) tasks
+      in
+      let decisive =
+        List.filter
+          (fun ((r, _), _) -> r.Exact.verdict <> Exact.Out_of_budget)
+          results
+      in
+      (* soundness cross-check: every decisive member must agree on
+         feasibility (schedules may differ; verdict kind may not) *)
+      (match decisive with
+      | ((first, _), _) :: rest ->
+        let feas (r : Exact.result) =
+          match r.Exact.verdict with Exact.Feasible _ -> true | _ -> false
+        in
+        List.iter
+          (fun ((r, _), _) ->
+            if feas r <> feas first then
+              failwith
+                (Printf.sprintf
+                   "Sp_opt.Certify: portfolio members disagree at II %d" s))
+          rest
+      | [] -> ());
+      let (committed, events), profile =
+        match decisive with d :: _ -> d | [] -> List.hd results
+      in
+      Sp_obs.Cost.inject profile;
+      Sp_obs.Explain.inject events;
+      committed
+  in
+  let scan pool =
+    let rec go s ~spent ~intervals =
+      if s >= ii then { cert = Optimal; spent; intervals }
+      else
+        let r = decide pool ~fuel:(fuel - spent) ~s in
+        let spent = spent + r.Exact.spent and intervals = intervals + 1 in
+        match r.Exact.verdict with
+        | Exact.Infeasible -> go (s + 1) ~spent ~intervals
+        | Exact.Out_of_budget ->
+          { cert = Unknown { proven_below = s }; spent; intervals }
+        | Exact.Feasible times ->
+          let sched = Modsched.mk_schedule g.Ddg.units ~s times in
+          check_schedule m g sched;
+          { cert = Improved sched; spent; intervals }
+    in
+    go lo ~spent:0 ~intervals:0
+  in
+  if k = 1 || Fault.is_armed () then scan None
+  else Pool.with_pool ~jobs:k (fun p -> scan (Some p))
 
-let hook ?fuel () : Sp_core.Compile.certifier =
+let hook ?fuel ?learn ?portfolio () : Sp_core.Compile.certifier =
  fun m g ~analysis ~mii heur ->
   let module C = Sp_core.Compile in
-  let o = run ?fuel ~analysis m g ~mii ~ii:heur.Modsched.s in
+  let o = run ?fuel ~analysis ?learn ?portfolio m g ~mii ~ii:heur.Modsched.s in
   match o.cert with
   | Optimal -> (heur, C.Cert_optimal { spent = o.spent })
   | Improved sched ->

@@ -1,7 +1,10 @@
 (** Optimality certification of heuristic modulo schedules: an upward
     scan of candidate intervals, each decided exactly by
     {!Exact.solve}, measuring the paper's Section 4.1 near-optimality
-    claim per loop. *)
+    claim per loop. The scan is {e incremental} — a learned-nogood
+    bank is carried (re-validated) from interval to interval — and can
+    run a deterministic {e proof portfolio} of solver configurations
+    per interval. *)
 
 type certificate =
   | Optimal
@@ -24,6 +27,8 @@ val default_fuel : int
 val run :
   ?fuel:int ->
   ?analysis:Sp_core.Modsched.analysis ->
+  ?learn:bool ->
+  ?portfolio:int ->
   Sp_machine.Machine.t ->
   Sp_core.Ddg.t ->
   mii:int ->
@@ -32,12 +37,29 @@ val run :
 (** [run m g ~mii ~ii] certifies a heuristic schedule at interval [ii]
     against the lower bound [mii], scanning [max mii rec_mii .. ii - 1]
     upward (first feasible interval is the optimum — exact feasibility
-    is not monotonic, so no binary search). Any schedule returned in
-    {!Improved} has been re-verified against the raw dependence,
-    resource, and wrap constraints. Deterministic under a fixed
-    budget. *)
+    is not monotonic, so no binary search).
 
-val hook : ?fuel:int -> unit -> Sp_core.Compile.certifier
+    [learn] (default true) enables conflict learning; each member's
+    nogood bank is {!Nogood.carry}'d across the scan, so later
+    intervals start from the survivors of earlier proofs.
+
+    [portfolio] (default 1) decides each interval with that many
+    solver configurations — distinct variable orders and seeds — on a
+    {!Sp_util.Pool}. Every member runs to completion; the
+    lowest-indexed decisive member is committed and all decisive
+    members must agree on feasibility (a disagreement raises — it
+    would mean a solver soundness bug). The outcome is a pure function
+    of the member results, hence byte-identical at any pool width;
+    when a fault injection is armed the members run sequentially so
+    global hit counters stay deterministic.
+
+    Any schedule returned in {!Improved} has been re-verified against
+    the raw dependence, resource, and wrap constraints. Deterministic
+    under a fixed budget and configuration. *)
+
+val hook :
+  ?fuel:int -> ?learn:bool -> ?portfolio:int -> unit ->
+  Sp_core.Compile.certifier
 (** Package {!run} as a {!Sp_core.Compile.certifier}, so improved
     schedules flow through the ordinary modulo variable expansion,
     emission, and validation path of the compiler. *)

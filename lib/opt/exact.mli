@@ -1,9 +1,19 @@
 (** Exact modulo schedulability at a fixed initiation interval [s],
-    decided by branch and bound over the finite space of issue-time
-    residues modulo [s] (see the implementation header for the
-    encoding and its equivalence argument). No external solver. *)
+    decided by conflict-directed backjumping with nogood learning over
+    the finite space of issue-time residues modulo [s] (see the
+    implementation header for the encoding and its equivalence
+    argument). No external solver. *)
 
 exception Out_of_fuel
+
+val nogood_site : string
+(** ["exact.nogood"] — the doctoring fault site. When armed, the k-th
+    learning solve poisons its bank with unsound nogoods that cover a
+    whole residue domain, silently flipping a feasible interval to
+    [Infeasible]. Nothing in this module detects that (nogoods only
+    prune); the detection story lives above: the campaign's
+    [opt-diverge] oracle and the portfolio cross-check must catch the
+    flipped verdict. *)
 
 type verdict =
   | Feasible of int array
@@ -12,13 +22,50 @@ type verdict =
       (** proof: the search covered the whole residue space *)
   | Out_of_budget  (** fuel ran out; feasibility at [s] undecided *)
 
+(** Variable orders for the search (the proof-portfolio axes).
+    Components are always decided topologically and contiguously; the
+    order permutes members within their component only, so every order
+    is complete and yields the same verdicts. *)
+type var_order =
+  | O_program  (** members in program order — the original traversal *)
+  | O_most_constrained  (** smallest residue domain first *)
+  | O_busiest  (** heaviest users of the hottest resource first *)
+
+type config = {
+  learn : bool;
+      (** conflict analysis + nogood bank + backjumping; [false]
+          reproduces the original chronological branch and bound *)
+  order : var_order;
+  seed : int;
+      (** rotates each variable's residue probing order — distinct
+          seeds give portfolio members distinct trajectories without
+          breaking exhaustion proofs *)
+}
+
+val default_config : config
+(** learning on, program order, seed 0. *)
+
+type stats = {
+  nodes : int;             (** candidates probed *)
+  pruned_window : int;     (** prunes: emptied precedence windows *)
+  pruned_resource : int;   (** prunes: reservation-table conflicts *)
+  nogood_hits : int;       (** candidates rejected by the bank *)
+  backjumps : int;         (** non-chronological backtracks *)
+  learned : int;           (** nogoods recorded by this solve *)
+  reused : int;            (** nogoods carried in at entry *)
+}
+
 type result = {
   verdict : verdict;
   spent : int;  (** fuel units consumed *)
+  stats : stats;
 }
 
 val solve :
   ?fuel:int ->
+  ?config:config ->
+  ?bank:Nogood.t ->
+  ?pin:(int * int) list ->
   Sp_machine.Machine.t ->
   Sp_core.Ddg.t ->
   scc:Sp_core.Scc.t ->
@@ -29,6 +76,18 @@ val solve :
     of [g] on [m] exists at initiation interval [s]. [scc] and [spaths]
     come from {!Sp_core.Modsched.analyze} (the closures are used only
     for pruning, and only at intervals inside their validity range, so
-    any [s >= 1] may be probed). One unit of [fuel] is spent per
-    candidate residue probed and per Bellman–Ford edge relaxation;
-    unlimited when omitted. Deterministic for fixed inputs. *)
+    any [s >= 1] may be probed).
+
+    [bank] is the caller-owned nogood bank: consulted before every
+    probe, extended by conflict analysis, and reusable across calls at
+    the {e same} interval — to reuse it at a different interval the
+    caller must {!Nogood.carry} it first ({!Certify} does). Without a
+    bank (or with [config.learn = false]) no learning happens.
+
+    [pin] forces residues [(unit, residue)] and disables the rotation
+    anchor — the replay hook for auditing learned nogoods: a solve
+    pinned to a nogood's literals must not find a schedule.
+
+    One unit of [fuel] is spent per candidate residue probed and per
+    Bellman–Ford edge relaxation {e per sweep}; unlimited when
+    omitted. Deterministic for fixed inputs and configuration. *)

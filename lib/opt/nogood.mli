@@ -1,0 +1,87 @@
+(** Learned nogoods for the exact modulo scheduler.
+
+    A {e nogood} is a partial residue assignment proved unextendable to
+    any modulo schedule at the interval it was learned for. Each one
+    carries a {e certificate} naming the constraint family it came
+    from, which serves two purposes: primitive certificates (window,
+    resource, cycle) can be {e re-validated} at a different initiation
+    interval — the incremental re-solve of {!Certify} carries a bank
+    across its upward II scan — and every certificate can be replayed
+    against the raw constraints, which is how the soundness qcheck
+    property and the campaign cross-check audit the learner. *)
+
+type lit = {
+  var : int;  (** unit id *)
+  res : int;  (** its residue modulo the interval *)
+}
+
+(** Why the assignment is unextendable. The first three are
+    {e primitive} — direct images of one violated constraint, valid at
+    any interval where the recorded violation recurs. [Derived]
+    nogoods come from subtree exhaustion under the solver's rotation
+    anchor; they are sound only for the solve that learned them and
+    are dropped when a bank is carried to a new interval. *)
+type cert =
+  | C_window of { u : int; v : int }
+      (** the longest-path window between [u] and [v] admits no
+          residue difference class matching the two literals *)
+  | C_resource of { rid : int }
+      (** the literals' reservations oversubscribe resource [rid] in
+          some modulo slot *)
+  | C_cycle of { edges : (int * int * int * int) list }
+      (** [(src, dst, delay, omega)] edges of a dependence cycle whose
+          k-graph weight is positive under the literals' residues *)
+  | C_derived
+
+type nogood = {
+  lits : lit array;  (** sorted by [var], no duplicates *)
+  cert : cert;
+}
+
+type t
+(** A mutable bank: the learned nogoods plus a consultation index
+    keyed by each nogood's deepest literal in the current variable
+    order (rebuilt by {!reindex} whenever the order changes). *)
+
+val create : unit -> t
+val size : t -> int
+val entries : t -> nogood list
+(** Newest first. *)
+
+val add : t -> nogood -> bool
+(** Record a nogood and index it under the current depth map. Returns
+    [false] (and drops it) when the literal-count or bank-size cap
+    would be exceeded — caps keep consultation O(small) and the bank
+    bounded on adversarial loops. *)
+
+val reindex : t -> depth_of:(int -> int) -> unit
+(** Rebuild the consultation index for a new variable order:
+    [depth_of v] is [v]'s position in the order. Each nogood is keyed
+    by its deepest literal, the unique point in a chronological
+    placement where all its other literals are already decided. *)
+
+val consult : t -> var:int -> res:int -> assigned:int array -> nogood option
+(** Would placing [var] at [res] complete a recorded nogood?
+    [assigned.(v)] is the placed residue of [v] ([-1] when unplaced).
+    Returns the first firing nogood: every literal other than
+    [(var, res)] matches a placed residue. *)
+
+(** Everything needed to re-validate primitive certificates at a new
+    interval. *)
+type ctx = {
+  units : Sp_core.Sunit.t array;
+  limit : int -> int;  (** resource id -> units per instruction *)
+  window : u:int -> v:int -> (int * int) option;
+      (** inclusive bounds [(lo, up)] on [t(v) - t(u)] at the {e new}
+          interval, [None] when unbounded (no closure, or wider than
+          representable) *)
+}
+
+val revalidate : ctx -> s:int -> nogood -> bool
+(** Does the certificate still prove a violation at interval [s]?
+    [Derived] certificates never revalidate. *)
+
+val carry : t -> ctx -> s:int -> int
+(** Drop every nogood whose certificate fails {!revalidate} at the new
+    interval [s]; returns how many survived. The caller must
+    {!reindex} before the next solve. *)

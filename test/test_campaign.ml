@@ -220,6 +220,7 @@ let test_bank_replay () =
             Oracle.max_cycles =
               Option.value ~default:Oracle.default.Oracle.max_cycles
                 e.Bank.max_cycles;
+            Oracle.check_opt = (expected = Oracle.Opt_diverge);
           }
         in
         let triggered =

@@ -108,6 +108,110 @@ let prop_certify_deterministic =
           x.Modsched.s = y.Modsched.s && x.Modsched.times = y.Modsched.times
         | _ -> false))
 
+let prop_nogood_sound =
+  (* soundness of the learner: any assignment covered by a learned
+     primitive nogood must be infeasible when replayed against the raw
+     constraints — pin the nogood's literals, disable learning, and
+     search the rest of the space *)
+  QCheck2.Test.make ~name:"learned nogoods replay as infeasible pins" ~count:80
+    spec_gen (fun (seed, k) ->
+      let _, g, analysis, mii, seq_len = setup seed k in
+      ignore seq_len;
+      let scc = analysis.Modsched.a_scc
+      and spaths = analysis.Modsched.a_spaths in
+      let s = max 1 (max mii analysis.Modsched.a_rec_mii) in
+      let bank = Sp_opt.Nogood.create () in
+      let (_ : Exact.result) =
+        Exact.solve ~fuel:prop_fuel ~bank m g ~scc ~spaths ~s
+      in
+      let rec take n = function
+        | x :: rest when n > 0 -> x :: take (n - 1) rest
+        | _ -> []
+      in
+      List.for_all
+        (fun (ng : Sp_opt.Nogood.nogood) ->
+          match ng.Sp_opt.Nogood.cert with
+          | Sp_opt.Nogood.C_derived ->
+            true (* anchor-dependent; not replayable under a pin *)
+          | _ -> (
+            let pin =
+              Array.to_list
+                (Array.map
+                   (fun (l : Sp_opt.Nogood.lit) ->
+                     (l.Sp_opt.Nogood.var, l.Sp_opt.Nogood.res))
+                   ng.Sp_opt.Nogood.lits)
+            in
+            let r =
+              Exact.solve ~fuel:prop_fuel
+                ~config:{ Exact.default_config with Exact.learn = false }
+                ~pin m g ~scc ~spaths ~s
+            in
+            match r.Exact.verdict with
+            | Exact.Feasible _ -> false
+            | Exact.Infeasible | Exact.Out_of_budget -> true))
+        (take 20 (Sp_opt.Nogood.entries bank)))
+
+let prop_portfolio_deterministic =
+  (* the proof portfolio is determinized: with ample fuel, K members
+     commit exactly what the single default member produces *)
+  QCheck2.Test.make ~name:"portfolio 4 outcome equals portfolio 1" ~count:40
+    spec_gen (fun (seed, k) ->
+      let _, g, analysis, mii, seq_len = setup seed k in
+      match Modsched.schedule ~analysis m g ~mii ~max_ii:seq_len with
+      | None -> true
+      | Some heur ->
+        let run p =
+          Certify.run ~fuel:prop_fuel ~analysis ~portfolio:p m g ~mii
+            ~ii:heur.Modsched.s
+        in
+        let a = run 1 and b = run 4 in
+        (match (a.Certify.cert, b.Certify.cert) with
+        | Certify.Unknown _, _ | _, Certify.Unknown _ ->
+          true (* budget ran out somewhere; equivalence is about proofs *)
+        | Certify.Optimal, Certify.Optimal -> true
+        | Certify.Improved x, Certify.Improved y ->
+          x.Modsched.s = y.Modsched.s && x.Modsched.times = y.Modsched.times
+        | _ -> false)
+        && a.Certify.intervals = b.Certify.intervals)
+
+let prop_carry_invariant =
+  (* carrying a learned bank across the II scan must never change a
+     verdict: nogoods only prune assignments that are infeasible, so
+     the scan's outcome — including the schedule found — equals a
+     fresh chronological solve per interval *)
+  QCheck2.Test.make ~name:"carried bank never changes a verdict" ~count:60
+    spec_gen (fun (seed, k) ->
+      let _, g, analysis, mii, seq_len = setup seed k in
+      match Modsched.schedule ~analysis m g ~mii ~max_ii:seq_len with
+      | None -> true
+      | Some heur -> (
+        let scc = analysis.Modsched.a_scc
+        and spaths = analysis.Modsched.a_spaths in
+        let o =
+          Certify.run ~fuel:prop_fuel ~analysis ~learn:true m g ~mii
+            ~ii:heur.Modsched.s
+        in
+        let lo = max 1 (max mii analysis.Modsched.a_rec_mii) in
+        let rec scan s =
+          if s >= heur.Modsched.s then `Optimal
+          else
+            let r =
+              Exact.solve ~fuel:prop_fuel
+                ~config:{ Exact.default_config with Exact.learn = false }
+                m g ~scc ~spaths ~s
+            in
+            match r.Exact.verdict with
+            | Exact.Feasible times -> `Feasible (s, times)
+            | Exact.Infeasible -> scan (s + 1)
+            | Exact.Out_of_budget -> `Budget
+        in
+        match (o.Certify.cert, scan lo) with
+        | _, `Budget | Certify.Unknown _, _ -> true
+        | Certify.Optimal, `Optimal -> true
+        | Certify.Improved sched, `Feasible (s, times) ->
+          sched.Modsched.s = s && sched.Modsched.times = times
+        | _ -> false))
+
 let prop_certified_compile_equivalent =
   (* the central property, with the certifier in the loop: improved
      schedules flow through MVE and emission and must still compute
@@ -212,6 +316,9 @@ let suite =
     qt prop_exact_between_bounds;
     qt prop_exact_complete;
     qt prop_certify_deterministic;
+    qt prop_nogood_sound;
+    qt prop_portfolio_deterministic;
+    qt prop_carry_invariant;
     qt prop_certified_compile_equivalent;
     ("optimal certificate at the bound", `Quick, test_optimal_at_bound);
     ("LFK16 improves and stays correct", `Quick, test_improves_lfk16);
